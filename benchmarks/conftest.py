@@ -1,0 +1,45 @@
+"""Shared configuration for the benchmark harness.
+
+Every figure and table of the paper's evaluation has one benchmark module in
+this directory.  The benchmarks serve two purposes:
+
+1. they *regenerate the data* behind the corresponding figure (the series are
+   attached to the benchmark's ``extra_info`` so they appear in the
+   pytest-benchmark report and can be exported with ``--benchmark-json``), and
+2. they measure how long the reproduction takes at the chosen scale, which is
+   the quantity to watch when scaling up towards the paper's full parameters.
+
+The scale is selected with the ``REPRO_BENCH_SCALE`` environment variable
+(default ``tiny``; see :mod:`repro.experiments.config` for the scale table).
+Heavy experiment benchmarks run exactly once per session via
+``benchmark.pedantic``; micro-benchmarks of the core operations use the normal
+pytest-benchmark calibration loop.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import get_scale
+
+#: Scale used by all experiment benchmarks (override with REPRO_BENCH_SCALE).
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """Name of the experiment scale used by the benchmark harness."""
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """The :class:`repro.experiments.config.ExperimentScale` of the harness."""
+    return get_scale(BENCH_SCALE)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

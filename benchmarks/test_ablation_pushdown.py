@@ -1,0 +1,81 @@
+"""Ablation benchmarks for the design decisions called out in DESIGN.md.
+
+* **Push-down realisation** - the augmented push-down can be executed as
+  explicit adjacent swaps (faithful to the proof of Lemma 1) or as a direct
+  cyclic shift with an analytic swap charge; both yield identical trees and
+  costs, so the cheaper one is used in large simulations.  The ablation
+  measures how much the fast path buys.
+* **Flip-rank queries** - flip-ranks are recomputed on demand from the rotor
+  pointers (O(depth) per query, zero maintenance cost on the serve path); the
+  ablation measures the query cost against the rotor-walk simulation
+  alternative so the trade-off recorded in DESIGN.md stays quantified.
+* **Move-Half realisation** - explicit path swaps vs analytic exchange.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import make_algorithm
+from repro.core import CompleteBinaryTree, RotorState
+from repro.workloads import CombinedLocalityWorkload
+
+DEPTH = 8
+N_NODES = (1 << (DEPTH + 1)) - 1
+N_REQUESTS = 4_000
+
+
+def _run(algorithm_name: str, **kwargs) -> float:
+    workload = CombinedLocalityWorkload(N_NODES, 1.4, 0.5, seed=11)
+    sequence = workload.generate(N_REQUESTS)
+    algorithm = make_algorithm(
+        algorithm_name, n_nodes=N_NODES, placement_seed=5, seed=7, keep_records=False, **kwargs
+    )
+    return algorithm.run(sequence).total_cost
+
+
+def test_ablation_rotor_push_cycle_fast_path(benchmark):
+    """Rotor-Push with the direct cyclic shift (the default fast path)."""
+    total = benchmark.pedantic(_run, args=("rotor-push",), kwargs={"exact_swaps": False}, rounds=3, iterations=1)
+    benchmark.extra_info["total_cost"] = total
+
+
+def test_ablation_rotor_push_exact_swaps(benchmark):
+    """Rotor-Push materialising every adjacent swap (the Lemma 1 procedure)."""
+    total = benchmark.pedantic(_run, args=("rotor-push",), kwargs={"exact_swaps": True}, rounds=3, iterations=1)
+    benchmark.extra_info["total_cost"] = total
+
+
+def test_ablation_costs_identical_between_realisations():
+    """The ablation is purely about runtime: costs and trees must be identical."""
+    assert _run("rotor-push", exact_swaps=False) == _run("rotor-push", exact_swaps=True)
+
+
+def test_ablation_move_half_exact_swaps(benchmark):
+    total = benchmark.pedantic(_run, args=("move-half",), kwargs={"exact_swaps": True}, rounds=3, iterations=1)
+    benchmark.extra_info["total_cost"] = total
+
+
+def test_ablation_move_half_analytic_exchange(benchmark):
+    total = benchmark.pedantic(_run, args=("move-half",), kwargs={"exact_swaps": False}, rounds=3, iterations=1)
+    benchmark.extra_info["total_cost"] = total
+
+
+def test_ablation_flip_rank_on_demand(benchmark):
+    """Recompute flip-ranks from pointers (the implementation used by the analysis)."""
+    state = RotorState(CompleteBinaryTree.from_depth(10))
+    nodes = list(state.tree.nodes_at_level(10))[:512]
+
+    def query_all():
+        return sum(state.flip_rank(node) for node in nodes)
+
+    assert benchmark(query_all) >= 0
+
+
+def test_ablation_flip_rank_via_simulation(benchmark):
+    """Obtain the same information by simulating flips (the naive alternative)."""
+    state = RotorState(CompleteBinaryTree.from_depth(6))
+
+    def simulate_level():
+        visited = state.simulate_flip_sequence(6, (1 << 6) - 1)
+        return len(visited)
+
+    assert benchmark(simulate_level) == 64

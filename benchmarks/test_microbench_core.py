@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the core operations and per-algorithm serve throughput.
+
+These are conventional pytest-benchmark timing loops (not figure
+regenerations): they quantify the cost of the substrate primitives that every
+experiment is built on, which is what matters when scaling runs towards the
+paper's 65,535-node / 10^6-request configuration.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.core import CompleteBinaryTree, RotorState, TreeNetwork
+from repro.core.pushdown import apply_pushdown_cycle
+from repro.workloads import CombinedLocalityWorkload
+
+DEPTH = 9  # 1,023 nodes
+N_NODES = (1 << (DEPTH + 1)) - 1
+
+
+def test_tree_path_queries(benchmark):
+    tree = CompleteBinaryTree.from_depth(DEPTH)
+    leaves = list(tree.leaves())
+
+    def query():
+        total = 0
+        for leaf in leaves[:256]:
+            total += len(tree.path_to_root(leaf))
+        return total
+
+    assert benchmark(query) > 0
+
+
+def test_rotor_flip_and_flip_rank(benchmark):
+    state = RotorState(CompleteBinaryTree.from_depth(DEPTH))
+    leaf = state.tree.first_node_at_level(DEPTH)
+
+    def flip_and_rank():
+        state.flip(DEPTH)
+        return state.flip_rank(leaf)
+
+    assert benchmark(flip_and_rank) >= 0
+
+
+def test_pushdown_cycle_throughput(benchmark):
+    network = TreeNetwork(CompleteBinaryTree.from_depth(DEPTH))
+    tree = network.tree
+    rng = random.Random(7)
+    leaf_level = tree.depth
+
+    def one_pushdown():
+        offset_u = rng.randrange(tree.level_size(leaf_level))
+        offset_v = rng.randrange(tree.level_size(leaf_level))
+        u = tree.node_at(leaf_level, offset_u)
+        v = tree.node_at(leaf_level, offset_v)
+        network.ledger.open_request(0, leaf_level)
+        swaps = apply_pushdown_cycle(network, u, v)
+        network.ledger.close_request()
+        return swaps
+
+    assert benchmark(one_pushdown) >= 0
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    ["rotor-push", "random-push", "move-half", "max-push", "static-oblivious"],
+)
+def test_algorithm_serve_throughput(benchmark, algorithm):
+    """Time per served request for every online algorithm on a 1,023-node tree."""
+    workload = CombinedLocalityWorkload(N_NODES, 1.4, 0.5, seed=1)
+    sequence = workload.generate(20_000)
+    instance = make_algorithm(
+        algorithm, n_nodes=N_NODES, placement_seed=2, seed=3, keep_records=False
+    )
+    iterator = iter(sequence)
+
+    def serve_one():
+        nonlocal iterator
+        try:
+            element = next(iterator)
+        except StopIteration:
+            iterator = iter(sequence)
+            element = next(iterator)
+        return instance.serve(element)
+
+    result = benchmark(serve_one)
+    assert result.access_cost >= 1

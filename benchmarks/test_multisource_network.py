@@ -1,0 +1,56 @@
+"""Benchmark of the multi-source reconfigurable-network substrate.
+
+Not a figure of the paper, but the application its introduction motivates:
+per-source self-adjusting trees composed into a bounded-degree datacenter
+topology.  The benchmark routes a clustered traffic trace through the network
+with Rotor-Push trees and with oblivious static trees and records both
+runtimes and the resulting cost/degree statistics.
+"""
+
+from __future__ import annotations
+
+from repro.network import MultiSourceNetwork, degree_statistics, multi_source_topology, trace_from_workloads
+from repro.workloads import MarkovWorkload
+
+N_NODES = 64
+SOURCES = [0, 1, 2, 3]
+REQUESTS_PER_SOURCE = 1_000
+
+
+def _make_trace():
+    workloads = {
+        source: MarkovWorkload(
+            N_NODES, n_neighbours=3, self_loop=0.7, neighbour_probability=0.2, seed=source + 1
+        )
+        for source in SOURCES
+    }
+    return trace_from_workloads(
+        N_NODES, workloads, requests_per_source=REQUESTS_PER_SOURCE, interleave_seed=9
+    )
+
+
+def _route(algorithm: str):
+    network = MultiSourceNetwork(N_NODES, sources=SOURCES, algorithm=algorithm, base_seed=4)
+    summary = network.serve_trace(_make_trace())
+    return network, summary
+
+
+def test_multisource_rotor_push(benchmark):
+    network, summary = benchmark.pedantic(_route, args=("rotor-push",), rounds=1, iterations=1)
+    stats = degree_statistics(multi_source_topology(network))
+    benchmark.extra_info["cost_summary"] = summary
+    benchmark.extra_info["degree_statistics"] = stats
+    assert summary["n_requests"] == len(SOURCES) * REQUESTS_PER_SOURCE
+    assert stats["max_degree"] <= 4 * len(SOURCES)
+
+
+def test_multisource_static_oblivious(benchmark):
+    network, summary = benchmark.pedantic(_route, args=("static-oblivious",), rounds=1, iterations=1)
+    benchmark.extra_info["cost_summary"] = summary
+    assert summary["total_adjustment_cost"] == 0
+
+
+def test_multisource_rotor_beats_static_on_clustered_traffic():
+    _, rotor_summary = _route("rotor-push")
+    _, static_summary = _route("static-oblivious")
+    assert rotor_summary["total_access_cost"] < static_summary["total_access_cost"]

@@ -1,0 +1,27 @@
+"""Benchmark / regeneration target for Table 1 (algorithm properties).
+
+Reproduces the property table: determinism, empirical working-set-property
+ratios (via the Lemma 8 adversarial construction for Rotor-Push), measured
+cost-to-working-set-bound ratios and the known competitive ratios.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1_properties import run_table1
+
+
+def test_table1_properties(benchmark):
+    table = run_once(benchmark, run_table1, adversary_depths=[4, 6, 8], n_nodes=255, n_requests=4_000)
+    assert len(table) == 6
+    by_algorithm = {row["algorithm"]: row for row in table.rows}
+    # Headline checks of the paper's Table 1.
+    assert by_algorithm["rotor-push"]["known_competitive_ratio"] == 12
+    assert by_algorithm["random-push"]["known_competitive_ratio"] == 16
+    assert (
+        by_algorithm["rotor-push"]["ws_property_ratio"]
+        > by_algorithm["random-push"]["ws_property_ratio"]
+    )
+    benchmark.extra_info["table"] = [
+        {key: str(value) for key, value in row.items()} for row in table.rows
+    ]

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Corpus pipeline: from raw text to Figure 6/7-style results.
+
+Shows the full Q5 pipeline on the deterministic synthetic corpus (or on any
+text files you pass on the command line, e.g. the real Canterbury-corpus books
+if you have them):
+
+1. slide a three-letter window over the text to obtain a request sequence,
+2. place the sequence on the complexity map (temporal / non-temporal
+   complexity, Figure 6),
+3. run all six algorithms on the sequence and compare costs (Figure 7).
+
+Run with::
+
+    python examples/corpus_pipeline.py [book1.txt book2.txt ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.algorithms import PAPER_ALGORITHMS
+from repro.analysis.complexity_map import trace_complexity
+from repro.analysis.entropy import locality_summary
+from repro.sim.engine import simulate
+from repro.sim.results import ResultTable
+from repro.workloads.corpus import CorpusWorkload, synthetic_corpus_workloads
+
+MAX_REQUESTS = 30_000  # cap per book so the example stays fast
+
+
+def load_workloads(paths):
+    if paths:
+        return [CorpusWorkload.from_file(path) for path in paths]
+    return synthetic_corpus_workloads(n_books=3, scale=0.15)
+
+
+def main(paths) -> None:
+    workloads = load_workloads(paths)
+
+    print("=== Figure 6: complexity map ===")
+    map_table = ResultTable(
+        name="complexity_map",
+        columns=["dataset", "requests", "distinct_triples", "temporal", "non_temporal", "entropy"],
+    )
+    for workload in workloads:
+        sequence = workload.full_sequence()
+        point = trace_complexity(sequence, universe_size=workload.n_distinct)
+        stats = locality_summary(sequence)
+        map_table.add_row(
+            dataset=workload.title,
+            requests=len(sequence),
+            distinct_triples=workload.n_distinct,
+            temporal=point.temporal_complexity,
+            non_temporal=point.non_temporal_complexity,
+            entropy=stats["entropy_bits"],
+        )
+    print(map_table.format_text())
+    print()
+
+    print("=== Figure 7: algorithm costs per dataset ===")
+    cost_table = ResultTable(
+        name="corpus_costs",
+        columns=["dataset", "algorithm", "access", "adjustment", "total"],
+    )
+    for workload in workloads:
+        sequence = workload.full_sequence()[:MAX_REQUESTS]
+        for name in PAPER_ALGORITHMS:
+            result = simulate(
+                name,
+                sequence,
+                n_nodes=workload.n_elements,
+                placement_seed=1,
+                seed=2,
+                keep_records=False,
+            )
+            cost_table.add_row(
+                dataset=workload.title,
+                algorithm=name,
+                access=result.average_access_cost,
+                adjustment=result.average_adjustment_cost,
+                total=result.average_total_cost,
+            )
+    print(cost_table.format_text())
+    print(
+        "\nAs in the paper: Rotor-Push and Random-Push behave almost identically,"
+        "\ntheir access cost approaches the static optimum's, and because the text"
+        "\nhas only moderate locality the adjustment cost remains visible."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md: run every experiment of the paper's evaluation.
+
+Runs the full experiment suite (Table 1, Figures 2-7) at the chosen scale and
+writes the Markdown report comparing the paper's qualitative findings with the
+measured results.
+
+Run with::
+
+    python examples/regenerate_experiments.py [scale] [output]
+
+``scale`` is tiny / small / default / paper (default: tiny; the paper scale
+takes hours in pure Python), ``output`` defaults to EXPERIMENTS.md in the
+current directory.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments.report import generate_report
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    output = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
+    started = time.time()
+    print(f"Running all experiments at scale {scale!r} ...")
+    generate_report(scale=scale, path=output)
+    print(f"Wrote {output} in {time.time() - started:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

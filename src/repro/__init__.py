@@ -1,0 +1,118 @@
+"""repro - Deterministic Self-Adjusting Tree Networks Using Rotor Walks.
+
+A from-scratch Python reproduction of the ICDCS 2022 paper by Avin, Bienkowski,
+Salem, Sama, Schmid and Schmidt.  The library provides:
+
+* the complete-binary-tree substrate with the paper's cost model
+  (:mod:`repro.core`);
+* all single-source self-adjusting tree algorithms - Rotor-Push, Random-Push,
+  Move-Half, Max-Push (Strict-MRU), the static baselines and the naive
+  Move-To-Front generalisation (:mod:`repro.algorithms`);
+* the analytical machinery: working sets, flip-ranks, the potential/credit
+  functions of the competitive proofs, entropy and trace-complexity estimators
+  (:mod:`repro.analysis`);
+* workload generators with controlled temporal / spatial locality, adversarial
+  constructions and a corpus pipeline (:mod:`repro.workloads`);
+* a simulation engine with multi-trial runners and parameter sweeps
+  (:mod:`repro.sim`);
+* a reconfigurable-datacenter substrate composing per-source trees into a
+  bounded-degree multi-source network (:mod:`repro.network`);
+* experiment harnesses reproducing every figure and table of the paper's
+  evaluation (:mod:`repro.experiments`) and a command line (``repro``).
+
+Quickstart::
+
+    from repro import make_algorithm, CombinedLocalityWorkload
+
+    workload = CombinedLocalityWorkload(n_elements=255, zipf_exponent=1.6,
+                                        repeat_probability=0.5, seed=1)
+    algorithm = make_algorithm("rotor-push", n_nodes=255, placement_seed=1)
+    result = algorithm.run(workload.generate(10_000))
+    print(result.average_total_cost)
+"""
+
+from repro.algorithms import (
+    ALGORITHMS,
+    PAPER_ALGORITHMS,
+    SELF_ADJUSTING_ALGORITHMS,
+    MaxPush,
+    MoveHalf,
+    MoveToFrontTree,
+    OnlineTreeAlgorithm,
+    RandomPush,
+    RotorPush,
+    RunResult,
+    StaticOblivious,
+    StaticOpt,
+    available_algorithms,
+    make_algorithm,
+)
+from repro.analysis import (
+    PotentialTracker,
+    empirical_competitive_ratio,
+    empirical_entropy,
+    ranks_of_sequence,
+    trace_complexity,
+    working_set_bound,
+)
+from repro.core import (
+    CompleteBinaryTree,
+    CostLedger,
+    RequestCost,
+    RotorState,
+    TreeNetwork,
+)
+from repro.network import MultiSourceNetwork, SingleSourceTreeNetwork, TrafficTrace
+from repro.sim import ResultTable, TrialRunner, compare_algorithms, simulate
+from repro.workloads import (
+    CombinedLocalityWorkload,
+    CorpusWorkload,
+    MarkovWorkload,
+    TemporalWorkload,
+    UniformWorkload,
+    ZipfWorkload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "CombinedLocalityWorkload",
+    "CompleteBinaryTree",
+    "CorpusWorkload",
+    "CostLedger",
+    "MarkovWorkload",
+    "MaxPush",
+    "MoveHalf",
+    "MoveToFrontTree",
+    "MultiSourceNetwork",
+    "OnlineTreeAlgorithm",
+    "PAPER_ALGORITHMS",
+    "PotentialTracker",
+    "RandomPush",
+    "RequestCost",
+    "ResultTable",
+    "RotorPush",
+    "RotorState",
+    "RunResult",
+    "SELF_ADJUSTING_ALGORITHMS",
+    "SingleSourceTreeNetwork",
+    "StaticOblivious",
+    "StaticOpt",
+    "TemporalWorkload",
+    "TrafficTrace",
+    "TreeNetwork",
+    "TrialRunner",
+    "UniformWorkload",
+    "ZipfWorkload",
+    "__version__",
+    "available_algorithms",
+    "compare_algorithms",
+    "empirical_competitive_ratio",
+    "empirical_entropy",
+    "make_algorithm",
+    "ranks_of_sequence",
+    "simulate",
+    "trace_complexity",
+    "working_set_bound",
+]

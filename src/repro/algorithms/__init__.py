@@ -1,0 +1,55 @@
+"""Online algorithms for single-source self-adjusting tree networks.
+
+The package contains every algorithm compared in the paper plus the
+Move-To-Front baseline used to illustrate the lower bound of Section 1.1:
+
+================  =====================================================
+Registry name     Class
+================  =====================================================
+rotor-push        :class:`repro.algorithms.rotor_push.RotorPush`
+random-push       :class:`repro.algorithms.random_push.RandomPush`
+move-half         :class:`repro.algorithms.move_half.MoveHalf`
+max-push          :class:`repro.algorithms.max_push.MaxPush`
+static-oblivious  :class:`repro.algorithms.static_oblivious.StaticOblivious`
+static-opt        :class:`repro.algorithms.static_opt.StaticOpt`
+move-to-front     :class:`repro.algorithms.move_to_front.MoveToFrontTree`
+================  =====================================================
+"""
+
+from repro.algorithms.base import OnlineTreeAlgorithm, RunResult
+from repro.algorithms.lru_index import LevelLRUIndex
+from repro.algorithms.max_push import MaxPush
+from repro.algorithms.move_half import MoveHalf
+from repro.algorithms.move_to_front import MoveToFrontTree
+from repro.algorithms.random_push import RandomPush
+from repro.algorithms.registry import (
+    ALGORITHMS,
+    PAPER_ALGORITHMS,
+    SELF_ADJUSTING_ALGORITHMS,
+    available_algorithms,
+    get_algorithm_class,
+    make_algorithm,
+)
+from repro.algorithms.rotor_push import RotorPush
+from repro.algorithms.static_oblivious import StaticOblivious
+from repro.algorithms.static_opt import StaticOpt, frequency_placement
+
+__all__ = [
+    "ALGORITHMS",
+    "LevelLRUIndex",
+    "MaxPush",
+    "MoveHalf",
+    "MoveToFrontTree",
+    "OnlineTreeAlgorithm",
+    "PAPER_ALGORITHMS",
+    "RandomPush",
+    "RotorPush",
+    "RunResult",
+    "SELF_ADJUSTING_ALGORITHMS",
+    "StaticOblivious",
+    "StaticOpt",
+    "available_algorithms",
+    "frequency_placement",
+    "get_algorithm_class",
+    "make_algorithm",
+]

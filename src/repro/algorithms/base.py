@@ -1,0 +1,228 @@
+"""Common infrastructure for online single-source tree-network algorithms.
+
+Every algorithm studied in the paper follows the same skeleton: a request to an
+element is served by paying the access cost (the element's current level plus
+one) and then, optionally, rearranging the tree with unit-cost swaps.  This
+module captures that skeleton in :class:`OnlineTreeAlgorithm`, so the concrete
+algorithms only implement the rearrangement step.
+
+The base class also standardises construction (random initial placement per the
+paper's experimental setup), per-run results (:class:`RunResult`) and the hook
+used by offline algorithms (Static-Opt) that must see the whole sequence before
+serving it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.cost import RequestCost
+from repro.core.state import TreeNetwork
+from repro.core.tree import CompleteBinaryTree
+from repro.exceptions import AlgorithmError
+from repro.types import ElementId, Level, RequestSequence
+
+__all__ = ["OnlineTreeAlgorithm", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Aggregate outcome of running one algorithm over one request sequence.
+
+    Attributes
+    ----------
+    algorithm:
+        The algorithm's registry name (e.g. ``"rotor-push"``).
+    n_nodes:
+        Size of the tree/universe.
+    n_requests:
+        Number of requests served.
+    total_access_cost, total_adjustment_cost:
+        Summed costs over the whole run.
+    per_request:
+        Optional per-request cost records (present when the network's ledger
+        keeps records).
+    metadata:
+        Free-form extra information (seeds, workload parameters, ...).
+    """
+
+    algorithm: str
+    n_nodes: int
+    n_requests: int
+    total_access_cost: int
+    total_adjustment_cost: int
+    per_request: List[RequestCost] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_cost(self) -> int:
+        """Total cost (access plus adjustment)."""
+        return self.total_access_cost + self.total_adjustment_cost
+
+    @property
+    def average_access_cost(self) -> float:
+        """Average access cost per request."""
+        return self.total_access_cost / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def average_adjustment_cost(self) -> float:
+        """Average adjustment cost per request."""
+        return self.total_adjustment_cost / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def average_total_cost(self) -> float:
+        """Average total cost per request."""
+        return self.total_cost / self.n_requests if self.n_requests else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-serialisable summary (without per-request records)."""
+        return {
+            "algorithm": self.algorithm,
+            "n_nodes": self.n_nodes,
+            "n_requests": self.n_requests,
+            "total_access_cost": self.total_access_cost,
+            "total_adjustment_cost": self.total_adjustment_cost,
+            "total_cost": self.total_cost,
+            "average_access_cost": self.average_access_cost,
+            "average_adjustment_cost": self.average_adjustment_cost,
+            "average_total_cost": self.average_total_cost,
+            "metadata": dict(self.metadata),
+        }
+
+
+class OnlineTreeAlgorithm(abc.ABC):
+    """Base class for all single-source self-adjusting tree algorithms.
+
+    Subclasses implement :meth:`_adjust`, which is called after the access cost
+    of the requested element has been recorded, and may rearrange the tree
+    using the network's swap primitives.
+
+    Class attributes
+    ----------------
+    name:
+        Registry name of the algorithm (lower-case, hyphenated).
+    is_deterministic:
+        ``True`` when the algorithm uses no randomness while serving.
+    is_self_adjusting:
+        ``True`` when the algorithm performs swaps; static trees set ``False``.
+    requires_preparation:
+        ``True`` when :meth:`prepare` must be called with the full request
+        sequence before serving (offline algorithms such as Static-Opt).
+    """
+
+    name: str = "abstract"
+    is_deterministic: bool = True
+    is_self_adjusting: bool = True
+    requires_preparation: bool = False
+
+    def __init__(self, network: TreeNetwork) -> None:
+        self.network = network
+        self._prepared = not self.requires_preparation
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def for_tree(
+        cls,
+        n_nodes: Optional[int] = None,
+        depth: Optional[int] = None,
+        placement_seed: Optional[int] = None,
+        keep_records: bool = True,
+        enforce_marking: bool = False,
+        **kwargs,
+    ) -> "OnlineTreeAlgorithm":
+        """Build the algorithm on a fresh tree with a random initial placement.
+
+        Exactly one of ``n_nodes`` or ``depth`` must be given.  The initial
+        placement is uniformly random, seeded by ``placement_seed``, matching
+        the paper's experimental setup.  Additional keyword arguments are
+        forwarded to the algorithm constructor (for example ``seed`` for
+        Random-Push).
+        """
+        if (n_nodes is None) == (depth is None):
+            raise AlgorithmError("specify exactly one of n_nodes or depth")
+        tree = (
+            CompleteBinaryTree(n_nodes)
+            if n_nodes is not None
+            else CompleteBinaryTree.from_depth(depth)
+        )
+        network = TreeNetwork.with_random_placement(
+            tree,
+            seed=placement_seed,
+            with_rotor=cls._needs_rotor(),
+            enforce_marking=enforce_marking,
+            keep_records=keep_records,
+        )
+        return cls(network, **kwargs)
+
+    @classmethod
+    def _needs_rotor(cls) -> bool:
+        """Whether the algorithm requires rotor pointers on its network."""
+        return False
+
+    # ----------------------------------------------------------------- serving
+
+    def prepare(self, sequence: RequestSequence) -> None:
+        """Give offline algorithms access to the whole sequence before serving.
+
+        The default implementation is a no-op for online algorithms; offline
+        algorithms override it and must call it before :meth:`serve`.
+        """
+        self._prepared = True
+
+    def serve(self, element: ElementId) -> RequestCost:
+        """Serve one request: pay the access cost, then rearrange the tree.
+
+        Returns the :class:`RequestCost` record of this request.
+        """
+        if not self._prepared:
+            raise AlgorithmError(
+                f"{self.name} requires prepare(sequence) before serving requests"
+            )
+        level = self.network.access(element)
+        self._adjust(element, level)
+        return self.network.finish_request()
+
+    def run(self, sequence: Iterable[ElementId], metadata: Optional[dict] = None) -> RunResult:
+        """Serve an entire request sequence and return the aggregate result."""
+        sequence = list(sequence)
+        if self.requires_preparation and not self._prepared:
+            self.prepare(sequence)
+        for element in sequence:
+            self.serve(element)
+        ledger = self.network.ledger
+        return RunResult(
+            algorithm=self.name,
+            n_nodes=self.network.tree.n_nodes,
+            n_requests=ledger.n_requests,
+            total_access_cost=ledger.total_access_cost,
+            total_adjustment_cost=ledger.total_adjustment_cost,
+            per_request=list(ledger.records),
+            metadata=dict(metadata or {}),
+        )
+
+    # -------------------------------------------------------------- adjustment
+
+    @abc.abstractmethod
+    def _adjust(self, element: ElementId, level: Level) -> None:
+        """Rearrange the tree after accessing ``element`` found at ``level``.
+
+        Implementations charge adjustment cost through the network's swap
+        primitives (or :meth:`TreeNetwork.apply_cycle` with an analytic swap
+        count).
+        """
+
+    # ------------------------------------------------------------------ helpers
+
+    def level_of(self, element: ElementId) -> Level:
+        """Return the current level of ``element`` (convenience passthrough)."""
+        return self.network.level_of(element)
+
+    def reset_costs(self) -> None:
+        """Clear the cost ledger without touching the tree configuration."""
+        self.network.ledger.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(n={self.network.tree.n_nodes})"

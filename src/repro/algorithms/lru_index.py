@@ -1,0 +1,131 @@
+"""Per-level least-recently-used index.
+
+Both Move-Half and Max-Push (Strict-MRU) need to find, at serve time, the
+element with the *highest rank* on a given tree level - i.e. the element of
+that level that was accessed least recently (elements never accessed so far
+count as oldest).  Scanning a level is too slow for deep trees (the deepest
+level of a 65,535-node tree has 32,768 nodes), so this module maintains one
+lazy min-heap per level keyed by last-access time.
+
+Entries become stale when an element is accessed again or moves to another
+level; stale entries are discarded lazily when they surface at the top of a
+heap, giving amortised ``O(log n)`` updates and queries.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.core.state import TreeNetwork
+from repro.exceptions import AlgorithmError
+from repro.types import ElementId, Level
+
+__all__ = ["LevelLRUIndex"]
+
+#: Last-access time assigned to elements that have never been requested.
+NEVER_ACCESSED = -1
+
+
+class LevelLRUIndex:
+    """Tracks, for every tree level, which element was used least recently.
+
+    Parameters
+    ----------
+    network:
+        The tree network whose placement defines the initial level of every
+        element.  The index does **not** observe the network afterwards; the
+        owning algorithm must call :meth:`record_access` and :meth:`move`
+        whenever it accesses or relocates elements.
+    """
+
+    __slots__ = ("_last_access", "_level_of", "_heaps", "_clock")
+
+    def __init__(self, network: TreeNetwork) -> None:
+        tree = network.tree
+        n_elements = network.n_elements
+        self._last_access: List[int] = [NEVER_ACCESSED] * n_elements
+        self._level_of: List[Level] = [0] * n_elements
+        self._heaps: List[List[Tuple[int, ElementId]]] = [
+            [] for _ in range(tree.depth + 1)
+        ]
+        self._clock = 0
+        for node in range(tree.n_nodes):
+            element = network.element_at(node)
+            level = tree.level(node)
+            self._level_of[element] = level
+            heapq.heappush(self._heaps[level], (NEVER_ACCESSED, element))
+
+    # ----------------------------------------------------------------- updates
+
+    def record_access(self, element: ElementId) -> None:
+        """Mark ``element`` as the most recently used element."""
+        self._clock += 1
+        self._last_access[element] = self._clock
+        heapq.heappush(
+            self._heaps[self._level_of[element]], (self._clock, element)
+        )
+
+    def move(self, element: ElementId, new_level: Level) -> None:
+        """Record that ``element`` now lives at ``new_level``."""
+        if not 0 <= new_level < len(self._heaps):
+            raise AlgorithmError(
+                f"level {new_level} outside tree of depth {len(self._heaps) - 1}"
+            )
+        if self._level_of[element] == new_level:
+            return
+        self._level_of[element] = new_level
+        heapq.heappush(
+            self._heaps[new_level], (self._last_access[element], element)
+        )
+
+    # ----------------------------------------------------------------- queries
+
+    def level_of(self, element: ElementId) -> Level:
+        """Return the level the index believes ``element`` is on."""
+        return self._level_of[element]
+
+    def last_access(self, element: ElementId) -> int:
+        """Return the logical time of the element's last access (-1 if never)."""
+        return self._last_access[element]
+
+    def least_recently_used(
+        self, level: Level, exclude: Optional[ElementId] = None
+    ) -> ElementId:
+        """Return the least recently used element currently on ``level``.
+
+        Elements never accessed count as oldest; ties are broken by element
+        identifier for determinism.  ``exclude`` (typically the element that
+        was just accessed) is skipped.
+        """
+        heap = self._heaps[level]
+        skipped: List[Tuple[int, ElementId]] = []
+        result: Optional[ElementId] = None
+        while heap:
+            timestamp, element = heap[0]
+            if (
+                self._level_of[element] != level
+                or self._last_access[element] != timestamp
+            ):
+                heapq.heappop(heap)  # stale entry
+                continue
+            if exclude is not None and element == exclude:
+                skipped.append(heapq.heappop(heap))
+                continue
+            result = element
+            break
+        for entry in skipped:
+            heapq.heappush(heap, entry)
+        if result is None:
+            raise AlgorithmError(f"no eligible element on level {level}")
+        return result
+
+    def validate_against(self, network: TreeNetwork) -> None:
+        """Check that tracked levels match the network placement (test helper)."""
+        for element in range(network.n_elements):
+            actual = network.level_of(element)
+            if self._level_of[element] != actual:
+                raise AlgorithmError(
+                    f"LRU index thinks element {element} is on level "
+                    f"{self._level_of[element]} but it is on level {actual}"
+                )

@@ -1,0 +1,119 @@
+"""Algorithm registry and factory.
+
+Experiments refer to algorithms by their registry name (the short labels used
+in the paper's figures): ``rotor-push``, ``random-push``, ``move-half``,
+``max-push``, ``static-oblivious``, ``static-opt`` and the extra baseline
+``move-to-front``.  This module maps those names to classes and offers a
+one-call factory that builds an algorithm instance on a fresh tree with the
+paper's random initial placement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.algorithms.base import OnlineTreeAlgorithm
+from repro.algorithms.max_push import MaxPush
+from repro.algorithms.move_half import MoveHalf
+from repro.algorithms.move_to_front import MoveToFrontTree
+from repro.algorithms.random_push import RandomPush
+from repro.algorithms.rotor_push import RotorPush
+from repro.algorithms.static_oblivious import StaticOblivious
+from repro.algorithms.static_opt import StaticOpt
+from repro.exceptions import AlgorithmError
+
+__all__ = [
+    "ALGORITHMS",
+    "PAPER_ALGORITHMS",
+    "SELF_ADJUSTING_ALGORITHMS",
+    "available_algorithms",
+    "get_algorithm_class",
+    "make_algorithm",
+]
+
+#: All registered algorithm classes, keyed by registry name.
+ALGORITHMS: Dict[str, Type[OnlineTreeAlgorithm]] = {
+    RotorPush.name: RotorPush,
+    RandomPush.name: RandomPush,
+    MoveHalf.name: MoveHalf,
+    MaxPush.name: MaxPush,
+    StaticOblivious.name: StaticOblivious,
+    StaticOpt.name: StaticOpt,
+    MoveToFrontTree.name: MoveToFrontTree,
+}
+
+#: The six algorithms compared in the paper's empirical section (Section 6).
+PAPER_ALGORITHMS: List[str] = [
+    RotorPush.name,
+    RandomPush.name,
+    MoveHalf.name,
+    MaxPush.name,
+    StaticOblivious.name,
+    StaticOpt.name,
+]
+
+#: The four self-adjusting algorithms (used by the Q1 cost-difference plots).
+SELF_ADJUSTING_ALGORITHMS: List[str] = [
+    RotorPush.name,
+    RandomPush.name,
+    MoveHalf.name,
+    MaxPush.name,
+]
+
+
+def available_algorithms() -> List[str]:
+    """Return all registry names, in a stable order."""
+    return list(ALGORITHMS)
+
+
+def get_algorithm_class(name: str) -> Type[OnlineTreeAlgorithm]:
+    """Return the algorithm class registered under ``name``."""
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown algorithm {name!r}; available: {', '.join(ALGORITHMS)}"
+        ) from None
+
+
+def make_algorithm(
+    name: str,
+    n_nodes: Optional[int] = None,
+    depth: Optional[int] = None,
+    placement_seed: Optional[int] = None,
+    seed: Optional[int] = None,
+    keep_records: bool = True,
+    enforce_marking: bool = False,
+    **kwargs,
+) -> OnlineTreeAlgorithm:
+    """Build an algorithm instance on a fresh randomly-placed tree.
+
+    Parameters
+    ----------
+    name:
+        Registry name (see :data:`ALGORITHMS`).
+    n_nodes, depth:
+        Tree size; give exactly one of the two.
+    placement_seed:
+        Seed of the uniformly random initial placement.
+    seed:
+        Seed of the algorithm's own randomness (only used by Random-Push; it is
+        ignored by deterministic algorithms so callers can pass it uniformly).
+    keep_records:
+        Whether per-request cost records are retained.
+    enforce_marking:
+        Whether the swap marking discipline is enforced at runtime.
+    kwargs:
+        Forwarded to the algorithm constructor (e.g. ``exact_swaps``).
+    """
+    cls = get_algorithm_class(name)
+    if seed is not None and cls is RandomPush:
+        kwargs = dict(kwargs, seed=seed)
+    return cls.for_tree(
+        n_nodes=n_nodes,
+        depth=depth,
+        placement_seed=placement_seed,
+        keep_records=keep_records,
+        enforce_marking=enforce_marking,
+        **kwargs,
+    )

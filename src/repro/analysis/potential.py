@@ -1,0 +1,235 @@
+"""Credits and potential functions from the Rotor-Push competitive analysis.
+
+Section 4.2 of the paper defines, for every element ``e``, a *credit* built
+from two weights that compare the element's level in Rotor-Push's tree
+(``l(e)``) with its level in the optimum's tree (``l_opt(e)``):
+
+* the level-weight ``w_LEV(e) = l(e) - 2 l_opt(e) - 1`` when
+  ``l(e) >= 2 l_opt(e) + 2`` and 0 otherwise (equation (1));
+* the flip-rank-weight ``w_FRNK(e) = 1 - frnk(e) / 2**l(e)`` when
+  ``l(e) >= 2 l_opt(e) + 1`` and 0 otherwise (equation (2));
+* the credit ``c(e) = f * (w_LEV(e) + w_FRNK(e))`` with ``f = 4``.
+
+Theorem 7 proves that per round the amortised cost of Rotor-Push (actual cost
+plus credit change) is at most ``12 * (h* + 1)`` where ``h*`` is the level of
+the requested element in the optimum's tree.  The Random-Push analysis
+(Section 5) uses only the level-weight with ``f_R = 8`` and yields the factor
+16 in expectation.
+
+This module exposes those weights and a :class:`PotentialTracker` that checks
+the per-round amortised inequality empirically against a *reference* placement
+standing in for the optimum (any fixed placement is valid for the per-round
+part-2 inequality, since the proof does not use properties of OPT beyond its
+levels).  The tracker is used by the property-based tests and by the
+competitive-bound benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.algorithms.rotor_push import RotorPush
+from repro.core.state import TreeNetwork
+from repro.core.tree import CompleteBinaryTree
+from repro.exceptions import AlgorithmError
+from repro.types import ElementId
+
+__all__ = [
+    "ROTOR_PUSH_CREDIT_FACTOR",
+    "ROTOR_PUSH_COMPETITIVE_RATIO",
+    "RANDOM_PUSH_CREDIT_FACTOR",
+    "RANDOM_PUSH_COMPETITIVE_RATIO",
+    "level_weight",
+    "flip_rank_weight",
+    "element_credit",
+    "total_credit",
+    "RoundCheck",
+    "PotentialTracker",
+]
+
+#: The constant ``f`` of the Rotor-Push credits (Section 4.2).
+ROTOR_PUSH_CREDIT_FACTOR = 4
+
+#: Competitive ratio proven for Rotor-Push (Theorem 7).
+ROTOR_PUSH_COMPETITIVE_RATIO = 12
+
+#: The constant ``f_R`` of the Random-Push credits (Section 5).
+RANDOM_PUSH_CREDIT_FACTOR = 8
+
+#: Competitive ratio proven for Random-Push (Theorem 11).
+RANDOM_PUSH_COMPETITIVE_RATIO = 16
+
+
+def level_weight(level: int, opt_level: int) -> int:
+    """Return ``w_LEV`` of an element at ``level`` whose OPT level is ``opt_level``."""
+    if level >= 2 * opt_level + 2:
+        return level - 2 * opt_level - 1
+    return 0
+
+
+def flip_rank_weight(level: int, opt_level: int, flip_rank: int) -> float:
+    """Return ``w_FRNK`` of an element at ``level`` with the given flip-rank."""
+    if level >= 2 * opt_level + 1:
+        return 1.0 - flip_rank / float(1 << level)
+    return 0.0
+
+
+def element_credit(
+    level: int,
+    opt_level: int,
+    flip_rank: int,
+    factor: int = ROTOR_PUSH_CREDIT_FACTOR,
+) -> float:
+    """Return the credit ``c(e) = f * (w_LEV + w_FRNK)`` of a single element."""
+    return factor * (level_weight(level, opt_level) + flip_rank_weight(level, opt_level, flip_rank))
+
+
+def total_credit(
+    network: TreeNetwork,
+    opt_levels: Sequence[int],
+    factor: int = ROTOR_PUSH_CREDIT_FACTOR,
+) -> float:
+    """Return the sum of credits of all elements of ``network``.
+
+    ``opt_levels[e]`` is the level of element ``e`` in the reference (OPT)
+    tree.  The network must carry rotor pointers (the flip-rank weight needs
+    them).
+    """
+    if network.rotor is None:
+        raise AlgorithmError("total_credit requires a network with rotor pointers")
+    tree = network.tree
+    if len(opt_levels) != tree.n_nodes:
+        raise AlgorithmError(
+            f"opt_levels has {len(opt_levels)} entries, expected {tree.n_nodes}"
+        )
+    rotor = network.rotor
+    credit = 0.0
+    for element in range(tree.n_nodes):
+        node = network.node_of(element)
+        credit += element_credit(
+            tree.level(node), opt_levels[element], rotor.flip_rank(node), factor
+        )
+    return credit
+
+
+@dataclass(frozen=True)
+class RoundCheck:
+    """Outcome of checking the amortised inequality for a single round.
+
+    Attributes
+    ----------
+    element:
+        The requested element.
+    algorithm_cost:
+        Actual cost paid by Rotor-Push in the round (access + swaps).
+    credit_change:
+        Total change of credits caused by the round.
+    opt_cost:
+        ``h* + 1`` where ``h*`` is the requested element's level in the
+        reference tree.
+    amortised_cost:
+        ``algorithm_cost + credit_change``.
+    bound:
+        ``12 * opt_cost`` (the right-hand side of Theorem 7's inequality).
+    """
+
+    element: ElementId
+    algorithm_cost: float
+    credit_change: float
+    opt_cost: float
+    amortised_cost: float
+    bound: float
+
+    @property
+    def holds(self) -> bool:
+        """Whether the amortised inequality holds for this round (with float slack)."""
+        return self.amortised_cost <= self.bound + 1e-9
+
+
+class PotentialTracker:
+    """Empirically verify Theorem 7's per-round amortised inequality.
+
+    The tracker owns a :class:`RotorPush` instance and a *fixed* reference
+    placement (standing in for OPT's tree, which performs no swaps).  After
+    each served request it recomputes the total credit and records whether
+
+    ``cost(Rotor-Push) + delta(credit) <= 12 * (h* + 1)``
+
+    held, where ``h*`` is the requested element's level in the reference tree.
+
+    Parameters
+    ----------
+    depth:
+        Tree depth for both trees.
+    reference_placement:
+        ``reference_placement[node] = element`` for the OPT stand-in; defaults
+        to the identity placement.
+    placement:
+        Initial placement of the Rotor-Push tree; defaults to the identity
+        placement (so that initial credits are zero when the reference is also
+        the identity).
+    """
+
+    def __init__(
+        self,
+        depth: int,
+        reference_placement: Sequence[ElementId] = None,
+        placement: Sequence[ElementId] = None,
+    ) -> None:
+        tree = CompleteBinaryTree.from_depth(depth)
+        network = TreeNetwork(tree, placement=placement, with_rotor=True)
+        self.algorithm = RotorPush(network)
+        if reference_placement is None:
+            reference_placement = list(range(tree.n_nodes))
+        if sorted(reference_placement) != list(range(tree.n_nodes)):
+            raise AlgorithmError("reference placement is not a bijection")
+        self._opt_levels: List[int] = [0] * tree.n_nodes
+        for node, element in enumerate(reference_placement):
+            self._opt_levels[element] = tree.level(node)
+        self._current_credit = total_credit(network, self._opt_levels)
+        self.rounds: List[RoundCheck] = []
+
+    @property
+    def opt_levels(self) -> List[int]:
+        """Levels of every element in the reference (OPT) tree."""
+        return list(self._opt_levels)
+
+    def serve(self, element: ElementId) -> RoundCheck:
+        """Serve one request through Rotor-Push and check the amortised inequality."""
+        record = self.algorithm.serve(element)
+        new_credit = total_credit(self.algorithm.network, self._opt_levels)
+        opt_cost = self._opt_levels[element] + 1
+        check = RoundCheck(
+            element=element,
+            algorithm_cost=float(record.total_cost),
+            credit_change=new_credit - self._current_credit,
+            opt_cost=float(opt_cost),
+            amortised_cost=float(record.total_cost) + (new_credit - self._current_credit),
+            bound=float(ROTOR_PUSH_COMPETITIVE_RATIO * opt_cost),
+        )
+        self._current_credit = new_credit
+        self.rounds.append(check)
+        return check
+
+    def run(self, sequence: Sequence[ElementId]) -> List[RoundCheck]:
+        """Serve a whole sequence, returning the per-round checks."""
+        return [self.serve(element) for element in sequence]
+
+    def all_hold(self) -> bool:
+        """Whether the inequality held in every round served so far."""
+        return all(check.holds for check in self.rounds)
+
+    def summary(self) -> Dict[str, float]:
+        """Return aggregate statistics of the checks performed so far."""
+        if not self.rounds:
+            return {"rounds": 0.0, "violations": 0.0, "max_ratio": 0.0}
+        ratios = [
+            check.amortised_cost / check.bound if check.bound else 0.0
+            for check in self.rounds
+        ]
+        return {
+            "rounds": float(len(self.rounds)),
+            "violations": float(sum(0 if check.holds else 1 for check in self.rounds)),
+            "max_ratio": max(ratios),
+        }

@@ -1,0 +1,173 @@
+"""Command-line interface for the repro library.
+
+Installed as the ``repro`` console script (also runnable via
+``python -m repro``).  Subcommands:
+
+``list``
+    List the registered algorithms and experiment scales.
+``demo``
+    Run a small comparison of all algorithms on a combined-locality workload
+    and print the cost table.
+``experiment``
+    Run one named experiment (``q1`` ... ``q5``, ``table1`` or ``all``) at a
+    chosen scale, print the resulting tables and optionally write CSV files.
+``report``
+    Run every experiment and write the Markdown report (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.algorithms.registry import PAPER_ALGORITHMS, available_algorithms
+from repro.experiments import (
+    SCALES,
+    generate_report,
+    run_q1,
+    run_q2,
+    run_q3,
+    run_q4_histogram,
+    run_q4_wireframe,
+    run_q5,
+    run_table1,
+)
+from repro.experiments.plotting import histogram_chart
+from repro.sim.results import ResultTable
+from repro.sim.runner import compare_algorithms
+from repro.workloads.composite import CombinedLocalityWorkload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Self-adjusting tree networks with rotor walks - reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list algorithms and experiment scales")
+
+    demo = subparsers.add_parser("demo", help="run a quick algorithm comparison")
+    demo.add_argument("--nodes", type=int, default=255, help="tree size (2**k - 1)")
+    demo.add_argument("--requests", type=int, default=5_000, help="requests per trial")
+    demo.add_argument("--trials", type=int, default=2, help="number of trials")
+    demo.add_argument("--zipf", type=float, default=1.6, help="Zipf exponent")
+    demo.add_argument("--repeat", type=float, default=0.5, help="repeat probability")
+
+    experiment = subparsers.add_parser("experiment", help="run one paper experiment")
+    experiment.add_argument(
+        "name",
+        choices=["q1", "q2", "q3", "q4", "q5", "table1", "all"],
+        help="experiment to run",
+    )
+    experiment.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    experiment.add_argument("--csv-dir", default=None, help="directory for CSV exports")
+
+    report = subparsers.add_parser("report", help="run all experiments and write EXPERIMENTS.md")
+    report.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    report.add_argument("--output", default="EXPERIMENTS.md", help="output Markdown path")
+
+    return parser
+
+
+def _print_table(table: ResultTable, csv_dir: Optional[str]) -> None:
+    print(table.format_text())
+    print()
+    if csv_dir is not None:
+        path = Path(csv_dir) / f"{table.name}.csv"
+        table.to_csv(str(path))
+        print(f"(written to {path})")
+        print()
+
+
+def _command_list() -> int:
+    print("Algorithms:")
+    for name in available_algorithms():
+        marker = "*" if name in PAPER_ALGORITHMS else " "
+        print(f"  {marker} {name}")
+    print("(* = compared in the paper's evaluation)")
+    print()
+    print("Experiment scales:")
+    for name, scale in SCALES.items():
+        print(
+            f"  {name:8s} nodes={scale.n_nodes:6d} requests={scale.n_requests:8d} "
+            f"trials={scale.n_trials}"
+        )
+    return 0
+
+
+def _command_demo(args: argparse.Namespace) -> int:
+    aggregated = compare_algorithms(
+        PAPER_ALGORITHMS,
+        lambda seed: CombinedLocalityWorkload(args.nodes, args.zipf, args.repeat, seed=seed),
+        n_nodes=args.nodes,
+        n_requests=args.requests,
+        n_trials=args.trials,
+    )
+    table = ResultTable(
+        name="demo",
+        columns=["algorithm", "mean_access_cost", "mean_adjustment_cost", "mean_total_cost"],
+    )
+    for name, outcome in aggregated.items():
+        table.add_row(
+            algorithm=name,
+            mean_access_cost=outcome.mean_access_cost,
+            mean_adjustment_cost=outcome.mean_adjustment_cost,
+            mean_total_cost=outcome.mean_total_cost,
+        )
+    print(table.format_text())
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    name, scale, csv_dir = args.name, args.scale, args.csv_dir
+    if name in ("q1", "all"):
+        for table in run_q1(scale).values():
+            _print_table(table, csv_dir)
+    if name in ("q2", "all"):
+        _print_table(run_q2(scale), csv_dir)
+    if name in ("q3", "all"):
+        _print_table(run_q3(scale), csv_dir)
+    if name in ("q4", "all"):
+        _print_table(run_q4_wireframe(scale), csv_dir)
+        histogram, summary = run_q4_histogram(scale)
+        print(histogram_chart("Rotor-Push minus Random-Push (access cost)", histogram))
+        print(f"mean difference: {summary['mean_difference']:+.5f}")
+        print()
+    if name in ("q5", "all"):
+        for table in run_q5(scale).values():
+            _print_table(table, csv_dir)
+    if name in ("table1", "all"):
+        _print_table(run_table1(), csv_dir)
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    report = generate_report(scale=args.scale, path=args.output)
+    print(f"wrote {args.output} ({len(report.splitlines())} lines)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "demo":
+        return _command_demo(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    if args.command == "report":
+        return _command_report(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Core substrate: tree geometry, rotor machinery, push-down operation, costs.
+
+This package contains everything below the algorithm layer:
+
+* :mod:`repro.core.tree` - the fixed complete binary tree topology;
+* :mod:`repro.core.rotor` - rotor pointers, global paths, flips and flip-ranks;
+* :mod:`repro.core.state` - the mutable element placement plus cost ledger;
+* :mod:`repro.core.pushdown` - the augmented push-down operation ``PD(u, v)``
+  and path-relocation helpers;
+* :mod:`repro.core.cost` - the access/adjustment cost model.
+"""
+
+from repro.core.cost import CostLedger, RequestCost
+from repro.core.render import render_figure1_style, render_levels, render_tree
+from repro.core.pushdown import (
+    apply_pushdown_cycle,
+    apply_pushdown_swaps,
+    pushdown_cycle_nodes,
+    pushdown_swap_cost,
+    relocate_along_path,
+    relocate_element,
+)
+from repro.core.rotor import RotorState
+from repro.core.state import TreeNetwork, identity_placement, random_placement
+from repro.core.tree import (
+    CompleteBinaryTree,
+    depth_for_size,
+    is_complete_size,
+    size_for_depth,
+)
+
+__all__ = [
+    "CompleteBinaryTree",
+    "CostLedger",
+    "RequestCost",
+    "RotorState",
+    "TreeNetwork",
+    "apply_pushdown_cycle",
+    "apply_pushdown_swaps",
+    "depth_for_size",
+    "identity_placement",
+    "is_complete_size",
+    "pushdown_cycle_nodes",
+    "pushdown_swap_cost",
+    "random_placement",
+    "relocate_along_path",
+    "relocate_element",
+    "render_figure1_style",
+    "render_levels",
+    "render_tree",
+    "size_for_depth",
+]

@@ -1,0 +1,199 @@
+"""Cost model and cost accounting.
+
+The paper's cost model charges, per served request:
+
+* an *access cost* of ``level(element) + 1`` when the element is accessed, and
+* an *adjustment cost* of one unit per swap of two elements occupying adjacent
+  nodes.
+
+:class:`CostLedger` records these costs per request and in aggregate, and is
+shared by every algorithm implementation so that experiment code can read a
+uniform cost breakdown (total / access / adjustment, per request and averaged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.exceptions import CostAccountingError
+from repro.types import ElementId
+
+__all__ = ["RequestCost", "CostLedger"]
+
+
+@dataclass(frozen=True)
+class RequestCost:
+    """Cost incurred while serving one request.
+
+    Attributes
+    ----------
+    element:
+        The element that was requested.
+    access_cost:
+        ``level + 1`` where ``level`` is the element's level at access time.
+    adjustment_cost:
+        Number of unit-cost swaps charged while rearranging the tree.
+    level_at_access:
+        The element's level when it was accessed (``access_cost - 1``).
+    """
+
+    element: ElementId
+    access_cost: int
+    adjustment_cost: int
+    level_at_access: int
+
+    @property
+    def total_cost(self) -> int:
+        """Access plus adjustment cost of this request."""
+        return self.access_cost + self.adjustment_cost
+
+
+class CostLedger:
+    """Accumulates per-request costs for one algorithm run.
+
+    The ledger has an explicit open/close protocol around each request so that
+    the swap primitive can charge adjustment cost incrementally:
+
+    >>> ledger = CostLedger()
+    >>> ledger.open_request(element=3, level_at_access=2)
+    >>> ledger.charge_swaps(4)
+    >>> record = ledger.close_request()
+    >>> (record.access_cost, record.adjustment_cost)
+    (3, 4)
+
+    Parameters
+    ----------
+    keep_records:
+        When ``True`` (default) every :class:`RequestCost` is kept in
+        :attr:`records`; set to ``False`` for long runs where only the
+        aggregate totals matter (the per-request history is then dropped to
+        save memory).
+    """
+
+    __slots__ = (
+        "records",
+        "keep_records",
+        "_total_access",
+        "_total_adjustment",
+        "_closed_count",
+        "_open_element",
+        "_open_level",
+        "_open_adjustment",
+    )
+
+    def __init__(self, keep_records: bool = True) -> None:
+        self.records: List[RequestCost] = []
+        self.keep_records = keep_records
+        self._total_access = 0
+        self._total_adjustment = 0
+        self._closed_count = 0
+        self._open_element: Optional[ElementId] = None
+        self._open_level = 0
+        self._open_adjustment = 0
+
+    # ----------------------------------------------------------- per request
+
+    def open_request(self, element: ElementId, level_at_access: int) -> None:
+        """Start accounting for a request to ``element`` found at ``level_at_access``."""
+        if self._open_element is not None:
+            raise CostAccountingError(
+                "open_request called while a request is already open "
+                f"(element {self._open_element})"
+            )
+        if level_at_access < 0:
+            raise CostAccountingError(
+                f"level_at_access must be non-negative, got {level_at_access}"
+            )
+        self._open_element = element
+        self._open_level = level_at_access
+        self._open_adjustment = 0
+
+    def charge_swaps(self, count: int = 1) -> None:
+        """Charge ``count`` unit-cost swaps to the currently open request."""
+        if self._open_element is None:
+            raise CostAccountingError("charge_swaps called with no open request")
+        if count < 0:
+            raise CostAccountingError(f"swap count must be non-negative, got {count}")
+        self._open_adjustment += count
+
+    def close_request(self) -> RequestCost:
+        """Finish the open request and return its :class:`RequestCost` record."""
+        if self._open_element is None:
+            raise CostAccountingError("close_request called with no open request")
+        record = RequestCost(
+            element=self._open_element,
+            access_cost=self._open_level + 1,
+            adjustment_cost=self._open_adjustment,
+            level_at_access=self._open_level,
+        )
+        self._total_access += record.access_cost
+        self._total_adjustment += record.adjustment_cost
+        self._closed_count += 1
+        if self.keep_records:
+            self.records.append(record)
+        self._open_element = None
+        self._open_adjustment = 0
+        return record
+
+    @property
+    def request_open(self) -> bool:
+        """Whether a request is currently being accounted."""
+        return self._open_element is not None
+
+    # -------------------------------------------------------------- aggregate
+
+    @property
+    def n_requests(self) -> int:
+        """Number of requests closed so far."""
+        return self._closed_count
+
+    @property
+    def total_access_cost(self) -> int:
+        """Sum of access costs over all closed requests."""
+        return self._total_access
+
+    @property
+    def total_adjustment_cost(self) -> int:
+        """Sum of adjustment (swap) costs over all closed requests."""
+        return self._total_adjustment
+
+    @property
+    def total_cost(self) -> int:
+        """Total cost: access plus adjustment."""
+        return self._total_access + self._total_adjustment
+
+    def average_access_cost(self) -> float:
+        """Average access cost per request (0.0 if no request was served)."""
+        return self._total_access / self._closed_count if self._closed_count else 0.0
+
+    def average_adjustment_cost(self) -> float:
+        """Average adjustment cost per request (0.0 if no request was served)."""
+        if not self._closed_count:
+            return 0.0
+        return self._total_adjustment / self._closed_count
+
+    def average_total_cost(self) -> float:
+        """Average total cost per request (0.0 if no request was served)."""
+        return self.total_cost / self._closed_count if self._closed_count else 0.0
+
+    def reset(self) -> None:
+        """Forget all recorded costs (used when re-running an algorithm)."""
+        if self._open_element is not None:
+            raise CostAccountingError("cannot reset the ledger while a request is open")
+        self.records.clear()
+        self._total_access = 0
+        self._total_adjustment = 0
+        self._closed_count = 0
+
+    def snapshot_totals(self) -> dict:
+        """Return a plain-dict summary of the aggregate costs."""
+        return {
+            "n_requests": self.n_requests,
+            "total_access_cost": self._total_access,
+            "total_adjustment_cost": self._total_adjustment,
+            "total_cost": self.total_cost,
+            "average_access_cost": self.average_access_cost(),
+            "average_adjustment_cost": self.average_adjustment_cost(),
+            "average_total_cost": self.average_total_cost(),
+        }

@@ -1,0 +1,96 @@
+"""Text rendering of tree-network configurations.
+
+Debugging and teaching aid: renders a :class:`repro.core.state.TreeNetwork` as
+an indented text tree or as per-level rows, optionally annotated with rotor
+pointers and flip-ranks - the same information Figure 1 of the paper conveys
+graphically.  Only intended for small trees (the output grows linearly with the
+node count); experiments never call it on paper-scale instances.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.state import TreeNetwork
+from repro.exceptions import TreeStructureError
+
+__all__ = ["render_levels", "render_tree", "render_figure1_style"]
+
+#: Rendering is refused above this size to avoid accidental megabyte dumps.
+MAX_RENDER_NODES = 1 << 12
+
+
+def _check_size(network: TreeNetwork) -> None:
+    if network.tree.n_nodes > MAX_RENDER_NODES:
+        raise TreeStructureError(
+            f"refusing to render a tree with {network.tree.n_nodes} nodes "
+            f"(limit {MAX_RENDER_NODES}); rendering is a debugging aid for small trees"
+        )
+
+
+def render_levels(network: TreeNetwork, show_flip_ranks: bool = False) -> str:
+    """Render the element placement one line per level.
+
+    With ``show_flip_ranks`` each element is annotated with its node's current
+    flip-rank (requires a rotor state), mirroring the numbers below the nodes
+    in Figure 1 of the paper.
+    """
+    _check_size(network)
+    tree = network.tree
+    rotor = network.rotor
+    if show_flip_ranks and rotor is None:
+        raise TreeStructureError("show_flip_ranks requires a network with rotor pointers")
+    lines: List[str] = []
+    for level, nodes in enumerate(tree.levels()):
+        cells: List[str] = []
+        for node in nodes:
+            label = f"e{network.element_at(node)}"
+            if show_flip_ranks:
+                label += f"/{rotor.flip_rank(node)}"
+            cells.append(label)
+        lines.append(f"level {level}: " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def render_tree(network: TreeNetwork, node: Optional[int] = None, indent: str = "") -> str:
+    """Render the subtree below ``node`` (default: the root) as an indented outline.
+
+    Rotor pointers, when present, are shown as ``->L`` / ``->R`` on internal
+    nodes; the element hosted at each node is shown as ``e<id>``.
+    """
+    _check_size(network)
+    tree = network.tree
+    rotor = network.rotor
+    if node is None:
+        node = tree.root
+    tree.check_node(node)
+
+    lines: List[str] = []
+
+    def visit(current: int, prefix: str, connector: str) -> None:
+        label = f"e{network.element_at(current)}"
+        if rotor is not None and tree.is_internal(current):
+            label += " ->R" if rotor.pointer(current) else " ->L"
+        lines.append(f"{prefix}{connector}[{current}] {label}")
+        if tree.is_internal(current):
+            child_prefix = prefix + ("    " if connector else "")
+            visit(tree.left_child(current), child_prefix, "|-- ")
+            visit(tree.right_child(current), child_prefix, "`-- ")
+
+    visit(node, indent, "")
+    return "\n".join(lines)
+
+
+def render_figure1_style(network: TreeNetwork) -> str:
+    """Render placement, pointers and flip-ranks the way Figure 1 presents them.
+
+    Combines :func:`render_levels` (with flip-ranks) and a line listing the
+    current global path, which is the path of flip-rank-0 nodes.
+    """
+    _check_size(network)
+    if network.rotor is None:
+        raise TreeStructureError("Figure-1-style rendering requires rotor pointers")
+    body = render_levels(network, show_flip_ranks=True)
+    path = network.rotor.global_path()
+    path_elements = " -> ".join(f"e{network.element_at(node)}" for node in path)
+    return f"{body}\nglobal path: {path_elements}"

@@ -1,0 +1,303 @@
+"""Rotor pointers, global paths, flips and flip-ranks.
+
+The deterministic Rotor-Push algorithm replaces the random left/right choices
+of Random-Push by *rotor pointers*: every internal node stores a pointer to one
+of its two children; whenever the pointer is used it is toggled.  This module
+implements the full rotor machinery of Section 4 of the paper:
+
+* :class:`RotorState` stores one pointer per internal node;
+* the *global path* ``P^T`` is the root-to-leaf path obtained by following the
+  pointers (Section 3);
+* ``flip(d)`` toggles the pointers of the global-path nodes above level ``d``
+  (Definition 2);
+* the *flip-rank* of a node (Definition 3) is the number of consecutive
+  ``flip(d)`` operations after which the node joins the global path; Lemma 2
+  shows it decomposes along the root path, which yields the simple binary
+  encoding computed by :meth:`RotorState.flip_rank`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.tree import CompleteBinaryTree
+from repro.exceptions import RotorStateError
+from repro.types import Level, NodeId, NodePath
+
+__all__ = ["RotorState"]
+
+LEFT = 0
+RIGHT = 1
+
+
+class RotorState:
+    """Two-state rotor pointers for every internal node of a complete tree.
+
+    Parameters
+    ----------
+    tree:
+        The complete binary tree the pointers live on.
+    pointers:
+        Optional initial pointer directions, one entry per internal node in
+        heap order (0 = left child, 1 = right child).  The paper initialises
+        all pointers to the left child, which is the default here.
+    """
+
+    __slots__ = ("_tree", "_pointers")
+
+    def __init__(
+        self,
+        tree: CompleteBinaryTree,
+        pointers: Optional[Sequence[int]] = None,
+    ) -> None:
+        self._tree = tree
+        n_internal = self._n_internal_nodes()
+        if pointers is None:
+            self._pointers = [LEFT] * n_internal
+        else:
+            if len(pointers) != n_internal:
+                raise RotorStateError(
+                    f"expected {n_internal} pointer entries, got {len(pointers)}"
+                )
+            cleaned: List[int] = []
+            for index, direction in enumerate(pointers):
+                if direction not in (LEFT, RIGHT):
+                    raise RotorStateError(
+                        f"pointer at internal node {index} must be 0 or 1, "
+                        f"got {direction!r}"
+                    )
+                cleaned.append(int(direction))
+            self._pointers = cleaned
+
+    # --------------------------------------------------------------- plumbing
+
+    def _n_internal_nodes(self) -> int:
+        depth = self._tree.depth
+        if depth == 0:
+            return 0
+        return (1 << depth) - 1
+
+    @property
+    def tree(self) -> CompleteBinaryTree:
+        """The tree this rotor state is attached to."""
+        return self._tree
+
+    def copy(self) -> "RotorState":
+        """Return an independent copy of this rotor state."""
+        return RotorState(self._tree, list(self._pointers))
+
+    def pointers(self) -> List[int]:
+        """Return a copy of the raw pointer array (one entry per internal node)."""
+        return list(self._pointers)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RotorState):
+            return NotImplemented
+        return self._tree == other._tree and self._pointers == other._pointers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"RotorState(depth={self._tree.depth}, pointers={self._pointers!r})"
+
+    # --------------------------------------------------------------- pointers
+
+    def _check_internal(self, node: NodeId) -> NodeId:
+        self._tree.check_node(node)
+        if self._tree.is_leaf(node):
+            raise RotorStateError(f"node {node} is a leaf and has no rotor pointer")
+        return node
+
+    def pointer(self, node: NodeId) -> int:
+        """Return the pointer direction of an internal node (0 = left, 1 = right)."""
+        return self._pointers[self._check_internal(node)]
+
+    def pointed_child(self, node: NodeId) -> NodeId:
+        """Return the child node that ``node``'s rotor pointer currently selects."""
+        return self._tree.child(node, self.pointer(node))
+
+    def toggle(self, node: NodeId) -> int:
+        """Toggle the pointer of ``node`` and return its new direction."""
+        index = self._check_internal(node)
+        self._pointers[index] ^= 1
+        return self._pointers[index]
+
+    def set_pointer(self, node: NodeId, direction: int) -> None:
+        """Explicitly set the pointer of ``node`` to ``direction`` (0 or 1)."""
+        if direction not in (LEFT, RIGHT):
+            raise RotorStateError(f"direction must be 0 or 1, got {direction!r}")
+        self._pointers[self._check_internal(node)] = direction
+
+    def reset(self, direction: int = LEFT) -> None:
+        """Reset every pointer to ``direction`` (all-left matches the paper's start)."""
+        if direction not in (LEFT, RIGHT):
+            raise RotorStateError(f"direction must be 0 or 1, got {direction!r}")
+        for index in range(len(self._pointers)):
+            self._pointers[index] = direction
+
+    # ------------------------------------------------------------ global path
+
+    def global_path(self, down_to_level: Optional[Level] = None) -> NodePath:
+        """Return the global path ``P^T`` as a list of nodes starting at the root.
+
+        The path follows the rotor pointers from the root; with
+        ``down_to_level`` it is truncated at that level (inclusive), otherwise
+        it runs to a leaf.
+        """
+        tree = self._tree
+        limit = tree.depth if down_to_level is None else down_to_level
+        if not 0 <= limit <= tree.depth:
+            raise RotorStateError(
+                f"level {down_to_level} outside tree of depth {tree.depth}"
+            )
+        path: NodePath = [tree.root]
+        node = tree.root
+        for _ in range(limit):
+            node = tree.child(node, self._pointers[node])
+            path.append(node)
+        return path
+
+    def global_path_node(self, level: Level) -> NodeId:
+        """Return ``P^T_level``, the unique global-path node at ``level``."""
+        return self.global_path(down_to_level=level)[level]
+
+    def on_global_path(self, node: NodeId) -> bool:
+        """Return ``True`` if ``node`` is contained in the current global path."""
+        level = self._tree.level(node)
+        return self.global_path_node(level) == node
+
+    # ------------------------------------------------------------------ flips
+
+    def flip(self, level: Level) -> NodePath:
+        """Execute ``flip(level)``: toggle pointers of global-path nodes above ``level``.
+
+        Per Definition 2 the pointers of nodes ``P^T_{d'}`` for ``d' < level``
+        are toggled.  The global path *before* the flip (down to ``level``) is
+        returned, which is convenient for algorithms that need to know which
+        nodes were affected.
+        """
+        if not 0 <= level <= self._tree.depth:
+            raise RotorStateError(
+                f"cannot flip at level {level} in a tree of depth {self._tree.depth}"
+            )
+        path = self.global_path(down_to_level=level)
+        for node in path[:level]:
+            self._pointers[node] ^= 1
+        return path
+
+    # ------------------------------------------------------------- flip-ranks
+
+    def flip_rank(self, node: NodeId) -> int:
+        """Return the flip-rank of ``node`` (Definition 3).
+
+        The flip-rank of a ``d``-level node is the smallest number of
+        consecutive ``flip(d)`` operations after which the node is contained in
+        the global path.  By Lemma 2 it decomposes along the root path: writing
+        the root-to-node path as ``u_0 = root, u_1, ..., u_d = node`` and
+        letting ``b_i = 0`` when the pointer of ``u_{i-1}`` currently points at
+        ``u_i`` (and ``b_i = 1`` otherwise), the flip-rank equals
+        ``sum_i b_i * 2**(i-1)`` - i.e. the binary number whose least
+        significant bit is the root's choice.
+        """
+        tree = self._tree
+        path = tree.path_from_root(tree.check_node(node))
+        rank = 0
+        for index in range(1, len(path)):
+            parent, child = path[index - 1], path[index]
+            points_at_child = tree.child(parent, self._pointers[parent]) == child
+            if not points_at_child:
+                rank += 1 << (index - 1)
+        return rank
+
+    def flip_rank_within(self, subtree_root: NodeId, node: NodeId) -> int:
+        """Return the flip-rank of ``node`` relative to the subtree ``T[subtree_root]``.
+
+        Used to verify the recursive decomposition of Lemma 2:
+        ``frnk_T(node) = frnk_T(subtree_root) + frnk_{T[subtree_root]}(node) * 2**level(subtree_root)``.
+        """
+        tree = self._tree
+        if not tree.is_ancestor(subtree_root, node):
+            raise RotorStateError(
+                f"node {subtree_root} is not an ancestor of node {node}"
+            )
+        path = tree.path_between(subtree_root, node)
+        rank = 0
+        for index in range(1, len(path)):
+            parent, child = path[index - 1], path[index]
+            points_at_child = tree.child(parent, self._pointers[parent]) == child
+            if not points_at_child:
+                rank += 1 << (index - 1)
+        return rank
+
+    def flip_ranks_at_level(self, level: Level) -> List[int]:
+        """Return the flip-ranks of every node at ``level``, left to right.
+
+        For a valid rotor state these are a permutation of ``{0, ..., 2**level - 1}``.
+        """
+        return [self.flip_rank(node) for node in self._tree.nodes_at_level(level)]
+
+    def node_with_flip_rank(self, level: Level, rank: int) -> NodeId:
+        """Return the unique node at ``level`` whose flip-rank equals ``rank``.
+
+        This walks down from the root reading ``rank`` bit by bit (least
+        significant bit first), choosing the pointed child for a 0-bit and the
+        other child for a 1-bit; it is the inverse of :meth:`flip_rank`.
+        """
+        if not 0 <= rank < (1 << level):
+            raise RotorStateError(
+                f"rank {rank} outside range of level {level} "
+                f"(expected 0 <= rank < {1 << level})"
+            )
+        tree = self._tree
+        node = tree.root
+        for bit_index in range(level):
+            bit = (rank >> bit_index) & 1
+            direction = self._pointers[node] ^ bit
+            node = tree.child(node, direction)
+        return node
+
+    def validate(self) -> None:
+        """Check rotor-state invariants, raising :class:`RotorStateError` on failure.
+
+        The main invariant (used by the analysis in Section 4.1) is that the
+        flip-ranks of the ``2**d`` nodes of every level ``d`` form a
+        permutation of ``{0, ..., 2**d - 1}``.
+        """
+        for level in range(self._tree.depth + 1):
+            ranks = self.flip_ranks_at_level(level)
+            if sorted(ranks) != list(range(1 << level)):
+                raise RotorStateError(
+                    f"flip-ranks at level {level} are not a permutation of "
+                    f"0..{(1 << level) - 1}: {ranks}"
+                )
+
+    # ------------------------------------------------------------- simulation
+
+    def simulate_flip_sequence(self, level: Level, count: int) -> List[NodeId]:
+        """Return the level-``level`` global-path nodes visited by ``count`` flips.
+
+        The first entry is the current ``P^T_level`` (before any flip); each
+        subsequent entry is the node after one more ``flip(level)``.  The rotor
+        state is restored before returning, so this is a pure query.
+        """
+        if count < 0:
+            raise RotorStateError(f"count must be non-negative, got {count}")
+        saved = list(self._pointers)
+        visited: List[NodeId] = [self.global_path_node(level)]
+        for _ in range(count):
+            self.flip(level)
+            visited.append(self.global_path_node(level))
+        self._pointers = saved
+        return visited
+
+    def apply_pointer_assignment(self, assignment: Iterable[int]) -> None:
+        """Replace all pointers at once (used by snapshot/restore logic)."""
+        values = list(assignment)
+        if len(values) != len(self._pointers):
+            raise RotorStateError(
+                f"expected {len(self._pointers)} pointer values, got {len(values)}"
+            )
+        for index, direction in enumerate(values):
+            if direction not in (LEFT, RIGHT):
+                raise RotorStateError(
+                    f"pointer {index} must be 0 or 1, got {direction!r}"
+                )
+            self._pointers[index] = direction

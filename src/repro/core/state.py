@@ -1,0 +1,340 @@
+"""Mutable configuration of a single-source self-adjusting tree network.
+
+A :class:`TreeNetwork` ties together the three ingredients every algorithm in
+the paper manipulates:
+
+* the fixed complete binary tree topology (:class:`repro.core.tree.CompleteBinaryTree`),
+* the bijective mapping ``nd : E -> T`` between elements and nodes together
+  with its inverse ``el``, and
+* a :class:`repro.core.cost.CostLedger` recording access and adjustment costs.
+
+The only mutation primitive that touches the mapping is the adjacent
+:meth:`TreeNetwork.swap` (and the cycle-application helper used by algorithms
+whose cost is charged analytically); the marking discipline of Section 2 of
+the paper - "subsequent swaps are allowed only if one of the swapped nodes is
+marked; after the swap both involved nodes are marked" - is enforced when
+``enforce_marking`` is enabled.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.cost import CostLedger
+from repro.core.rotor import RotorState
+from repro.core.tree import CompleteBinaryTree
+from repro.exceptions import MappingError, SwapError
+from repro.types import ElementId, Level, NodeId
+
+__all__ = ["TreeNetwork", "identity_placement", "random_placement"]
+
+
+def identity_placement(n_nodes: int) -> List[ElementId]:
+    """Return the placement mapping node ``i`` to element ``i`` (BFS order)."""
+    return list(range(n_nodes))
+
+
+def random_placement(n_nodes: int, rng: Optional[random.Random] = None) -> List[ElementId]:
+    """Return a uniformly random placement of elements onto nodes.
+
+    The paper's experiments always construct the initial tree "by placing the
+    nodes uniformly at random"; this helper produces such a placement.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes (and elements).
+    rng:
+        Optional :class:`random.Random` instance for reproducibility.
+    """
+    placement = list(range(n_nodes))
+    (rng or random).shuffle(placement)
+    return placement
+
+
+class TreeNetwork:
+    """Tree topology plus element placement, rotor pointers and cost ledger.
+
+    Parameters
+    ----------
+    tree:
+        The complete binary tree topology.
+    placement:
+        Optional initial placement: ``placement[node]`` is the element stored
+        at ``node``.  Defaults to the identity placement.
+    with_rotor:
+        When ``True`` a :class:`RotorState` (all pointers to the left child,
+        matching the paper's initial state) is attached.
+    ledger:
+        Optional cost ledger to use; a fresh one is created by default.
+    enforce_marking:
+        When ``True``, :meth:`swap` enforces the marking discipline: a swap is
+        legal only if at least one endpoint is marked, and the access path of
+        the current request is marked automatically by :meth:`access`.
+    """
+
+    __slots__ = (
+        "tree",
+        "rotor",
+        "ledger",
+        "enforce_marking",
+        "_elem_at",
+        "_node_of",
+        "_marked",
+    )
+
+    def __init__(
+        self,
+        tree: CompleteBinaryTree,
+        placement: Optional[Sequence[ElementId]] = None,
+        with_rotor: bool = False,
+        ledger: Optional[CostLedger] = None,
+        enforce_marking: bool = False,
+    ) -> None:
+        self.tree = tree
+        if placement is None:
+            placement = identity_placement(tree.n_nodes)
+        self._set_placement(placement)
+        self.rotor: Optional[RotorState] = RotorState(tree) if with_rotor else None
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.enforce_marking = enforce_marking
+        self._marked: set = set()
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def with_random_placement(
+        cls,
+        tree: CompleteBinaryTree,
+        seed: Optional[int] = None,
+        with_rotor: bool = False,
+        enforce_marking: bool = False,
+        keep_records: bool = True,
+    ) -> "TreeNetwork":
+        """Build a network whose initial placement is uniformly random.
+
+        This mirrors the experimental setup of the paper, where "the initial
+        trees were always constructed by placing the nodes uniformly at
+        random".
+        """
+        rng = random.Random(seed)
+        return cls(
+            tree,
+            placement=random_placement(tree.n_nodes, rng),
+            with_rotor=with_rotor,
+            ledger=CostLedger(keep_records=keep_records),
+            enforce_marking=enforce_marking,
+        )
+
+    def _set_placement(self, placement: Sequence[ElementId]) -> None:
+        n_nodes = self.tree.n_nodes
+        if len(placement) != n_nodes:
+            raise MappingError(
+                f"placement has {len(placement)} entries, expected {n_nodes}"
+            )
+        if sorted(placement) != list(range(n_nodes)):
+            raise MappingError(
+                "placement is not a bijection onto elements 0..n-1"
+            )
+        self._elem_at: List[ElementId] = list(placement)
+        self._node_of: List[NodeId] = [0] * n_nodes
+        for node, element in enumerate(self._elem_at):
+            self._node_of[element] = node
+
+    def copy(self) -> "TreeNetwork":
+        """Return a deep copy (fresh ledger totals are preserved by reference semantics).
+
+        The copy shares the immutable tree object but owns independent copies
+        of the placement, rotor pointers, marking set and a *fresh* ledger.
+        """
+        clone = TreeNetwork(
+            self.tree,
+            placement=list(self._elem_at),
+            with_rotor=False,
+            ledger=CostLedger(keep_records=self.ledger.keep_records),
+            enforce_marking=self.enforce_marking,
+        )
+        if self.rotor is not None:
+            clone.rotor = self.rotor.copy()
+        clone._marked = set(self._marked)
+        return clone
+
+    # -------------------------------------------------------------- the mapping
+
+    @property
+    def n_elements(self) -> int:
+        """Number of elements (equals the number of nodes)."""
+        return self.tree.n_nodes
+
+    def element_at(self, node: NodeId) -> ElementId:
+        """Return ``el(node)``: the element currently stored at ``node``."""
+        self.tree.check_node(node)
+        return self._elem_at[node]
+
+    def node_of(self, element: ElementId) -> NodeId:
+        """Return ``nd(element)``: the node currently storing ``element``."""
+        self._check_element(element)
+        return self._node_of[element]
+
+    def level_of(self, element: ElementId) -> Level:
+        """Return the current level of ``element`` in the tree."""
+        return self.tree.level(self.node_of(element))
+
+    def _check_element(self, element: ElementId) -> ElementId:
+        if not 0 <= element < self.tree.n_nodes:
+            raise MappingError(
+                f"element {element} outside universe of size {self.tree.n_nodes}"
+            )
+        return element
+
+    def placement(self) -> List[ElementId]:
+        """Return a copy of the node-to-element placement array."""
+        return list(self._elem_at)
+
+    def element_positions(self) -> Dict[ElementId, NodeId]:
+        """Return a dict mapping every element to its current node."""
+        return {element: node for node, element in enumerate(self._elem_at)}
+
+    def elements_at_level(self, level: Level) -> List[ElementId]:
+        """Return the elements currently stored at ``level``, left to right."""
+        return [self._elem_at[node] for node in self.tree.nodes_at_level(level)]
+
+    # ---------------------------------------------------------------- requests
+
+    def access(self, element: ElementId) -> Level:
+        """Access ``element``: open cost accounting and mark its root path.
+
+        Returns the element's level at access time.  The access cost
+        ``level + 1`` is recorded in the ledger; the root-to-element path is
+        marked so that subsequent swaps obeying the marking discipline are
+        legal.
+        """
+        node = self.node_of(element)
+        level = self.tree.level(node)
+        self.ledger.open_request(element, level)
+        self._marked = set(self.tree.path_to_root(node))
+        return level
+
+    def finish_request(self):
+        """Close cost accounting for the current request and clear markings."""
+        record = self.ledger.close_request()
+        self._marked.clear()
+        return record
+
+    def is_marked(self, node: NodeId) -> bool:
+        """Return ``True`` if ``node`` is marked in the current request."""
+        return node in self._marked
+
+    def mark(self, node: NodeId) -> None:
+        """Explicitly mark ``node`` (used by algorithms with bespoke swap plans)."""
+        self._marked.add(self.tree.check_node(node))
+
+    # ------------------------------------------------------------------- swaps
+
+    def swap(self, node_a: NodeId, node_b: NodeId, charge: bool = True) -> None:
+        """Swap the elements stored at two *adjacent* nodes.
+
+        Parameters
+        ----------
+        node_a, node_b:
+            The two nodes; one must be the parent of the other.
+        charge:
+            Whether to charge one unit of adjustment cost to the open request
+            (algorithms that account cost analytically can pass ``False``).
+        """
+        self.tree.check_node(node_a)
+        self.tree.check_node(node_b)
+        parent_of_b = node_b != 0 and (node_b - 1) >> 1 == node_a
+        parent_of_a = node_a != 0 and (node_a - 1) >> 1 == node_b
+        if not (parent_of_a or parent_of_b):
+            raise SwapError(f"nodes {node_a} and {node_b} are not adjacent")
+        if self.enforce_marking:
+            if node_a not in self._marked and node_b not in self._marked:
+                raise SwapError(
+                    f"swap of unmarked nodes {node_a}, {node_b} violates the "
+                    "marking discipline"
+                )
+            self._marked.add(node_a)
+            self._marked.add(node_b)
+        elem_a, elem_b = self._elem_at[node_a], self._elem_at[node_b]
+        self._elem_at[node_a], self._elem_at[node_b] = elem_b, elem_a
+        self._node_of[elem_a], self._node_of[elem_b] = node_b, node_a
+        if charge:
+            self.ledger.charge_swaps(1)
+
+    def swap_with_parent(self, node: NodeId, charge: bool = True) -> NodeId:
+        """Swap the element at ``node`` with the one at its parent; return the parent."""
+        parent = self.tree.parent(node)
+        self.swap(node, parent, charge=charge)
+        return parent
+
+    def apply_cycle(
+        self,
+        cycle_nodes: Sequence[NodeId],
+        charged_swaps: int,
+    ) -> None:
+        """Apply a cyclic shift of elements along ``cycle_nodes`` with analytic cost.
+
+        The element at ``cycle_nodes[i]`` moves to ``cycle_nodes[i + 1]`` (and
+        the last one wraps around to the first node).  The caller supplies the
+        number of unit swaps ``charged_swaps`` that an adjacent-swap
+        realisation of this permutation would use; that amount is charged to
+        the open request.  This is used by algorithms (Max-Push, and the
+        fast-path of the push-down operation) whose cost is accounted by a
+        closed-form formula rather than by materialising every swap.
+        """
+        if charged_swaps < 0:
+            raise SwapError(f"charged_swaps must be non-negative, got {charged_swaps}")
+        nodes = [self.tree.check_node(node) for node in cycle_nodes]
+        if len(set(nodes)) != len(nodes):
+            raise SwapError(f"cycle contains repeated nodes: {nodes}")
+        if len(nodes) >= 2:
+            moved = [self._elem_at[node] for node in nodes]
+            for index, node in enumerate(nodes):
+                element = moved[index - 1]
+                self._elem_at[node] = element
+                self._node_of[element] = node
+        if charged_swaps:
+            self.ledger.charge_swaps(charged_swaps)
+
+    def reset_placement(self, placement: Sequence[ElementId]) -> None:
+        """Replace the whole element placement (used by offline/static algorithms).
+
+        No cost is charged: static algorithms such as Static-Opt arrange their
+        tree before the request sequence starts.
+        """
+        self._set_placement(placement)
+
+    # -------------------------------------------------------------- validation
+
+    def validate(self) -> None:
+        """Verify the element/node bijection; raise :class:`MappingError` if broken."""
+        n_nodes = self.tree.n_nodes
+        seen = [False] * n_nodes
+        for node, element in enumerate(self._elem_at):
+            if not 0 <= element < n_nodes:
+                raise MappingError(f"node {node} stores invalid element {element}")
+            if seen[element]:
+                raise MappingError(f"element {element} stored at two nodes")
+            seen[element] = True
+            if self._node_of[element] != node:
+                raise MappingError(
+                    f"inverse mapping broken: element {element} at node {node} "
+                    f"but node_of says {self._node_of[element]}"
+                )
+
+    # ------------------------------------------------------------ presentation
+
+    def levels_view(self) -> List[List[ElementId]]:
+        """Return the placement as a list of levels (useful for debugging/tests)."""
+        return [
+            [self._elem_at[node] for node in level_range]
+            for level_range in self.tree.levels()
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TreeNetwork(n={self.tree.n_nodes}, depth={self.tree.depth}, "
+            f"rotor={'yes' if self.rotor else 'no'})"
+        )

@@ -1,0 +1,52 @@
+"""Experiment harnesses reproducing the paper's evaluation (Section 6).
+
+One module per research question / figure:
+
+* :mod:`repro.experiments.q1_network_size` - Figures 2a/2b;
+* :mod:`repro.experiments.q2_temporal` - Figure 3;
+* :mod:`repro.experiments.q3_spatial` - Figure 4;
+* :mod:`repro.experiments.q4_combined` - Figures 5a/5b;
+* :mod:`repro.experiments.q5_corpus` - Figures 6/7;
+* :mod:`repro.experiments.table1_properties` - Table 1 and the analytical
+  results (Lemma 8, Theorem 7) checked empirically;
+* :mod:`repro.experiments.report` - runs everything and writes EXPERIMENTS.md.
+"""
+
+from repro.experiments.config import SCALES, ExperimentScale, get_scale
+from repro.experiments.q1_network_size import run_q1, run_q1_spatial, run_q1_temporal
+from repro.experiments.q2_temporal import run_q2
+from repro.experiments.q3_spatial import run_q3
+from repro.experiments.q4_combined import run_q4_histogram, run_q4_wireframe
+from repro.experiments.q5_corpus import run_q5, run_q5_complexity_map, run_q5_costs
+from repro.experiments.report import generate_report, render_report, run_all_experiments
+from repro.experiments.table1_properties import (
+    run_mtf_lower_bound,
+    run_potential_check,
+    run_table1,
+    run_working_set_violation,
+    run_ws_bound_ratios,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "generate_report",
+    "get_scale",
+    "render_report",
+    "run_all_experiments",
+    "run_mtf_lower_bound",
+    "run_potential_check",
+    "run_q1",
+    "run_q1_spatial",
+    "run_q1_temporal",
+    "run_q2",
+    "run_q3",
+    "run_q4_histogram",
+    "run_q4_wireframe",
+    "run_q5",
+    "run_q5_complexity_map",
+    "run_q5_costs",
+    "run_table1",
+    "run_working_set_violation",
+    "run_ws_bound_ratios",
+]

@@ -1,0 +1,112 @@
+"""Q1 - how does the benefit of self-adjustment depend on the network size?
+
+Reproduces Figures 2a and 2b: for tree sizes 255 ... 65,535 (scaled down at the
+smaller experiment scales), run the four self-adjusting algorithms and the
+demand-oblivious static tree on high-locality sequences - temporal locality
+``p = 0.9`` for Figure 2a and Zipf ``a = 2.2`` for Figure 2b - and report the
+*difference* of each self-adjusting algorithm's average total cost minus
+Static-Oblivious's average total cost.  Negative values mean self-adjustment
+pays off; the paper's finding is that the benefit grows with the tree size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.algorithms.registry import SELF_ADJUSTING_ALGORITHMS, StaticOblivious
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.sim.results import ResultTable
+from repro.sim.runner import TrialRunner
+from repro.workloads.temporal import TemporalWorkload
+from repro.workloads.zipf import ZipfWorkload
+
+__all__ = [
+    "Q1_TEMPORAL_P",
+    "Q1_ZIPF_A",
+    "run_q1",
+    "run_q1_temporal",
+    "run_q1_spatial",
+]
+
+#: Temporal-locality parameter of Figure 2a.
+Q1_TEMPORAL_P = 0.9
+
+#: Zipf exponent of Figure 2b.
+Q1_ZIPF_A = 2.2
+
+_BASELINE = StaticOblivious.name
+
+
+def _run_size_sweep(
+    scale: ExperimentScale,
+    locality: str,
+    table_name: str,
+) -> ResultTable:
+    """Shared implementation for both Q1 panels."""
+    algorithms = list(SELF_ADJUSTING_ALGORITHMS) + [_BASELINE]
+    table = ResultTable(
+        name=table_name,
+        columns=[
+            "tree_size",
+            "locality",
+            "algorithm",
+            "mean_total_cost",
+            "baseline_total_cost",
+            "difference",
+        ],
+    )
+    for tree_size in scale.q1_sizes:
+        n_requests = min(scale.n_requests, max(1_000, tree_size * 20))
+        runner = TrialRunner(
+            n_nodes=tree_size,
+            n_requests=n_requests,
+            n_trials=scale.n_trials,
+            base_seed=scale.base_seed,
+        )
+
+        if locality == "temporal":
+            def factory(seed: int, _size: int = tree_size) -> TemporalWorkload:
+                return TemporalWorkload(_size, Q1_TEMPORAL_P, seed=seed)
+
+        else:
+            def factory(seed: int, _size: int = tree_size) -> ZipfWorkload:
+                return ZipfWorkload(_size, Q1_ZIPF_A, seed=seed)
+
+        aggregated = TrialRunner.aggregate(runner.run(algorithms, factory))
+        baseline_cost = aggregated[_BASELINE].mean_total_cost
+        for algorithm in SELF_ADJUSTING_ALGORITHMS:
+            cost = aggregated[algorithm].mean_total_cost
+            table.add_row(
+                tree_size=tree_size,
+                locality=locality,
+                algorithm=algorithm,
+                mean_total_cost=cost,
+                baseline_total_cost=baseline_cost,
+                difference=cost - baseline_cost,
+            )
+    return table
+
+
+def run_q1_temporal(scale: str = "tiny") -> ResultTable:
+    """Reproduce Figure 2a (size sweep under temporal locality ``p = 0.9``)."""
+    return _run_size_sweep(get_scale(scale), "temporal", "fig2a_network_size_temporal")
+
+
+def run_q1_spatial(scale: str = "tiny") -> ResultTable:
+    """Reproduce Figure 2b (size sweep under Zipf spatial locality ``a = 2.2``)."""
+    return _run_size_sweep(get_scale(scale), "spatial", "fig2b_network_size_spatial")
+
+
+def run_q1(scale: str = "tiny") -> Dict[str, ResultTable]:
+    """Run both Q1 panels and return them keyed by figure identifier."""
+    return {
+        "fig2a": run_q1_temporal(scale),
+        "fig2b": run_q1_spatial(scale),
+    }
+
+
+def benefit_by_size(table: ResultTable, algorithm: str) -> List[float]:
+    """Extract the cost differences of ``algorithm`` ordered by tree size (plot series)."""
+    rows = [row for row in table.rows if row["algorithm"] == algorithm]
+    rows.sort(key=lambda row: row["tree_size"])
+    return [float(row["difference"]) for row in rows]

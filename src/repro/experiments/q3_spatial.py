@@ -1,0 +1,76 @@
+"""Q3 - which algorithm performs best with increasing spatial locality?
+
+Reproduces Figure 4: fix the tree size, sweep the Zipf exponent
+``a in {1.001, 1.3, 1.6, 1.9, 2.2}`` and report, per algorithm, the average
+access and adjustment cost per request.  The paper's findings: all
+self-adjusting algorithms exploit spatial locality (Rotor-Push, Random-Push and
+Max-Push achieve similar access costs), the reconfiguration cost pays off
+versus Static-Oblivious from roughly ``a = 1.6``, and Static-Opt remains the
+cheapest option in these purely spatial scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.algorithms.registry import PAPER_ALGORITHMS
+from repro.analysis.entropy import empirical_entropy
+from repro.experiments.config import get_scale
+from repro.sim.results import ResultTable
+from repro.sim.sweep import ParameterSweep
+from repro.workloads.zipf import ZipfWorkload
+
+__all__ = ["run_q3", "series_for_plot", "sequence_entropies"]
+
+
+def run_q3(scale: str = "tiny") -> ResultTable:
+    """Run the Figure 4 sweep and return its data table."""
+    config = get_scale(scale)
+    sweep = ParameterSweep(
+        points=[{"a": exponent} for exponent in config.zipf_exponents],
+        workload_factory=lambda point, seed: ZipfWorkload(
+            config.n_nodes, float(point["a"]), seed=seed
+        ),
+        algorithms=list(PAPER_ALGORITHMS),
+        n_nodes=config.n_nodes,
+        n_requests=config.n_requests,
+        n_trials=config.n_trials,
+        base_seed=config.base_seed,
+    )
+    return sweep.run(table_name="fig4_spatial_locality")
+
+
+def series_for_plot(table: ResultTable, metric: str = "mean_total_cost") -> Dict[str, List[float]]:
+    """Return per-algorithm series over the Zipf exponent grid for plotting."""
+    series: Dict[str, List[float]] = {}
+    exponents = sorted({float(row["a"]) for row in table.rows})
+    for algorithm in sorted({str(row["algorithm"]) for row in table.rows}):
+        values: List[float] = []
+        for exponent in exponents:
+            match = [
+                row
+                for row in table.rows
+                if row["algorithm"] == algorithm and float(row["a"]) == exponent
+            ]
+            values.append(float(match[0][metric]) if match else 0.0)
+        series[algorithm] = values
+    return series
+
+
+def sequence_entropies(scale: str = "tiny", n_samples: int = 1) -> Dict[float, float]:
+    """Return the measured empirical entropy for every Zipf exponent of the grid.
+
+    The paper reports entropies (11.07, 6.47, 3.88, 2.63, 1.92) at 65,535 nodes;
+    the same monotone decrease with ``a`` holds at every scale.
+    """
+    config = get_scale(scale)
+    entropies: Dict[float, float] = {}
+    for exponent in config.zipf_exponents:
+        values = []
+        for sample in range(max(1, n_samples)):
+            workload = ZipfWorkload(
+                config.n_nodes, exponent, seed=config.base_seed + sample
+            )
+            values.append(empirical_entropy(workload.generate(config.n_requests)))
+        entropies[exponent] = sum(values) / len(values)
+    return entropies

@@ -1,0 +1,129 @@
+"""Q5 - do experiments with (corpus-like) real data reflect the synthetic insights?
+
+Reproduces Figures 6 and 7 on the five-book corpus:
+
+* **Figure 6** - the complexity map: each book-derived request sequence is
+  placed at its (temporal complexity, non-temporal complexity) coordinates
+  computed from compressed trace sizes.  The paper's books land at temporal
+  complexity 0.3-0.5 and non-temporal complexity 0.8-1.0 (moderate to high
+  locality).
+* **Figure 7** - per-book performance of all six algorithms (average access and
+  adjustment cost per request).
+
+Because the Canterbury corpus is not available offline, the default corpus is
+the deterministic synthetic five-book corpus
+(:mod:`repro.workloads.synthetic_text`); pass explicit
+:class:`repro.workloads.corpus.CorpusWorkload` objects (e.g. built from real
+files) to reproduce the original datasets exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.algorithms.registry import PAPER_ALGORITHMS
+from repro.analysis.complexity_map import trace_complexity
+from repro.analysis.entropy import locality_summary
+from repro.experiments.config import get_scale
+from repro.sim.engine import simulate
+from repro.sim.results import ResultTable
+from repro.workloads.corpus import CorpusWorkload, synthetic_corpus_workloads
+
+__all__ = ["corpus_for_scale", "run_q5_complexity_map", "run_q5_costs", "run_q5"]
+
+
+def corpus_for_scale(
+    scale: str = "tiny",
+    workloads: Optional[Sequence[CorpusWorkload]] = None,
+) -> List[CorpusWorkload]:
+    """Return the corpus workloads used at the given scale (synthetic by default)."""
+    if workloads is not None:
+        return list(workloads)
+    config = get_scale(scale)
+    return synthetic_corpus_workloads(n_books=5, scale=config.corpus_scale)
+
+
+def run_q5_complexity_map(
+    scale: str = "tiny",
+    workloads: Optional[Sequence[CorpusWorkload]] = None,
+) -> ResultTable:
+    """Compute the Figure 6 complexity-map coordinates for every corpus dataset."""
+    table = ResultTable(
+        name="fig6_complexity_map",
+        columns=[
+            "dataset",
+            "n_requests",
+            "n_distinct",
+            "temporal_complexity",
+            "non_temporal_complexity",
+            "entropy_bits",
+        ],
+    )
+    for workload in corpus_for_scale(scale, workloads):
+        sequence = workload.full_sequence()
+        point = trace_complexity(sequence, universe_size=workload.n_distinct)
+        stats = locality_summary(sequence)
+        table.add_row(
+            dataset=workload.title,
+            n_requests=len(sequence),
+            n_distinct=workload.n_distinct,
+            temporal_complexity=point.temporal_complexity,
+            non_temporal_complexity=point.non_temporal_complexity,
+            entropy_bits=stats["entropy_bits"],
+        )
+    return table
+
+
+def run_q5_costs(
+    scale: str = "tiny",
+    workloads: Optional[Sequence[CorpusWorkload]] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    max_requests: Optional[int] = None,
+) -> ResultTable:
+    """Run all algorithms on every corpus dataset (Figure 7 data)."""
+    config = get_scale(scale)
+    algorithm_names = list(algorithms or PAPER_ALGORITHMS)
+    table = ResultTable(
+        name="fig7_corpus_costs",
+        columns=[
+            "dataset",
+            "algorithm",
+            "n_requests",
+            "tree_size",
+            "mean_access_cost",
+            "mean_adjustment_cost",
+            "mean_total_cost",
+        ],
+    )
+    limit = max_requests if max_requests is not None else config.n_requests
+    for workload in corpus_for_scale(scale, workloads):
+        sequence = workload.full_sequence()[:limit]
+        for algorithm in algorithm_names:
+            result = simulate(
+                algorithm,
+                sequence,
+                n_nodes=workload.n_elements,
+                placement_seed=config.base_seed,
+                seed=config.base_seed + 1,
+                keep_records=False,
+                metadata={"dataset": workload.title},
+            )
+            table.add_row(
+                dataset=workload.title,
+                algorithm=algorithm,
+                n_requests=result.n_requests,
+                tree_size=workload.n_elements,
+                mean_access_cost=result.average_access_cost,
+                mean_adjustment_cost=result.average_adjustment_cost,
+                mean_total_cost=result.average_total_cost,
+            )
+    return table
+
+
+def run_q5(scale: str = "tiny") -> Dict[str, ResultTable]:
+    """Run both Q5 analyses on the same corpus and return them keyed by figure."""
+    workloads = corpus_for_scale(scale)
+    return {
+        "fig6": run_q5_complexity_map(scale, workloads),
+        "fig7": run_q5_costs(scale, workloads),
+    }

@@ -1,0 +1,253 @@
+"""Table 1 - algorithm properties, plus the analytical results checked empirically.
+
+The paper's Table 1 lists, for each algorithm, whether it is deterministic,
+whether its access costs satisfy the working-set property, whether its total
+cost satisfies the working-set bound, and the best known competitive ratio.
+This module reproduces the table by combining
+
+* static facts encoded on the algorithm classes (deterministic or not,
+  the proven competitive ratios of Theorems 7 and 11), and
+* empirical checks: the Lemma 8 adversarial construction demonstrating that
+  Rotor-Push violates the working-set property (access cost linear in the
+  working-set size) while Random-Push does not on the same kind of input; the
+  Section 1.1 round-robin construction against Move-To-Front; measured
+  cost-to-working-set-bound ratios on mixed workloads; and the per-round
+  amortised inequality of the Rotor-Push potential argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.algorithms.registry import (
+    PAPER_ALGORITHMS,
+    RandomPush,
+    RotorPush,
+    get_algorithm_class,
+)
+from repro.analysis.bounds import compute_lower_bounds
+from repro.analysis.potential import (
+    RANDOM_PUSH_COMPETITIVE_RATIO,
+    ROTOR_PUSH_COMPETITIVE_RATIO,
+    PotentialTracker,
+)
+from repro.analysis.working_set import max_working_set_violation, working_set_property_ratios
+from repro.sim.engine import simulate
+from repro.sim.results import ResultTable
+from repro.workloads.adversarial import (
+    MoveToFrontLowerBoundAdversary,
+    RotorPushWorkingSetAdversary,
+)
+from repro.workloads.composite import CombinedLocalityWorkload
+from repro.workloads.uniform import UniformWorkload
+
+__all__ = [
+    "KNOWN_COMPETITIVE_RATIOS",
+    "WorkingSetViolationResult",
+    "run_working_set_violation",
+    "run_mtf_lower_bound",
+    "run_ws_bound_ratios",
+    "run_potential_check",
+    "run_table1",
+]
+
+#: Best competitive ratios established by the paper (Table 1, blue entries) and
+#: by the earlier LATIN 2020 paper (Move-Half).  ``None`` marks open problems.
+KNOWN_COMPETITIVE_RATIOS: Dict[str, Optional[int]] = {
+    RotorPush.name: ROTOR_PUSH_COMPETITIVE_RATIO,
+    RandomPush.name: RANDOM_PUSH_COMPETITIVE_RATIO,
+    "move-half": 64,
+    "max-push": None,
+    "static-oblivious": None,
+    "static-opt": None,
+}
+
+
+@dataclass(frozen=True)
+class WorkingSetViolationResult:
+    """Outcome of the Lemma 8 experiment for one tree depth.
+
+    Attributes
+    ----------
+    depth:
+        Tree depth used.
+    working_set_limit:
+        The bound ``2x - 1`` on the working-set size of the construction
+        (``x = depth + 1`` levels).
+    max_access_cost:
+        Largest access cost observed for Rotor-Push on the adversarial
+        sequence (the lemma predicts it reaches ``depth + 1``).
+    max_cost_to_log_rank_ratio:
+        Largest ratio of access cost to ``log2(rank) + 1``; a working-set
+        property would keep this bounded by a constant, the construction makes
+        it grow linearly with the depth.
+    """
+
+    depth: int
+    working_set_limit: int
+    max_access_cost: int
+    max_cost_to_log_rank_ratio: float
+
+
+def run_working_set_violation(
+    depths: List[int],
+    requests_per_depth: int = 2_000,
+) -> List[WorkingSetViolationResult]:
+    """Run the Lemma 8 construction for several depths (Rotor-Push lacks the WS property)."""
+    results: List[WorkingSetViolationResult] = []
+    for depth in depths:
+        adversary = RotorPushWorkingSetAdversary(depth)
+        sequence, costs = adversary.generate_with_costs(requests_per_depth)
+        results.append(
+            WorkingSetViolationResult(
+                depth=depth,
+                working_set_limit=2 * (depth + 1) - 1,
+                max_access_cost=max(record.access_cost for record in costs),
+                max_cost_to_log_rank_ratio=max_working_set_violation(sequence, costs),
+            )
+        )
+    return results
+
+
+def run_mtf_lower_bound(depths: List[int], cycles: int = 50) -> ResultTable:
+    """Run the Section 1.1 construction: MTF pays ~depth per request on a round-robin path."""
+    table = ResultTable(
+        name="mtf_lower_bound",
+        columns=["depth", "n_requests", "mean_access_cost", "path_length"],
+    )
+    for depth in depths:
+        adversary = MoveToFrontLowerBoundAdversary(depth)
+        n_requests = cycles * (depth + 1)
+        _, costs = adversary.generate_with_costs(n_requests)
+        mean_access = sum(record.access_cost for record in costs) / len(costs)
+        table.add_row(
+            depth=depth,
+            n_requests=n_requests,
+            mean_access_cost=mean_access,
+            path_length=depth + 1,
+        )
+    return table
+
+
+def run_ws_bound_ratios(
+    n_nodes: int = 255,
+    n_requests: int = 5_000,
+    seed: int = 7,
+) -> ResultTable:
+    """Measure total cost divided by the working-set lower bound for every algorithm.
+
+    Algorithms satisfying the working-set *bound* keep this ratio bounded by a
+    constant; the measured values also serve as empirical (over-)estimates of
+    the competitive ratio on the tested sequence.
+    """
+    workload = CombinedLocalityWorkload(n_nodes, zipf_exponent=1.4, repeat_probability=0.5, seed=seed)
+    sequence = workload.generate(n_requests)
+    bounds = compute_lower_bounds(n_nodes, sequence)
+    table = ResultTable(
+        name="working_set_bound_ratios",
+        columns=[
+            "algorithm",
+            "total_cost",
+            "working_set_bound",
+            "cost_to_ws_bound",
+            "cost_to_best_bound",
+        ],
+    )
+    for algorithm in PAPER_ALGORITHMS:
+        result = simulate(
+            algorithm,
+            sequence,
+            n_nodes=n_nodes,
+            placement_seed=seed,
+            seed=seed + 1,
+            keep_records=False,
+        )
+        ws_bound = max(bounds.working_set, 1.0)
+        table.add_row(
+            algorithm=algorithm,
+            total_cost=result.total_cost,
+            working_set_bound=bounds.working_set,
+            cost_to_ws_bound=result.total_cost / ws_bound,
+            cost_to_best_bound=result.total_cost / bounds.best,
+        )
+    return table
+
+
+def run_potential_check(
+    depth: int = 6,
+    n_requests: int = 2_000,
+    seed: int = 3,
+) -> Dict[str, float]:
+    """Empirically verify Theorem 7's per-round amortised inequality on random input."""
+    tracker = PotentialTracker(depth)
+    workload = UniformWorkload(tracker.algorithm.network.tree.n_nodes, seed=seed)
+    tracker.run(workload.generate(n_requests))
+    return tracker.summary()
+
+
+def run_table1(
+    adversary_depths: Optional[List[int]] = None,
+    n_nodes: int = 255,
+    n_requests: int = 5_000,
+) -> ResultTable:
+    """Assemble the reproduction of Table 1.
+
+    Columns mirror the paper: whether the access costs showed the working-set
+    property empirically (bounded cost-to-log-rank ratio on the adversarial
+    input for Rotor-Push, on uniform input otherwise), whether the total cost
+    stayed within a constant factor of the working-set bound, determinism, and
+    the best known competitive ratio.
+    """
+    adversary_depths = adversary_depths or [4, 6, 8]
+    violation = run_working_set_violation(adversary_depths, requests_per_depth=1_500)
+    rotor_ratio_growth = violation[-1].max_cost_to_log_rank_ratio
+    ws_ratios = {row["algorithm"]: row["cost_to_ws_bound"] for row in run_ws_bound_ratios(n_nodes, n_requests).rows}
+
+    # Random-Push on the same kind of adversarial node set does keep access
+    # costs logarithmic; we check it on a uniform sequence which exercises all
+    # ranks (the paper proves the property, we confirm no blow-up empirically).
+    uniform = UniformWorkload(n_nodes, seed=11)
+    sequence = uniform.generate(n_requests)
+    random_result = simulate(
+        RandomPush.name, sequence, n_nodes=n_nodes, placement_seed=11, seed=13, keep_records=True
+    )
+    # Rank first accesses at the universe size so the cold-start phase (deep
+    # elements that were simply never requested before) does not inflate the
+    # ratio; the interesting quantity is the steady-state behaviour.
+    random_ratio = max(
+        working_set_property_ratios(
+            sequence,
+            random_result.per_request,
+            first_access="universe",
+            universe_size=n_nodes,
+        )
+    )
+
+    table = ResultTable(
+        name="table1_properties",
+        columns=[
+            "algorithm",
+            "deterministic",
+            "ws_property_ratio",
+            "cost_to_ws_bound",
+            "known_competitive_ratio",
+        ],
+    )
+    for algorithm in PAPER_ALGORITHMS:
+        cls = get_algorithm_class(algorithm)
+        if algorithm == RotorPush.name:
+            ws_ratio = rotor_ratio_growth
+        elif algorithm == RandomPush.name:
+            ws_ratio = random_ratio
+        else:
+            ws_ratio = float("nan")
+        ratio = KNOWN_COMPETITIVE_RATIOS.get(algorithm)
+        table.add_row(
+            algorithm=algorithm,
+            deterministic=cls.is_deterministic,
+            ws_property_ratio=ws_ratio,
+            cost_to_ws_bound=ws_ratios.get(algorithm, float("nan")),
+            known_competitive_ratio=ratio if ratio is not None else "open",
+        )
+    return table

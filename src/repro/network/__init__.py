@@ -1,0 +1,29 @@
+"""Reconfigurable-datacenter substrate: traffic, single- and multi-source networks."""
+
+from repro.network.multi_source import MultiSourceNetwork
+from repro.network.single_source import SingleSourceTreeNetwork
+from repro.network.topology import (
+    degree_statistics,
+    multi_source_topology,
+    single_source_topology,
+    theoretical_degree_bound,
+)
+from repro.network.traffic import (
+    TrafficRequest,
+    TrafficTrace,
+    trace_from_workloads,
+    uniform_trace,
+)
+
+__all__ = [
+    "MultiSourceNetwork",
+    "SingleSourceTreeNetwork",
+    "TrafficRequest",
+    "TrafficTrace",
+    "degree_statistics",
+    "multi_source_topology",
+    "single_source_topology",
+    "theoretical_degree_bound",
+    "trace_from_workloads",
+    "uniform_trace",
+]

@@ -1,0 +1,98 @@
+"""Topology views of the reconfigurable network.
+
+The physical topology induced by a multi-source self-adjusting network is the
+union of the per-source tree edges (between the *network nodes currently
+hosted* at adjacent tree positions) plus one attachment link from each source
+to the network node at the root of its tree.  This module materialises that
+view as a :mod:`networkx` graph and computes the degree statistics that make
+the "bounded degree" claim of the composition concrete: each source tree
+contributes at most 3 edges to any hosted node (binary tree degree) plus the
+attachment link at its root, so the total degree is at most ``4 * n_sources``
+and in practice far lower.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import networkx as nx
+
+from repro.network.multi_source import MultiSourceNetwork
+from repro.network.single_source import SingleSourceTreeNetwork
+
+__all__ = [
+    "single_source_topology",
+    "multi_source_topology",
+    "degree_statistics",
+    "theoretical_degree_bound",
+]
+
+
+def single_source_topology(tree_network: SingleSourceTreeNetwork) -> nx.Graph:
+    """Return the current physical topology of one source tree as a graph.
+
+    Graph nodes are network node identifiers (the source plus its
+    destinations); edges connect network nodes hosted at adjacent tree
+    positions, and one edge attaches the source to the network node currently
+    at the tree root.  Filler (padding) elements are skipped.
+    """
+    graph = nx.Graph()
+    graph.add_node(tree_network.source)
+    algorithm = tree_network.tree_algorithm
+    tree = algorithm.network.tree
+    hosted: Dict[int, int] = {}
+    for destination in tree_network.destinations():
+        element = tree_network.element_of(destination)
+        hosted[algorithm.network.node_of(element)] = destination
+        graph.add_node(destination)
+
+    for node, destination in hosted.items():
+        if node == tree.root:
+            graph.add_edge(tree_network.source, destination, kind="attachment")
+        else:
+            parent = tree.parent(node)
+            parent_destination = hosted.get(parent)
+            if parent_destination is not None:
+                graph.add_edge(parent_destination, destination, kind="tree")
+    # If the root hosts a filler element, attach the source to nothing yet; the
+    # source node still appears in the graph so degree statistics are complete.
+    return graph
+
+
+def multi_source_topology(network: MultiSourceNetwork) -> nx.Graph:
+    """Return the union topology of all source trees of a multi-source network."""
+    union = nx.Graph()
+    union.add_nodes_from(range(network.n_nodes))
+    for source in network.sources:
+        tree_graph = single_source_topology(network.tree_of(source))
+        for first, second, data in tree_graph.edges(data=True):
+            if union.has_edge(first, second):
+                union[first][second]["multiplicity"] = (
+                    union[first][second].get("multiplicity", 1) + 1
+                )
+            else:
+                union.add_edge(first, second, multiplicity=1, kind=data.get("kind", "tree"))
+    return union
+
+
+def degree_statistics(graph: nx.Graph) -> Dict[str, float]:
+    """Return max / mean degree and edge count of a topology graph."""
+    degrees = [degree for _, degree in graph.degree()]
+    if not degrees:
+        return {"max_degree": 0.0, "mean_degree": 0.0, "n_edges": 0.0, "n_nodes": 0.0}
+    return {
+        "max_degree": float(max(degrees)),
+        "mean_degree": sum(degrees) / len(degrees),
+        "n_edges": float(graph.number_of_edges()),
+        "n_nodes": float(graph.number_of_nodes()),
+    }
+
+
+def theoretical_degree_bound(n_sources: int) -> int:
+    """Return the worst-case degree of any node in the union topology.
+
+    Within one source tree a hosted network node touches at most 3 tree edges
+    (its parent and two children) and possibly the source attachment link at
+    the root, so ``n_sources`` trees contribute at most ``4 * n_sources``.
+    """
+    return 4 * n_sources

@@ -1,0 +1,40 @@
+"""Simulation engine, multi-trial runners, parameter sweeps and result tables."""
+
+from repro.sim.engine import simulate, simulate_algorithm_on_sequence, simulate_workload
+from repro.sim.metrics import (
+    Histogram,
+    access_cost_series,
+    adjustment_cost_series,
+    histogram_of_differences,
+    moving_average,
+    per_request_cost_difference,
+    total_cost_series,
+)
+from repro.sim.results import ResultTable, summarise_values
+from repro.sim.runner import (
+    AggregatedOutcome,
+    TrialOutcome,
+    TrialRunner,
+    compare_algorithms,
+)
+from repro.sim.sweep import ParameterSweep
+
+__all__ = [
+    "AggregatedOutcome",
+    "Histogram",
+    "ParameterSweep",
+    "ResultTable",
+    "TrialOutcome",
+    "TrialRunner",
+    "access_cost_series",
+    "adjustment_cost_series",
+    "compare_algorithms",
+    "histogram_of_differences",
+    "moving_average",
+    "per_request_cost_difference",
+    "simulate",
+    "simulate_algorithm_on_sequence",
+    "simulate_workload",
+    "summarise_values",
+    "total_cost_series",
+]

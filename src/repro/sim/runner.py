@@ -1,0 +1,198 @@
+"""Multi-trial experiment runner.
+
+The paper repeats every synthetic experiment ten times and plots averages; this
+module provides :class:`TrialRunner`, which runs one (algorithm, workload)
+configuration over several seeded trials and aggregates the average costs, and
+:func:`compare_algorithms`, which does so for a set of algorithms on the *same*
+per-trial sequences (so differences between algorithms are not confounded by
+workload noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.algorithms.base import RunResult
+from repro.exceptions import ExperimentError
+from repro.sim.engine import simulate
+from repro.sim.results import summarise_values
+from repro.types import ElementId
+from repro.workloads.base import WorkloadGenerator
+
+__all__ = ["TrialOutcome", "AggregatedOutcome", "TrialRunner", "compare_algorithms"]
+
+#: Signature of a factory producing a fresh workload for trial ``i``.
+WorkloadFactory = Callable[[int], WorkloadGenerator]
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """Result of one algorithm on one trial sequence."""
+
+    algorithm: str
+    trial: int
+    result: RunResult
+
+
+@dataclass
+class AggregatedOutcome:
+    """Aggregate of one algorithm over all trials of a configuration.
+
+    The statistics are over per-trial *average* costs (cost per request), which
+    is what the paper's figures plot.
+    """
+
+    algorithm: str
+    n_trials: int
+    access_cost: Dict[str, float] = field(default_factory=dict)
+    adjustment_cost: Dict[str, float] = field(default_factory=dict)
+    total_cost: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_access_cost(self) -> float:
+        """Mean per-request access cost over trials."""
+        return self.access_cost.get("mean", 0.0)
+
+    @property
+    def mean_adjustment_cost(self) -> float:
+        """Mean per-request adjustment cost over trials."""
+        return self.adjustment_cost.get("mean", 0.0)
+
+    @property
+    def mean_total_cost(self) -> float:
+        """Mean per-request total cost over trials."""
+        return self.total_cost.get("mean", 0.0)
+
+
+class TrialRunner:
+    """Runs algorithms over repeated, seeded workload trials.
+
+    Parameters
+    ----------
+    n_nodes:
+        Tree size (must be a complete-binary-tree size).
+    n_requests:
+        Number of requests per trial.
+    n_trials:
+        Number of independent trials (the paper uses 10).
+    base_seed:
+        Base of the per-trial seeds (trial ``i`` uses ``base_seed + i`` for the
+        workload, the placement and the algorithm randomness).
+    keep_records:
+        Whether to retain per-request cost records (memory-heavy for long runs).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        n_requests: int,
+        n_trials: int = 3,
+        base_seed: int = 0,
+        keep_records: bool = False,
+    ) -> None:
+        if n_trials <= 0:
+            raise ExperimentError(f"n_trials must be positive, got {n_trials}")
+        if n_requests < 0:
+            raise ExperimentError(f"n_requests must be non-negative, got {n_requests}")
+        self.n_nodes = n_nodes
+        self.n_requests = n_requests
+        self.n_trials = n_trials
+        self.base_seed = base_seed
+        self.keep_records = keep_records
+
+    def trial_sequences(self, workload_factory: WorkloadFactory) -> List[List[ElementId]]:
+        """Generate one request sequence per trial using the factory."""
+        sequences: List[List[ElementId]] = []
+        for trial in range(self.n_trials):
+            workload = workload_factory(self.base_seed + trial)
+            if workload.n_elements != self.n_nodes:
+                raise ExperimentError(
+                    f"workload universe {workload.n_elements} does not match "
+                    f"runner tree size {self.n_nodes}"
+                )
+            sequences.append(workload.generate(self.n_requests))
+        return sequences
+
+    def run(
+        self,
+        algorithms: Sequence[str],
+        workload_factory: WorkloadFactory,
+        algorithm_kwargs: Optional[Dict[str, dict]] = None,
+    ) -> Dict[str, List[TrialOutcome]]:
+        """Run every algorithm on every trial sequence.
+
+        All algorithms see the *same* sequence in a given trial; per-trial
+        placement seeds are also shared so the initial tree is identical across
+        algorithms, as in the paper's setup.
+        """
+        sequences = self.trial_sequences(workload_factory)
+        return self.run_on_sequences(algorithms, sequences, algorithm_kwargs)
+
+    def run_on_sequences(
+        self,
+        algorithms: Sequence[str],
+        sequences: Sequence[Sequence[ElementId]],
+        algorithm_kwargs: Optional[Dict[str, dict]] = None,
+    ) -> Dict[str, List[TrialOutcome]]:
+        """Run every algorithm on externally supplied per-trial sequences."""
+        algorithm_kwargs = algorithm_kwargs or {}
+        outcomes: Dict[str, List[TrialOutcome]] = {name: [] for name in algorithms}
+        for trial, sequence in enumerate(sequences):
+            placement_seed = self.base_seed + 10_000 + trial
+            for name in algorithms:
+                kwargs = dict(algorithm_kwargs.get(name, {}))
+                result = simulate(
+                    name,
+                    sequence,
+                    n_nodes=self.n_nodes,
+                    placement_seed=placement_seed,
+                    seed=self.base_seed + 20_000 + trial,
+                    keep_records=self.keep_records,
+                    metadata={"trial": trial},
+                    **kwargs,
+                )
+                outcomes[name].append(TrialOutcome(algorithm=name, trial=trial, result=result))
+        return outcomes
+
+    @staticmethod
+    def aggregate(outcomes: Dict[str, List[TrialOutcome]]) -> Dict[str, AggregatedOutcome]:
+        """Aggregate per-trial average costs for every algorithm."""
+        aggregated: Dict[str, AggregatedOutcome] = {}
+        for name, trials in outcomes.items():
+            aggregated[name] = AggregatedOutcome(
+                algorithm=name,
+                n_trials=len(trials),
+                access_cost=summarise_values(
+                    [t.result.average_access_cost for t in trials]
+                ),
+                adjustment_cost=summarise_values(
+                    [t.result.average_adjustment_cost for t in trials]
+                ),
+                total_cost=summarise_values(
+                    [t.result.average_total_cost for t in trials]
+                ),
+            )
+        return aggregated
+
+
+def compare_algorithms(
+    algorithms: Sequence[str],
+    workload_factory: WorkloadFactory,
+    n_nodes: int,
+    n_requests: int,
+    n_trials: int = 3,
+    base_seed: int = 0,
+    keep_records: bool = False,
+    algorithm_kwargs: Optional[Dict[str, dict]] = None,
+) -> Dict[str, AggregatedOutcome]:
+    """One-call helper: run all algorithms over seeded trials and aggregate."""
+    runner = TrialRunner(
+        n_nodes=n_nodes,
+        n_requests=n_requests,
+        n_trials=n_trials,
+        base_seed=base_seed,
+        keep_records=keep_records,
+    )
+    outcomes = runner.run(algorithms, workload_factory, algorithm_kwargs)
+    return TrialRunner.aggregate(outcomes)

@@ -1,0 +1,127 @@
+"""Parameter sweeps over workload and tree parameters.
+
+Every figure of the paper's evaluation is a sweep: over tree sizes (Q1), over
+the temporal-locality parameter ``p`` (Q2), over the Zipf exponent ``a`` (Q3)
+or over the two-dimensional ``(p, a)`` grid (Q4).  :class:`ParameterSweep`
+captures that pattern once: it takes a list of parameter points, a workload
+factory parameterised by the point, the algorithms to compare, and produces a
+:class:`repro.sim.results.ResultTable` with one row per (point, algorithm).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.exceptions import ExperimentError
+from repro.sim.results import ResultTable
+from repro.sim.runner import TrialRunner
+from repro.workloads.base import WorkloadGenerator
+
+__all__ = ["SweepPoint", "ParameterSweep"]
+
+#: A sweep point is a dictionary of named parameter values.
+SweepPoint = Dict[str, object]
+
+#: Factory building a workload for a sweep point and a trial seed.
+PointWorkloadFactory = Callable[[SweepPoint, int], WorkloadGenerator]
+
+
+class ParameterSweep:
+    """Run a set of algorithms over a list of parameter points.
+
+    Parameters
+    ----------
+    points:
+        The parameter points (each a dict of named values, e.g.
+        ``{"p": 0.3}`` or ``{"p": 0.5, "a": 1.6}``).  Points may also carry a
+        per-point ``n_nodes`` entry, which overrides the sweep-wide tree size
+        (used by the Q1 size sweep).
+    workload_factory:
+        Callable building the workload for a given point and trial seed.
+    algorithms:
+        Registry names of the algorithms to run.
+    n_nodes:
+        Default tree size for points that do not carry their own.
+    n_requests, n_trials, base_seed:
+        Passed to the underlying :class:`repro.sim.runner.TrialRunner`.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[SweepPoint],
+        workload_factory: PointWorkloadFactory,
+        algorithms: Sequence[str],
+        n_nodes: Optional[int] = None,
+        n_requests: int = 10_000,
+        n_trials: int = 3,
+        base_seed: int = 0,
+        algorithm_kwargs: Optional[Dict[str, dict]] = None,
+    ) -> None:
+        if not points:
+            raise ExperimentError("a sweep needs at least one parameter point")
+        if not algorithms:
+            raise ExperimentError("a sweep needs at least one algorithm")
+        self.points = [dict(point) for point in points]
+        self.workload_factory = workload_factory
+        self.algorithms = list(algorithms)
+        self.n_nodes = n_nodes
+        self.n_requests = n_requests
+        self.n_trials = n_trials
+        self.base_seed = base_seed
+        self.algorithm_kwargs = algorithm_kwargs or {}
+
+    def _point_columns(self) -> List[str]:
+        columns: List[str] = []
+        for point in self.points:
+            for key in point:
+                if key not in columns:
+                    columns.append(key)
+        return columns
+
+    def run(self, table_name: str = "sweep") -> ResultTable:
+        """Execute the sweep and return a result table.
+
+        The table has one row per (point, algorithm) with the mean per-request
+        access, adjustment and total cost over the trials.
+        """
+        point_columns = self._point_columns()
+        columns = point_columns + [
+            "algorithm",
+            "mean_access_cost",
+            "mean_adjustment_cost",
+            "mean_total_cost",
+            "n_trials",
+        ]
+        table = ResultTable(name=table_name, columns=columns)
+        for point in self.points:
+            n_nodes = int(point.get("n_nodes", self.n_nodes or 0))
+            if n_nodes <= 0:
+                raise ExperimentError(
+                    f"sweep point {point} has no tree size and no default was given"
+                )
+            runner = TrialRunner(
+                n_nodes=n_nodes,
+                n_requests=self.n_requests,
+                n_trials=self.n_trials,
+                base_seed=self.base_seed,
+            )
+            outcomes = runner.run(
+                self.algorithms,
+                lambda seed, _point=point: self.workload_factory(_point, seed),
+                self.algorithm_kwargs,
+            )
+            aggregated = TrialRunner.aggregate(outcomes)
+            for algorithm in self.algorithms:
+                summary = aggregated[algorithm]
+                row: Dict[str, object] = {key: point.get(key) for key in point_columns}
+                row.update(
+                    {
+                        "algorithm": algorithm,
+                        "mean_access_cost": summary.mean_access_cost,
+                        "mean_adjustment_cost": summary.mean_adjustment_cost,
+                        "mean_total_cost": summary.mean_total_cost,
+                        "n_trials": summary.n_trials,
+                    }
+                )
+                table.add_row(**row)
+        return table

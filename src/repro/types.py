@@ -1,0 +1,62 @@
+"""Shared type aliases and protocols used across the :mod:`repro` library.
+
+The library models the self-adjusting single-source tree network problem of
+Avin et al. (ICDCS 2022).  Throughout the code base:
+
+* a *node* is a position in the fixed complete binary tree, identified by its
+  heap index (``0`` is the root, node ``i`` has children ``2 i + 1`` and
+  ``2 i + 2``);
+* an *element* is one of the ``n`` items stored in the tree, identified by an
+  integer in ``[0, n)``;
+* a *request sequence* is a sequence of element identifiers issued by the
+  single source attached to the root.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Protocol, Sequence, Tuple, runtime_checkable
+
+#: A node of the complete binary tree, identified by its heap index.
+NodeId = int
+
+#: An element stored in the tree, identified by an integer in ``[0, n)``.
+ElementId = int
+
+#: The level (depth) of a node or element; the root has level 0.
+Level = int
+
+#: A request sequence: the elements accessed by the source, in order.
+RequestSequence = Sequence[ElementId]
+
+#: A root-to-node path, as a list of node indices starting at the root.
+NodePath = List[NodeId]
+
+#: A (access_cost, adjustment_cost) pair for a single served request.
+CostPair = Tuple[int, int]
+
+
+@runtime_checkable
+class SupportsServe(Protocol):
+    """Protocol implemented by every online tree-network algorithm.
+
+    An algorithm owns a :class:`repro.core.state.TreeNetwork` and serves
+    requests one at a time, returning the cost incurred for each.
+    """
+
+    def serve(self, element: ElementId) -> "object":
+        """Serve a single request and return its cost record."""
+
+    def run(self, sequence: Iterable[ElementId]) -> "object":
+        """Serve a whole sequence and return an aggregate result."""
+
+
+@runtime_checkable
+class SupportsGenerate(Protocol):
+    """Protocol implemented by workload generators.
+
+    A generator produces a request sequence over a universe of ``n_elements``
+    elements; generation must be reproducible given the ``seed``.
+    """
+
+    def generate(self, n_requests: int) -> List[ElementId]:
+        """Return a list of ``n_requests`` element identifiers."""

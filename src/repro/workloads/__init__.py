@@ -1,0 +1,73 @@
+"""Request-sequence generators used by the experiments.
+
+The generators mirror the paper's methodology (Section 6.1):
+
+* :class:`~repro.workloads.uniform.UniformWorkload` - locality-free baseline;
+* :class:`~repro.workloads.temporal.TemporalWorkload` - repeat-probability ``p``
+  temporal locality (Q2);
+* :class:`~repro.workloads.zipf.ZipfWorkload` - Zipf spatial locality (Q3);
+* :class:`~repro.workloads.composite.CombinedLocalityWorkload` - the Q4 grid;
+* :class:`~repro.workloads.corpus.CorpusWorkload` - sliding-window text traces
+  (Q5), with a deterministic synthetic corpus standing in for the Canterbury
+  books;
+* :class:`~repro.workloads.markov.MarkovWorkload` - clustered Markovian traffic
+  used by the network substrate examples;
+* :mod:`~repro.workloads.adversarial` - the Lemma 8 and Section 1.1 adaptive
+  adversaries.
+"""
+
+from repro.workloads.adversarial import (
+    MoveToFrontLowerBoundAdversary,
+    RotorPushWorkingSetAdversary,
+    round_robin_path_sequence,
+    working_set_adversary_nodes,
+)
+from repro.workloads.base import SequenceWorkload, WorkloadGenerator
+from repro.workloads.composite import CombinedLocalityWorkload, MixtureWorkload
+from repro.workloads.corpus import (
+    CorpusWorkload,
+    next_complete_size,
+    sliding_window_tokens,
+    synthetic_corpus_workloads,
+    tokens_to_requests,
+)
+from repro.workloads.markov import MarkovWorkload
+from repro.workloads.synthetic_text import (
+    DEFAULT_BOOK_SPECS,
+    SyntheticBook,
+    generate_book,
+    synthetic_corpus,
+)
+from repro.workloads.temporal import TemporalWorkload, apply_temporal_locality
+from repro.workloads.trace_io import load_trace, load_trace_workload, save_trace
+from repro.workloads.uniform import UniformWorkload
+from repro.workloads.zipf import ZipfWorkload, zipf_probabilities
+
+__all__ = [
+    "CombinedLocalityWorkload",
+    "CorpusWorkload",
+    "DEFAULT_BOOK_SPECS",
+    "MarkovWorkload",
+    "MixtureWorkload",
+    "MoveToFrontLowerBoundAdversary",
+    "RotorPushWorkingSetAdversary",
+    "SequenceWorkload",
+    "SyntheticBook",
+    "TemporalWorkload",
+    "UniformWorkload",
+    "WorkloadGenerator",
+    "ZipfWorkload",
+    "apply_temporal_locality",
+    "generate_book",
+    "load_trace",
+    "load_trace_workload",
+    "next_complete_size",
+    "round_robin_path_sequence",
+    "save_trace",
+    "sliding_window_tokens",
+    "synthetic_corpus",
+    "synthetic_corpus_workloads",
+    "tokens_to_requests",
+    "working_set_adversary_nodes",
+    "zipf_probabilities",
+]

@@ -1,0 +1,179 @@
+"""Adversarial request constructions from the paper's analytical sections.
+
+Two adaptive adversaries are provided:
+
+* :class:`RotorPushWorkingSetAdversary` implements the Lemma 8 construction
+  showing that Rotor-Push lacks the working-set property: requests are confined
+  to the elements hosted by the set ``S`` consisting of the root and the two
+  leftmost nodes of every level, and each request targets the deepest node of
+  ``S`` that currently lies on the global path.  The working-set size is at
+  most ``|S| = 2x - 1`` while the access cost eventually reaches the full tree
+  depth, i.e. it grows linearly in the working-set size.
+
+* :class:`MoveToFrontLowerBoundAdversary` implements the Section 1.1 lower
+  bound against the naive Move-To-Front generalisation: the elements of one
+  root-to-leaf path are requested round-robin (always the one currently at the
+  leaf), forcing cost ``Theta(log n)`` per request while an offline algorithm
+  could pack those ``Theta(log n)`` elements into the top ``Theta(log log n)``
+  levels.
+
+Both adversaries are *adaptive*: they must observe the online algorithm's tree
+to pick the next request, so each owns a private algorithm instance and
+produces the realised request sequence together with the per-request costs.
+The non-adaptive equivalent of the Move-To-Front construction is also exposed
+as :func:`round_robin_path_sequence` for use as a plain workload.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.algorithms.move_to_front import MoveToFrontTree
+from repro.algorithms.rotor_push import RotorPush
+from repro.core.cost import RequestCost
+from repro.core.state import TreeNetwork
+from repro.core.tree import CompleteBinaryTree
+from repro.exceptions import WorkloadError
+from repro.types import ElementId, NodeId
+from repro.workloads.base import WorkloadGenerator
+
+__all__ = [
+    "RotorPushWorkingSetAdversary",
+    "MoveToFrontLowerBoundAdversary",
+    "working_set_adversary_nodes",
+    "round_robin_path_sequence",
+]
+
+
+def working_set_adversary_nodes(tree: CompleteBinaryTree) -> Set[NodeId]:
+    """Return the node set ``S`` of Lemma 8: the root plus the two leftmost nodes per level."""
+    nodes: Set[NodeId] = {tree.root}
+    for level in range(1, tree.depth + 1):
+        first = tree.first_node_at_level(level)
+        nodes.add(first)
+        nodes.add(first + 1)
+    return nodes
+
+
+def round_robin_path_sequence(depth: int, n_requests: int) -> List[ElementId]:
+    """Return the Section 1.1 round-robin sequence over the leftmost root-to-leaf path.
+
+    Assuming the identity placement, the elements on the leftmost path are the
+    nodes ``2**l - 1`` for levels ``l = 0 .. depth``; under the Move-To-Front
+    tree dynamics "always request the element at the leaf" is equivalent to the
+    fixed cyclic order leaf-element, next-deeper-element, ..., root-element.
+    """
+    if depth < 0:
+        raise WorkloadError(f"depth must be non-negative, got {depth}")
+    if n_requests < 0:
+        raise WorkloadError(f"n_requests must be non-negative, got {n_requests}")
+    path_elements = [(1 << level) - 1 for level in range(depth, -1, -1)]
+    return [path_elements[i % len(path_elements)] for i in range(n_requests)]
+
+
+class RotorPushWorkingSetAdversary(WorkloadGenerator):
+    """Adaptive adversary realising the Lemma 8 working-set-property violation.
+
+    The adversary simulates its own Rotor-Push instance starting from the
+    identity placement with all rotor pointers to the left (the initial state
+    used in the lemma) and repeatedly requests ``el(v)`` where ``v`` is the
+    deepest node that lies both in ``S`` and on the current global path.
+
+    Parameters
+    ----------
+    depth:
+        Tree depth ``x - 1`` (the lemma's tree has ``x`` levels).
+    """
+
+    name = "rotor-ws-adversary"
+
+    def __init__(self, depth: int) -> None:
+        tree = CompleteBinaryTree.from_depth(depth)
+        super().__init__(tree.n_nodes, seed=None)
+        network = TreeNetwork(tree, with_rotor=True)
+        self._algorithm = RotorPush(network)
+        self._target_nodes = working_set_adversary_nodes(tree)
+
+    @property
+    def algorithm(self) -> RotorPush:
+        """The private Rotor-Push instance driven by the adversary."""
+        return self._algorithm
+
+    def _next_target(self) -> NodeId:
+        """Return the deepest global-path node belonging to ``S``."""
+        rotor = self._algorithm.network.rotor
+        deepest = self._algorithm.network.tree.root
+        for node in rotor.global_path():
+            if node in self._target_nodes:
+                deepest = node
+        return deepest
+
+    def generate_with_costs(
+        self, n_requests: int
+    ) -> Tuple[List[ElementId], List[RequestCost]]:
+        """Produce ``n_requests`` adaptive requests and the costs Rotor-Push paid."""
+        self._check_length(n_requests)
+        sequence: List[ElementId] = []
+        costs: List[RequestCost] = []
+        for _ in range(n_requests):
+            target = self._next_target()
+            element = self._algorithm.network.element_at(target)
+            sequence.append(element)
+            costs.append(self._algorithm.serve(element))
+        return sequence, costs
+
+    def generate(self, n_requests: int) -> List[ElementId]:
+        """Return only the realised request sequence (costs are discarded)."""
+        sequence, _ = self.generate_with_costs(n_requests)
+        return sequence
+
+    def parameters(self):
+        params = super().parameters()
+        params["depth"] = self._algorithm.network.tree.depth
+        params["target_set_size"] = len(self._target_nodes)
+        return params
+
+
+class MoveToFrontLowerBoundAdversary(WorkloadGenerator):
+    """Adaptive adversary realising the Section 1.1 lower bound against MTF-on-a-tree.
+
+    Always requests the element currently stored at the leaf of the (initially
+    leftmost) root-to-leaf path of its private Move-To-Front instance.
+    """
+
+    name = "mtf-lower-bound-adversary"
+
+    def __init__(self, depth: int) -> None:
+        tree = CompleteBinaryTree.from_depth(depth)
+        super().__init__(tree.n_nodes, seed=None)
+        network = TreeNetwork(tree)
+        self._algorithm = MoveToFrontTree(network)
+        self._leaf = tree.first_node_at_level(tree.depth)
+
+    @property
+    def algorithm(self) -> MoveToFrontTree:
+        """The private Move-To-Front instance driven by the adversary."""
+        return self._algorithm
+
+    def generate_with_costs(
+        self, n_requests: int
+    ) -> Tuple[List[ElementId], List[RequestCost]]:
+        """Produce ``n_requests`` adaptive requests and the costs MTF paid."""
+        self._check_length(n_requests)
+        sequence: List[ElementId] = []
+        costs: List[RequestCost] = []
+        for _ in range(n_requests):
+            element = self._algorithm.network.element_at(self._leaf)
+            sequence.append(element)
+            costs.append(self._algorithm.serve(element))
+        return sequence, costs
+
+    def generate(self, n_requests: int) -> List[ElementId]:
+        """Return only the realised request sequence (costs are discarded)."""
+        sequence, _ = self.generate_with_costs(n_requests)
+        return sequence
+
+    def parameters(self):
+        params = super().parameters()
+        params["depth"] = self._algorithm.network.tree.depth
+        return params

@@ -1,0 +1,99 @@
+"""Workload generator base classes.
+
+A *workload* is a recipe for producing request sequences over a universe of
+``n_elements`` elements.  Generators are deterministic given their seed, so
+every experiment can be reproduced exactly; they expose the parameters that the
+paper varies (repeat probability ``p`` for temporal locality, Zipf exponent
+``a`` for spatial locality, tree size for Q1) through their constructors.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict, List, Optional
+
+from repro.exceptions import WorkloadError
+from repro.types import ElementId
+
+__all__ = ["WorkloadGenerator", "SequenceWorkload"]
+
+
+class WorkloadGenerator(abc.ABC):
+    """Base class for all request-sequence generators.
+
+    Parameters
+    ----------
+    n_elements:
+        Size of the element universe; generated identifiers lie in
+        ``[0, n_elements)``.
+    seed:
+        Seed of the generator's private :class:`random.Random` instance.
+    """
+
+    #: Short name used in experiment metadata and benchmark labels.
+    name: str = "abstract"
+
+    def __init__(self, n_elements: int, seed: Optional[int] = None) -> None:
+        if n_elements <= 0:
+            raise WorkloadError(f"n_elements must be positive, got {n_elements}")
+        self.n_elements = n_elements
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    @abc.abstractmethod
+    def generate(self, n_requests: int) -> List[ElementId]:
+        """Return a request sequence of length ``n_requests``."""
+
+    def _check_length(self, n_requests: int) -> int:
+        if n_requests < 0:
+            raise WorkloadError(f"n_requests must be non-negative, got {n_requests}")
+        return n_requests
+
+    def parameters(self) -> Dict[str, object]:
+        """Return the generator's parameters (for experiment metadata)."""
+        return {"workload": self.name, "n_elements": self.n_elements, "seed": self.seed}
+
+    def reseed(self, seed: Optional[int]) -> None:
+        """Re-seed the generator (used by multi-trial experiment runners)."""
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        params = ", ".join(f"{k}={v!r}" for k, v in self.parameters().items())
+        return f"{type(self).__name__}({params})"
+
+
+class SequenceWorkload(WorkloadGenerator):
+    """A workload that simply replays a fixed, externally supplied sequence.
+
+    Useful for corpus-derived traces and for unit tests that need full control
+    over the requests.
+    """
+
+    name = "fixed-sequence"
+
+    def __init__(self, n_elements: int, sequence: List[ElementId]) -> None:
+        super().__init__(n_elements, seed=None)
+        for element in sequence:
+            if not 0 <= element < n_elements:
+                raise WorkloadError(
+                    f"sequence element {element} outside universe of size {n_elements}"
+                )
+        self._sequence = list(sequence)
+
+    def generate(self, n_requests: int) -> List[ElementId]:
+        """Return the first ``n_requests`` entries (or the whole trace if shorter)."""
+        self._check_length(n_requests)
+        if n_requests >= len(self._sequence):
+            return list(self._sequence)
+        return self._sequence[:n_requests]
+
+    def full_sequence(self) -> List[ElementId]:
+        """Return the complete stored trace."""
+        return list(self._sequence)
+
+    def parameters(self) -> Dict[str, object]:
+        params = super().parameters()
+        params["trace_length"] = len(self._sequence)
+        return params

@@ -1,0 +1,194 @@
+"""Synthetic natural-language-like corpus (substitute for the Canterbury corpus).
+
+The paper's Q5 evaluates the algorithms on request sequences derived from the
+five largest books of the Canterbury corpus.  That corpus cannot be downloaded
+in this offline environment, so this module synthesises deterministic "books"
+whose statistics mimic natural English text closely enough for the experiment:
+
+* the vocabulary is built from syllables, so the letter-trigram universe has a
+  size comparable to real text (a few thousand distinct triples);
+* word frequencies follow a Zipf law (as natural language does), providing the
+  non-temporal locality visible in the paper's complexity map;
+* sentences reuse recently used words with moderate probability, providing the
+  temporal locality component;
+* each book is generated from a fixed seed, so the corpus is identical across
+  runs and machines.
+
+The downstream pipeline (sliding window of three letters, sliding by one
+character; see :mod:`repro.workloads.corpus`) is exactly the one described in
+the paper, and accepts real text files as well, so plugging in the actual
+corpus reproduces the original experiment unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.exceptions import WorkloadError
+
+__all__ = ["SyntheticBook", "generate_book", "synthetic_corpus", "DEFAULT_BOOK_SPECS"]
+
+#: Syllable inventory used to assemble words; chosen to give realistic
+#: letter-trigram diversity without requiring any external data.
+_SYLLABLES = [
+    "ba", "be", "bi", "bo", "bu", "ca", "ce", "ci", "co", "cu",
+    "da", "de", "di", "do", "du", "fa", "fe", "fi", "fo", "fu",
+    "ga", "ge", "gi", "go", "gu", "ha", "he", "hi", "ho", "hu",
+    "la", "le", "li", "lo", "lu", "ma", "me", "mi", "mo", "mu",
+    "na", "ne", "ni", "no", "nu", "pa", "pe", "pi", "po", "pu",
+    "ra", "re", "ri", "ro", "ru", "sa", "se", "si", "so", "su",
+    "ta", "te", "ti", "to", "tu", "va", "ve", "vi", "vo", "vu",
+    "war", "ter", "ing", "ion", "ent", "and", "the", "er", "ed", "es",
+    "an", "in", "on", "at", "or", "is", "it", "al", "ar", "st",
+    "th", "nd", "ou", "ea", "ng", "as", "le", "of", "to", "sh",
+]
+
+#: A small set of very frequent function words, mirroring English.
+_FUNCTION_WORDS = [
+    "the", "of", "and", "a", "to", "in", "is", "was", "he", "for",
+    "it", "with", "as", "his", "on", "be", "at", "by", "had",
+]
+
+
+@dataclass(frozen=True)
+class SyntheticBook:
+    """A generated book: its title, text and basic statistics."""
+
+    title: str
+    text: str
+    n_words: int
+    vocabulary_size: int
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+
+def _build_vocabulary(rng: random.Random, vocabulary_size: int) -> List[str]:
+    """Assemble ``vocabulary_size`` distinct words from syllables."""
+    words: List[str] = list(_FUNCTION_WORDS)
+    seen = set(words)
+    while len(words) < vocabulary_size:
+        n_syllables = rng.choice((1, 2, 2, 3, 3, 4))
+        word = "".join(rng.choice(_SYLLABLES) for _ in range(n_syllables))
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return words[:vocabulary_size]
+
+
+def _zipf_weights(count: int, exponent: float) -> List[float]:
+    return [1.0 / ((rank + 1) ** exponent) for rank in range(count)]
+
+
+def generate_book(
+    seed: int,
+    n_words: int = 20_000,
+    vocabulary_size: int = 1_200,
+    zipf_exponent: float = 1.1,
+    reuse_probability: float = 0.35,
+    reuse_window: int = 40,
+    title: Optional[str] = None,
+) -> SyntheticBook:
+    """Generate one deterministic synthetic book.
+
+    Parameters
+    ----------
+    seed:
+        Seed controlling the vocabulary and the text; equal seeds give equal books.
+    n_words:
+        Length of the book in words.
+    vocabulary_size:
+        Number of distinct words available.
+    zipf_exponent:
+        Skew of the word-frequency distribution (natural text is close to 1).
+    reuse_probability:
+        Probability that the next word is drawn from the recently used window
+        instead of the global distribution (temporal locality of the text).
+    reuse_window:
+        Number of recent words eligible for reuse.
+    title:
+        Optional display title; defaults to ``synthetic-book-<seed>``.
+    """
+    if n_words <= 0:
+        raise WorkloadError(f"n_words must be positive, got {n_words}")
+    if vocabulary_size < len(_FUNCTION_WORDS):
+        raise WorkloadError(
+            f"vocabulary_size must be at least {len(_FUNCTION_WORDS)}, got {vocabulary_size}"
+        )
+    if not 0.0 <= reuse_probability <= 1.0:
+        raise WorkloadError("reuse_probability must lie in [0, 1]")
+    rng = random.Random(seed)
+    vocabulary = _build_vocabulary(rng, vocabulary_size)
+    weights = _zipf_weights(vocabulary_size, zipf_exponent)
+
+    words: List[str] = []
+    recent: List[str] = []
+    sentence_remaining = rng.randint(5, 15)
+    for _ in range(n_words):
+        if recent and rng.random() < reuse_probability:
+            word = rng.choice(recent[-reuse_window:])
+        else:
+            word = rng.choices(vocabulary, weights=weights, k=1)[0]
+        words.append(word)
+        recent.append(word)
+        if len(recent) > reuse_window:
+            recent.pop(0)
+        sentence_remaining -= 1
+        if sentence_remaining == 0:
+            words[-1] = words[-1] + "."
+            sentence_remaining = rng.randint(5, 15)
+
+    text = " ".join(words)
+    return SyntheticBook(
+        title=title or f"synthetic-book-{seed}",
+        text=text,
+        n_words=n_words,
+        vocabulary_size=vocabulary_size,
+    )
+
+
+#: Default per-book parameters for the five-book synthetic corpus; lengths vary
+#: the way the five Canterbury books do (relative to each other).
+DEFAULT_BOOK_SPECS: List[Dict[str, object]] = [
+    {"seed": 101, "n_words": 36_000, "vocabulary_size": 1_500, "reuse_probability": 0.30},
+    {"seed": 202, "n_words": 12_000, "vocabulary_size": 1_100, "reuse_probability": 0.35},
+    {"seed": 303, "n_words": 8_000, "vocabulary_size": 900, "reuse_probability": 0.40},
+    {"seed": 404, "n_words": 10_000, "vocabulary_size": 1_000, "reuse_probability": 0.35},
+    {"seed": 505, "n_words": 24_000, "vocabulary_size": 1_300, "reuse_probability": 0.32},
+]
+
+
+def synthetic_corpus(
+    n_books: int = 5,
+    scale: float = 1.0,
+    specs: Optional[List[Dict[str, object]]] = None,
+) -> List[SyntheticBook]:
+    """Return the deterministic synthetic corpus of ``n_books`` books.
+
+    Parameters
+    ----------
+    n_books:
+        Number of books (at most the number of available specs).
+    scale:
+        Multiplier applied to each book's word count; experiments use values
+        below 1 for fast runs and 1 or more for paper-scale runs.
+    specs:
+        Optional explicit per-book parameter dictionaries overriding
+        :data:`DEFAULT_BOOK_SPECS`.
+    """
+    if scale <= 0:
+        raise WorkloadError(f"scale must be positive, got {scale}")
+    chosen = list(specs if specs is not None else DEFAULT_BOOK_SPECS)
+    if n_books > len(chosen):
+        raise WorkloadError(
+            f"requested {n_books} books but only {len(chosen)} specifications exist"
+        )
+    books: List[SyntheticBook] = []
+    for index, spec in enumerate(chosen[:n_books], start=1):
+        parameters = dict(spec)
+        parameters["n_words"] = max(50, int(int(parameters["n_words"]) * scale))
+        parameters.setdefault("title", f"book{index}")
+        books.append(generate_book(**parameters))
+    return books

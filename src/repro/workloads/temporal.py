@@ -1,0 +1,107 @@
+"""Temporal-locality workloads (repeat-with-probability ``p``).
+
+Following the paper's Q2 methodology (which in turn follows Avin et al.'s
+traffic-complexity work), the degree of temporal locality of a sequence is
+controlled by the probability ``p`` of repeating the previous request:
+
+1. draw a base sequence of uniform requests, then
+2. for every position ``i >= 2``, with probability ``p`` set
+   ``sigma_i = sigma_{i-1}`` and otherwise leave ``sigma_i`` unchanged.
+
+Larger ``p`` yields longer runs of identical requests and lower empirical
+entropy; the paper reports entropies from 15.95 (``p = 0``) down to 15.16
+(``p = 0.9``) for 65,535 elements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.exceptions import WorkloadError
+from repro.types import ElementId
+from repro.workloads.base import WorkloadGenerator
+from repro.workloads.uniform import UniformWorkload
+
+__all__ = ["TemporalWorkload", "apply_temporal_locality"]
+
+
+def apply_temporal_locality(
+    sequence: Sequence[ElementId],
+    repeat_probability: float,
+    rng,
+) -> List[ElementId]:
+    """Post-process ``sequence`` with the repeat rule of the paper's Q2.
+
+    For every position ``i >= 1`` (0-based), with probability
+    ``repeat_probability`` the request is replaced by the (already
+    post-processed) previous request; otherwise it is kept.  The first request
+    is never modified.
+    """
+    if not 0.0 <= repeat_probability <= 1.0:
+        raise WorkloadError(
+            f"repeat probability must lie in [0, 1], got {repeat_probability}"
+        )
+    result = list(sequence)
+    for index in range(1, len(result)):
+        if rng.random() < repeat_probability:
+            result[index] = result[index - 1]
+    return result
+
+
+class TemporalWorkload(WorkloadGenerator):
+    """Uniform requests post-processed to repeat the previous request with probability ``p``.
+
+    Parameters
+    ----------
+    n_elements:
+        Size of the element universe.
+    repeat_probability:
+        The temporal-locality parameter ``p`` in ``[0, 1]``.
+    seed:
+        Seed controlling both the base uniform draw and the repeat decisions.
+    base:
+        Optional alternative base workload to post-process (defaults to
+        :class:`repro.workloads.uniform.UniformWorkload`); used by the combined
+        temporal+spatial workload of Q4.
+    """
+
+    name = "temporal"
+
+    def __init__(
+        self,
+        n_elements: int,
+        repeat_probability: float,
+        seed: Optional[int] = None,
+        base: Optional[WorkloadGenerator] = None,
+    ) -> None:
+        super().__init__(n_elements, seed)
+        if not 0.0 <= repeat_probability <= 1.0:
+            raise WorkloadError(
+                f"repeat probability must lie in [0, 1], got {repeat_probability}"
+            )
+        self.repeat_probability = repeat_probability
+        if base is not None and base.n_elements != n_elements:
+            raise WorkloadError(
+                "base workload universe size does not match the temporal workload"
+            )
+        self._base = base
+
+    def generate(self, n_requests: int) -> List[ElementId]:
+        """Return a sequence with temporal locality ``p`` over the base workload."""
+        self._check_length(n_requests)
+        if self._base is not None:
+            base_sequence = self._base.generate(n_requests)
+        else:
+            base_sequence = UniformWorkload(
+                self.n_elements, seed=self._rng.randrange(2**63)
+            ).generate(n_requests)
+        return apply_temporal_locality(
+            base_sequence, self.repeat_probability, self._rng
+        )
+
+    def parameters(self):
+        params = super().parameters()
+        params["repeat_probability"] = self.repeat_probability
+        if self._base is not None:
+            params["base"] = self._base.parameters()
+        return params

@@ -1,0 +1,105 @@
+"""Saving and loading request traces.
+
+Reproducibility plumbing: experiments can persist the exact request sequences
+they used (together with the generator parameters) and reload them later, so a
+result can be re-examined without regenerating the workload.  Two formats are
+supported:
+
+* a compact text format (one element identifier per line, ``#``-prefixed
+  header lines carrying JSON metadata), and
+* JSON (metadata plus the full sequence), convenient for small traces and for
+  interchange with other tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.types import ElementId
+from repro.workloads.base import SequenceWorkload
+
+__all__ = ["save_trace", "load_trace", "load_trace_workload"]
+
+
+def save_trace(
+    path: str,
+    sequence: Sequence[ElementId],
+    n_elements: int,
+    metadata: Optional[Dict[str, object]] = None,
+    fmt: str = "text",
+) -> Path:
+    """Write a request trace to ``path`` and return the path.
+
+    Parameters
+    ----------
+    path:
+        Output file path (parent directories are created).
+    sequence:
+        The request sequence.
+    n_elements:
+        Size of the element universe the trace was generated for.
+    metadata:
+        Optional JSON-serialisable metadata (generator parameters, seeds, ...).
+    fmt:
+        ``"text"`` (default) or ``"json"``.
+    """
+    if n_elements <= 0:
+        raise WorkloadError(f"n_elements must be positive, got {n_elements}")
+    for element in sequence:
+        if not 0 <= int(element) < n_elements:
+            raise WorkloadError(
+                f"trace element {element} outside universe of size {n_elements}"
+            )
+    file_path = Path(path)
+    file_path.parent.mkdir(parents=True, exist_ok=True)
+    header = {"n_elements": n_elements, "length": len(sequence), "metadata": metadata or {}}
+
+    if fmt == "text":
+        lines = [f"# {json.dumps(header)}"]
+        lines.extend(str(int(element)) for element in sequence)
+        file_path.write_text("\n".join(lines) + "\n")
+    elif fmt == "json":
+        payload = dict(header, sequence=[int(element) for element in sequence])
+        file_path.write_text(json.dumps(payload))
+    else:
+        raise WorkloadError(f"unknown trace format {fmt!r}; use 'text' or 'json'")
+    return file_path
+
+
+def load_trace(path: str) -> Tuple[List[ElementId], int, Dict[str, object]]:
+    """Read a trace written by :func:`save_trace`.
+
+    Returns ``(sequence, n_elements, metadata)``.  The format is detected from
+    the file content (JSON object vs header-line text).
+    """
+    file_path = Path(path)
+    text = file_path.read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        payload = json.loads(stripped)
+        sequence = [int(element) for element in payload.get("sequence", [])]
+        n_elements = int(payload["n_elements"])
+        metadata = dict(payload.get("metadata", {}))
+    else:
+        lines = text.splitlines()
+        if not lines or not lines[0].startswith("#"):
+            raise WorkloadError(f"{path} does not look like a saved trace (missing header)")
+        header = json.loads(lines[0][1:].strip())
+        n_elements = int(header["n_elements"])
+        metadata = dict(header.get("metadata", {}))
+        sequence = [int(line) for line in lines[1:] if line.strip()]
+    for element in sequence:
+        if not 0 <= element < n_elements:
+            raise WorkloadError(
+                f"trace element {element} outside declared universe of size {n_elements}"
+            )
+    return sequence, n_elements, metadata
+
+
+def load_trace_workload(path: str) -> SequenceWorkload:
+    """Load a saved trace as a replayable :class:`SequenceWorkload`."""
+    sequence, n_elements, _ = load_trace(path)
+    return SequenceWorkload(n_elements, sequence)

@@ -1,0 +1,32 @@
+"""Uniformly random request sequences.
+
+The locality-free baseline workload: every request is drawn independently and
+uniformly from the element universe.  The paper uses it directly for the
+Rotor-Push vs Random-Push histogram (Figure 5b) and as the starting point of
+the temporal-locality post-processing (Q2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.types import ElementId
+from repro.workloads.base import WorkloadGenerator
+
+__all__ = ["UniformWorkload"]
+
+
+class UniformWorkload(WorkloadGenerator):
+    """Independent uniform requests over the whole element universe."""
+
+    name = "uniform"
+
+    def __init__(self, n_elements: int, seed: Optional[int] = None) -> None:
+        super().__init__(n_elements, seed)
+
+    def generate(self, n_requests: int) -> List[ElementId]:
+        """Return ``n_requests`` i.i.d. uniform element identifiers."""
+        self._check_length(n_requests)
+        n = self.n_elements
+        rng = self._rng
+        return [rng.randrange(n) for _ in range(n_requests)]

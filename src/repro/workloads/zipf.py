@@ -1,0 +1,102 @@
+"""Spatial-locality workloads drawn from a Zipf distribution.
+
+Q3 of the paper controls spatial locality by sampling requests from a Zipf
+(discrete power-law) distribution over the element universe: element ``k``
+(1-based weight index) has probability proportional to ``k**(-a)``, where the
+exponent ``a`` tunes the skew.  Larger ``a`` concentrates requests on a smaller
+subset of elements and lowers the empirical entropy (the paper reports
+entropies 11.07 ... 1.92 for ``a`` between 1.001 and 2.2 at 65,535 elements).
+
+To decouple the skew from the element identifiers (the initial placement is
+random anyway), the mapping from weight index to element identifier can be a
+seeded random permutation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.types import ElementId
+from repro.workloads.base import WorkloadGenerator
+
+__all__ = ["ZipfWorkload", "zipf_probabilities"]
+
+
+def zipf_probabilities(n_elements: int, exponent: float) -> np.ndarray:
+    """Return the Zipf probability vector ``p_k ∝ k**(-a)`` for ``k = 1..n``.
+
+    Matches the probability mass function quoted in the paper's methodology:
+    ``f(k, a) = 1 / (k**a * sum_i i**(-a))``.
+    """
+    if n_elements <= 0:
+        raise WorkloadError(f"n_elements must be positive, got {n_elements}")
+    if exponent <= 0:
+        raise WorkloadError(f"Zipf exponent must be positive, got {exponent}")
+    ranks = np.arange(1, n_elements + 1, dtype=np.float64)
+    weights = ranks ** (-float(exponent))
+    return weights / weights.sum()
+
+
+class ZipfWorkload(WorkloadGenerator):
+    """Independent requests drawn from a Zipf distribution with exponent ``a``.
+
+    Parameters
+    ----------
+    n_elements:
+        Size of the element universe.
+    exponent:
+        The skew parameter ``a > 0``; the paper uses values in
+        ``{1.001, 1.3, 1.6, 1.9, 2.2}``.
+    seed:
+        Seed for sampling (and for the identifier permutation).
+    permute_identifiers:
+        When ``True`` (default) the Zipf weight ranks are mapped to element
+        identifiers through a random permutation, so that popular elements are
+        spread over the identifier space rather than being 0, 1, 2, ...
+    """
+
+    name = "zipf"
+
+    def __init__(
+        self,
+        n_elements: int,
+        exponent: float,
+        seed: Optional[int] = None,
+        permute_identifiers: bool = True,
+    ) -> None:
+        super().__init__(n_elements, seed)
+        self.exponent = float(exponent)
+        self.permute_identifiers = permute_identifiers
+        self._probabilities = zipf_probabilities(n_elements, self.exponent)
+        self._np_rng = np.random.default_rng(seed)
+        if permute_identifiers:
+            self._identifier_of_rank = self._np_rng.permutation(n_elements)
+        else:
+            self._identifier_of_rank = np.arange(n_elements)
+
+    def generate(self, n_requests: int) -> List[ElementId]:
+        """Return ``n_requests`` independent Zipf-distributed element identifiers."""
+        self._check_length(n_requests)
+        if n_requests == 0:
+            return []
+        ranks = self._np_rng.choice(
+            self.n_elements, size=n_requests, p=self._probabilities
+        )
+        return [int(identifier) for identifier in self._identifier_of_rank[ranks]]
+
+    def probability_of_rank(self, rank: int) -> float:
+        """Return the sampling probability of the ``rank``-th most popular element."""
+        if not 1 <= rank <= self.n_elements:
+            raise WorkloadError(
+                f"rank must lie in [1, {self.n_elements}], got {rank}"
+            )
+        return float(self._probabilities[rank - 1])
+
+    def parameters(self):
+        params = super().parameters()
+        params["exponent"] = self.exponent
+        params["permute_identifiers"] = self.permute_identifiers
+        return params

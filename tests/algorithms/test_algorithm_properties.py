@@ -1,0 +1,106 @@
+"""Property-based tests shared by all algorithms (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import PAPER_ALGORITHMS, make_algorithm
+from repro.core.tree import CompleteBinaryTree
+
+ALL_NAMES = list(PAPER_ALGORITHMS) + ["move-to-front"]
+
+# Short random request sequences over a 31-element universe.
+sequences = st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=60)
+
+
+def build(name: str, placement_seed: int = 11):
+    return make_algorithm(name, n_nodes=31, placement_seed=placement_seed, seed=5)
+
+
+class TestUniversalInvariants:
+    @given(st.sampled_from(ALL_NAMES), sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_bijection_preserved_by_any_request_sequence(self, name, sequence):
+        algorithm = build(name)
+        algorithm.run(sequence)
+        algorithm.network.validate()
+
+    @given(st.sampled_from(ALL_NAMES), sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_access_costs_bounded_by_tree_depth(self, name, sequence):
+        algorithm = build(name)
+        result = algorithm.run(sequence)
+        depth = algorithm.network.tree.depth
+        for record in result.per_request:
+            assert 1 <= record.access_cost <= depth + 1
+
+    @given(st.sampled_from(ALL_NAMES), sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_costs_are_non_negative_and_consistent(self, name, sequence):
+        algorithm = build(name)
+        result = algorithm.run(sequence)
+        assert result.n_requests == len(sequence)
+        assert result.total_access_cost == sum(r.access_cost for r in result.per_request)
+        assert result.total_adjustment_cost == sum(
+            r.adjustment_cost for r in result.per_request
+        )
+        assert result.total_adjustment_cost >= 0
+
+    @given(st.sampled_from(["rotor-push", "random-push"]), sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_push_algorithms_keep_requested_element_at_root(self, name, sequence):
+        algorithm = build(name)
+        for element in sequence:
+            algorithm.serve(element)
+            assert algorithm.network.element_at(0) == element
+
+    @given(st.sampled_from(["rotor-push", "random-push"]), sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_push_algorithm_cost_within_lemma1_bound(self, name, sequence):
+        algorithm = build(name)
+        for element in sequence:
+            level = algorithm.network.level_of(element)
+            record = algorithm.serve(element)
+            assert record.total_cost <= max(1, 4 * level)
+
+    @given(sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_rotor_state_invariant_preserved(self, sequence):
+        algorithm = build("rotor-push")
+        algorithm.run(sequence)
+        algorithm.network.rotor.validate()
+
+    @given(st.sampled_from(ALL_NAMES), sequences, st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_algorithms_are_reproducible(self, name, sequence, placement_seed):
+        first = make_algorithm(name, n_nodes=31, placement_seed=placement_seed, seed=9)
+        second = make_algorithm(name, n_nodes=31, placement_seed=placement_seed, seed=9)
+        assert first.run(sequence).total_cost == second.run(sequence).total_cost
+
+    @given(sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_static_algorithms_never_pay_adjustment(self, sequence):
+        for name in ("static-oblivious", "static-opt"):
+            algorithm = build(name)
+            assert algorithm.run(sequence).total_adjustment_cost == 0
+
+    @given(sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_static_opt_never_worse_than_oblivious_in_access(self, sequence):
+        opt = build("static-opt")
+        oblivious = build("static-oblivious")
+        assert (
+            opt.run(sequence).total_access_cost
+            <= oblivious.run(sequence).total_access_cost
+        )
+
+    @given(sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_exact_swaps_and_cycle_paths_agree_for_rotor(self, sequence):
+        fast = make_algorithm("rotor-push", n_nodes=31, placement_seed=3)
+        exact = make_algorithm("rotor-push", n_nodes=31, placement_seed=3, exact_swaps=True)
+        fast_result = fast.run(sequence)
+        exact_result = exact.run(sequence)
+        assert fast.network.placement() == exact.network.placement()
+        assert fast_result.total_cost == exact_result.total_cost

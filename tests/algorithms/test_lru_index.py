@@ -1,0 +1,83 @@
+"""Tests for the per-level least-recently-used index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.lru_index import LevelLRUIndex
+from repro.core import CompleteBinaryTree, TreeNetwork
+from repro.exceptions import AlgorithmError
+
+
+@pytest.fixture
+def network():
+    return TreeNetwork(CompleteBinaryTree.from_depth(3))
+
+
+@pytest.fixture
+def index(network):
+    return LevelLRUIndex(network)
+
+
+class TestInitialState:
+    def test_initial_levels_match_placement(self, network, index):
+        index.validate_against(network)
+
+    def test_never_accessed_elements_tie_break_by_identifier(self, index):
+        # All of level 3 (elements 7..14 under the identity placement) are
+        # unaccessed, so the LRU is the smallest identifier.
+        assert index.least_recently_used(3) == 7
+
+    def test_last_access_defaults_to_never(self, index):
+        assert index.last_access(5) == -1
+
+
+class TestAccessTracking:
+    def test_accessed_element_stops_being_lru(self, index):
+        index.record_access(7)
+        assert index.least_recently_used(3) == 8
+
+    def test_lru_is_oldest_access(self, index):
+        for element in (9, 8, 7):
+            index.record_access(element)
+        for element in (10, 11, 12, 13, 14):
+            index.record_access(element)
+        assert index.least_recently_used(3) == 9
+
+    def test_exclude_skips_element(self, index):
+        assert index.least_recently_used(3, exclude=7) == 8
+
+    def test_exclude_preserves_heap(self, index):
+        assert index.least_recently_used(3, exclude=7) == 8
+        # The excluded element must still be retrievable afterwards.
+        assert index.least_recently_used(3) == 7
+
+    def test_no_eligible_element_raises(self, index):
+        with pytest.raises(AlgorithmError):
+            index.least_recently_used(0, exclude=0)
+
+
+class TestMoves:
+    def test_move_changes_level(self, index):
+        index.move(7, 1)
+        assert index.level_of(7) == 1
+        assert index.least_recently_used(1) == 1  # elements 1, 2 and now 7; 1 wins ties
+
+    def test_move_to_same_level_is_noop(self, index):
+        index.move(7, 3)
+        assert index.level_of(7) == 3
+
+    def test_move_out_of_range_raises(self, index):
+        with pytest.raises(AlgorithmError):
+            index.move(7, 9)
+
+    def test_stale_entries_are_skipped(self, index):
+        index.record_access(7)
+        index.move(7, 0)
+        # Element 7 left level 3 entirely; its old heap entries must not surface.
+        assert index.least_recently_used(3) == 8
+
+    def test_validate_against_detects_mismatch(self, network, index):
+        index.move(7, 0)
+        with pytest.raises(AlgorithmError):
+            index.validate_against(network)

@@ -1,0 +1,94 @@
+"""Behavioural tests for Move-Half."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import MoveHalf
+from repro.core import CompleteBinaryTree, TreeNetwork
+
+
+def fresh_move_half(depth: int = 3, exact_swaps: bool = True) -> MoveHalf:
+    network = TreeNetwork(CompleteBinaryTree.from_depth(depth))
+    return MoveHalf(network, exact_swaps=exact_swaps)
+
+
+class TestServeBehaviour:
+    def test_accessed_element_moves_to_half_depth(self):
+        algorithm = fresh_move_half()
+        element = 12  # level 3 under the identity placement
+        algorithm.serve(element)
+        assert algorithm.network.level_of(element) == 1  # floor(3 / 2)
+
+    def test_partner_takes_the_vacated_node(self):
+        algorithm = fresh_move_half()
+        element = 12
+        source = algorithm.network.node_of(element)
+        # The partner is the least recently used element of level 1 (element 1
+        # under the identity placement, tie-broken by identifier).
+        algorithm.serve(element)
+        assert algorithm.network.element_at(source) == 1
+
+    def test_only_two_elements_move(self):
+        algorithm = fresh_move_half()
+        before = algorithm.network.placement()
+        algorithm.serve(12)
+        after = algorithm.network.placement()
+        moved = [node for node in range(15) if before[node] != after[node]]
+        assert len(moved) == 2
+
+    def test_root_access_is_a_noop(self):
+        algorithm = fresh_move_half()
+        record = algorithm.serve(0)
+        assert record.adjustment_cost == 0
+        assert algorithm.network.element_at(0) == 0
+
+    def test_level1_access_exchanges_with_root(self):
+        algorithm = fresh_move_half()
+        record = algorithm.serve(2)
+        assert algorithm.network.level_of(2) == 0
+        assert record.adjustment_cost == 1
+
+    def test_adjustment_cost_is_twice_distance_minus_one(self):
+        algorithm = fresh_move_half()
+        element = 12
+        source = algorithm.network.node_of(element)
+        partner_node = algorithm.network.node_of(1)
+        distance = algorithm.network.tree.distance(source, partner_node)
+        record = algorithm.serve(element)
+        assert record.adjustment_cost == 2 * distance - 1
+
+    def test_exact_and_analytic_variants_agree(self):
+        sequence = [12, 7, 3, 12, 9, 14, 2, 12]
+        exact = fresh_move_half(exact_swaps=True)
+        analytic = fresh_move_half(exact_swaps=False)
+        exact_result = exact.run(sequence)
+        analytic_result = analytic.run(sequence)
+        assert exact_result.total_cost == analytic_result.total_cost
+        # The exchanged pair is identical, so the final placements agree too.
+        assert exact.network.placement() == analytic.network.placement()
+
+    def test_bijection_and_index_stay_consistent(self, rng):
+        algorithm = fresh_move_half(depth=4)
+        for _ in range(400):
+            algorithm.serve(rng.randrange(31))
+        algorithm.network.validate()
+        algorithm._lru.validate_against(algorithm.network)
+
+    def test_repeated_access_keeps_promoting(self):
+        algorithm = fresh_move_half(depth=4)
+        element = 30  # deepest level
+        levels = []
+        for _ in range(4):
+            algorithm.serve(element)
+            levels.append(algorithm.network.level_of(element))
+        assert levels[0] == 2  # 4 // 2
+        assert levels[-1] == 0  # eventually reaches the root
+        assert levels == sorted(levels, reverse=True)
+
+    def test_is_deterministic(self):
+        sequence = [5, 9, 3, 5, 12, 1]
+        assert (
+            fresh_move_half().run(sequence).total_cost
+            == fresh_move_half().run(sequence).total_cost
+        )

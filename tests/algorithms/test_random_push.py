@@ -1,0 +1,97 @@
+"""Behavioural tests for Random-Push."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import RandomPush
+from repro.core import CompleteBinaryTree, TreeNetwork
+
+
+def fresh_random_push(depth: int = 3, seed: int = 1, exact_swaps: bool = False) -> RandomPush:
+    network = TreeNetwork(CompleteBinaryTree.from_depth(depth), with_rotor=False)
+    return RandomPush(network, seed=seed, exact_swaps=exact_swaps)
+
+
+class TestBasics:
+    def test_is_not_deterministic(self):
+        assert RandomPush.is_deterministic is False
+
+    def test_requested_element_lands_at_root(self):
+        algorithm = fresh_random_push(depth=4)
+        for element in (3, 28, 11, 3, 19):
+            algorithm.serve(element)
+            assert algorithm.network.element_at(0) == element
+
+    def test_root_request_has_no_swaps(self):
+        algorithm = fresh_random_push()
+        record = algorithm.serve(0)
+        assert record.access_cost == 1
+        assert record.adjustment_cost == 0
+
+    def test_cost_bounded_by_four_times_depth(self):
+        algorithm = fresh_random_push(depth=5, seed=9)
+        for element in range(0, 63, 4):
+            level = algorithm.network.level_of(element)
+            record = algorithm.serve(element)
+            assert record.total_cost <= max(1, 4 * level)
+
+    def test_bijection_preserved(self, rng):
+        algorithm = fresh_random_push(depth=4, seed=2)
+        for _ in range(300):
+            algorithm.serve(rng.randrange(31))
+        algorithm.network.validate()
+
+
+class TestRandomness:
+    def test_same_seed_gives_identical_runs(self):
+        sequence = [5, 9, 14, 2, 5, 11, 7, 5]
+        first = fresh_random_push(seed=77).run(sequence)
+        second = fresh_random_push(seed=77).run(sequence)
+        assert first.total_cost == second.total_cost
+
+    def test_different_seeds_can_differ(self):
+        sequence = list(range(15)) * 5
+        costs = {fresh_random_push(seed=s).run(sequence).total_cost for s in range(6)}
+        assert len(costs) > 1
+
+    def test_target_levels_are_respected(self):
+        """The displaced element stays on the requested element's level."""
+        algorithm = fresh_random_push(depth=4, seed=3)
+        element = 25
+        level = algorithm.network.level_of(element)
+        elements_on_level_before = set(algorithm.network.elements_at_level(level))
+        algorithm.serve(element)
+        elements_on_level_after = set(algorithm.network.elements_at_level(level))
+        # Exactly one element left the level (the requested one, to the root)
+        # and exactly one arrived (the one pushed down from the level above),
+        # unless the random target was the requested node itself.
+        left = elements_on_level_before - elements_on_level_after
+        assert left == {element} or left == set()
+
+    def test_exact_swaps_matches_cycle_realisation(self):
+        sequence = [5, 12, 3, 9, 5, 14]
+        fast = fresh_random_push(seed=4, exact_swaps=False)
+        exact = fresh_random_push(seed=4, exact_swaps=True)
+        fast_result = fast.run(sequence)
+        exact_result = exact.run(sequence)
+        assert fast.network.placement() == exact.network.placement()
+        assert fast_result.total_cost == exact_result.total_cost
+
+    def test_expected_behaviour_matches_rotor_on_average(self):
+        """Over a uniform workload Random-Push and Rotor-Push have very close cost.
+
+        This is the paper's Q4 observation (Figure 5b: mean difference around
+        zero); here we only check the two averages are within 15% of each other
+        on a small instance, which is robust at this scale.
+        """
+        import random
+
+        from repro.algorithms import RotorPush
+
+        generator = random.Random(99)
+        sequence = [generator.randrange(63) for _ in range(2_000)]
+        random_cost = fresh_random_push(depth=5, seed=8).run(sequence).average_total_cost
+        rotor_network = TreeNetwork(CompleteBinaryTree.from_depth(5), with_rotor=True)
+        rotor_cost = RotorPush(rotor_network).run(sequence).average_total_cost
+        assert random_cost == pytest.approx(rotor_cost, rel=0.15)

@@ -1,0 +1,136 @@
+"""Behavioural tests for Rotor-Push, including the Figure 1 worked example."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import RotorPush
+from repro.core import CompleteBinaryTree, TreeNetwork
+from repro.exceptions import AlgorithmError
+
+
+def fresh_rotor_push(depth: int = 3, exact_swaps: bool = False) -> RotorPush:
+    network = TreeNetwork(CompleteBinaryTree.from_depth(depth), with_rotor=True)
+    return RotorPush(network, exact_swaps=exact_swaps)
+
+
+class TestConstruction:
+    def test_requires_rotor_state(self, tree_depth3):
+        with pytest.raises(AlgorithmError):
+            RotorPush(TreeNetwork(tree_depth3, with_rotor=False))
+
+    def test_for_tree_attaches_rotor(self):
+        algorithm = RotorPush.for_tree(depth=3, placement_seed=1)
+        assert algorithm.network.rotor is not None
+
+    def test_is_deterministic(self):
+        assert RotorPush.is_deterministic is True
+
+
+class TestFigure1Example:
+    """The worked example of Figure 1: serving e6 from the initial all-left state.
+
+    With the identity placement element ``i`` sits at node ``i - 1`` of the
+    paper's drawing (the paper numbers elements from 1).  Serving the paper's
+    ``e6`` therefore means requesting our element 5 (at node 5, level 2).  The
+    paper's "after" tree shows: e6 at the root, e1 pushed to the old position
+    of e2, e2 pushed to the old position of e4, e4 moved to the old position of
+    e6, and the two topmost rotor pointers toggled.
+    """
+
+    def test_resulting_placement_matches_figure(self):
+        algorithm = fresh_rotor_push()
+        algorithm.serve(5)  # the paper's e6
+        network = algorithm.network
+        assert network.element_at(0) == 5  # e6 at the root
+        assert network.element_at(1) == 0  # e1 one level down along the global path
+        assert network.element_at(3) == 1  # e2 pushed to e4's old node
+        assert network.element_at(5) == 3  # e4 moved to e6's old node
+        # Everything else is untouched.
+        for node in (2, 4, 6, 7, 8, 9, 10, 11, 12, 13, 14):
+            assert network.element_at(node) == node
+
+    def test_rotor_pointers_after_figure1_request(self):
+        algorithm = fresh_rotor_push()
+        algorithm.serve(5)
+        rotor = algorithm.network.rotor
+        # flip(2) toggled the pointers of the two topmost global-path nodes.
+        assert rotor.pointer(0) == 1
+        assert rotor.pointer(1) == 1
+        assert rotor.pointer(2) == 0
+
+    def test_flip_ranks_after_figure1_request(self):
+        algorithm = fresh_rotor_push()
+        algorithm.serve(5)
+        rotor = algorithm.network.rotor
+        # After flip(2) the global path runs 0 -> 2 -> 5, so the level-1
+        # flip-ranks become (1, 0) and the level-2 flip-ranks (3, 1, 0, 2).
+        assert rotor.flip_ranks_at_level(1) == [1, 0]
+        assert rotor.flip_ranks_at_level(2) == [3, 1, 0, 2]
+        rotor.validate()
+
+    def test_exact_swaps_variant_matches_cycle_variant(self):
+        fast = fresh_rotor_push(exact_swaps=False)
+        exact = fresh_rotor_push(exact_swaps=True)
+        for element in (5, 11, 3, 5, 14, 0, 7):
+            fast.serve(element)
+            exact.serve(element)
+        assert fast.network.placement() == exact.network.placement()
+        assert (
+            fast.network.ledger.total_cost == exact.network.ledger.total_cost
+        )
+
+
+class TestServeBehaviour:
+    def test_requested_element_always_lands_at_root(self):
+        algorithm = fresh_rotor_push(depth=4)
+        for element in (7, 19, 2, 30, 7, 12):
+            algorithm.serve(element)
+            assert algorithm.network.element_at(0) == element
+
+    def test_request_to_root_element_is_free_of_swaps(self):
+        algorithm = fresh_rotor_push()
+        first = algorithm.serve(0)
+        assert first.access_cost == 1
+        assert first.adjustment_cost == 0
+
+    def test_cost_bounded_by_four_times_depth(self):
+        algorithm = fresh_rotor_push(depth=5)
+        for element in range(0, 63, 5):
+            level = algorithm.network.level_of(element)
+            record = algorithm.serve(element)
+            assert record.total_cost <= max(1, 4 * level)
+
+    def test_global_path_elements_are_pushed_one_level_down(self):
+        algorithm = fresh_rotor_push(depth=4)
+        rotor = algorithm.network.rotor
+        path_before = rotor.global_path()
+        # Request the element at the global-path leaf: u == v, pure push-down.
+        leaf = path_before[-1]
+        element = algorithm.network.element_at(leaf)
+        displaced = [algorithm.network.element_at(node) for node in path_before[:-1]]
+        algorithm.serve(element)
+        for index, node in enumerate(path_before[1:], start=1):
+            assert algorithm.network.element_at(node) == displaced[index - 1]
+
+    def test_determinism_across_instances(self):
+        first = fresh_rotor_push(depth=4)
+        second = fresh_rotor_push(depth=4)
+        sequence = [3, 17, 8, 3, 25, 30, 1, 3]
+        first_result = first.run(sequence)
+        second_result = second.run(sequence)
+        assert first_result.total_cost == second_result.total_cost
+        assert first.network.placement() == second.network.placement()
+
+    def test_bijection_preserved_over_long_run(self, rng):
+        algorithm = fresh_rotor_push(depth=4)
+        for _ in range(300):
+            algorithm.serve(rng.randrange(31))
+        algorithm.network.validate()
+        algorithm.network.rotor.validate()
+
+    def test_repeated_requests_to_same_element_become_cheap(self):
+        algorithm = fresh_rotor_push(depth=5)
+        costs = [algorithm.serve(40).total_cost for _ in range(4)]
+        assert costs[1] == 1  # already at the root, no swaps
+        assert costs[-1] <= costs[0]

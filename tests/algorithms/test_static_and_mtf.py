@@ -1,0 +1,134 @@
+"""Tests for Static-Oblivious, Static-Opt and the Move-To-Front baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import MoveToFrontTree, StaticOblivious, StaticOpt
+from repro.algorithms.static_opt import frequency_placement
+from repro.core import CompleteBinaryTree, TreeNetwork
+from repro.exceptions import AlgorithmError
+from repro.workloads.adversarial import round_robin_path_sequence
+
+
+class TestStaticOblivious:
+    def test_never_moves_elements(self):
+        algorithm = StaticOblivious.for_tree(n_nodes=15, placement_seed=4)
+        before = algorithm.network.placement()
+        algorithm.run([3, 7, 3, 1, 14, 3])
+        assert algorithm.network.placement() == before
+
+    def test_zero_adjustment_cost(self):
+        algorithm = StaticOblivious.for_tree(n_nodes=15, placement_seed=4)
+        result = algorithm.run([3, 7, 3, 1, 14, 3])
+        assert result.total_adjustment_cost == 0
+
+    def test_access_cost_is_static_level_plus_one(self):
+        algorithm = StaticOblivious.for_tree(n_nodes=15, placement_seed=4)
+        level = algorithm.network.level_of(9)
+        record = algorithm.serve(9)
+        assert record.access_cost == level + 1
+        assert algorithm.serve(9).access_cost == level + 1
+
+
+class TestFrequencyPlacement:
+    def test_most_frequent_element_at_root(self):
+        placement = frequency_placement(7, [3, 3, 3, 1, 1, 5])
+        assert placement[0] == 3
+        assert placement[1] == 1
+        assert placement[2] == 5
+
+    def test_ties_broken_by_identifier(self):
+        placement = frequency_placement(7, [6, 2])
+        assert placement[0] == 2
+        assert placement[1] == 6
+
+    def test_unrequested_elements_fill_remaining_nodes(self):
+        placement = frequency_placement(7, [4])
+        assert placement[0] == 4
+        assert sorted(placement) == list(range(7))
+
+    def test_out_of_universe_element_raises(self):
+        with pytest.raises(AlgorithmError):
+            frequency_placement(7, [9])
+
+
+class TestStaticOpt:
+    def test_requires_preparation(self):
+        algorithm = StaticOpt.for_tree(n_nodes=15, placement_seed=4)
+        with pytest.raises(AlgorithmError):
+            algorithm.serve(3)
+
+    def test_run_prepares_automatically(self):
+        algorithm = StaticOpt.for_tree(n_nodes=15, placement_seed=4)
+        result = algorithm.run([3, 3, 3, 7, 7, 1])
+        assert result.n_requests == 6
+        assert result.total_adjustment_cost == 0
+
+    def test_most_frequent_element_costs_one(self):
+        algorithm = StaticOpt.for_tree(n_nodes=15, placement_seed=4)
+        sequence = [5] * 10 + [2] * 3 + [9]
+        algorithm.prepare(sequence)
+        assert algorithm.serve(5).access_cost == 1
+
+    def test_never_adjusts_after_preparation(self):
+        algorithm = StaticOpt.for_tree(n_nodes=15, placement_seed=4)
+        sequence = [5, 5, 2, 9, 5]
+        algorithm.prepare(sequence)
+        placement = algorithm.network.placement()
+        for element in sequence:
+            algorithm.serve(element)
+        assert algorithm.network.placement() == placement
+
+    def test_beats_static_oblivious_on_skewed_input(self):
+        sequence = [1] * 500 + [13] * 5 + [7] * 3
+        opt = StaticOpt.for_tree(n_nodes=15, placement_seed=4)
+        oblivious = StaticOblivious.for_tree(n_nodes=15, placement_seed=4)
+        assert opt.run(sequence).total_cost <= oblivious.run(sequence).total_cost
+
+
+class TestMoveToFront:
+    def test_accessed_element_moves_to_root(self):
+        algorithm = MoveToFrontTree(TreeNetwork(CompleteBinaryTree.from_depth(3)))
+        algorithm.serve(11)
+        assert algorithm.network.element_at(0) == 11
+
+    def test_path_elements_pushed_down(self):
+        algorithm = MoveToFrontTree(TreeNetwork(CompleteBinaryTree.from_depth(3)))
+        algorithm.serve(11)  # access path 0 -> 2 -> 5 -> 11
+        assert algorithm.network.element_at(2) == 0
+        assert algorithm.network.element_at(5) == 2
+        assert algorithm.network.element_at(11) == 5
+
+    def test_adjustment_cost_equals_depth(self):
+        algorithm = MoveToFrontTree(TreeNetwork(CompleteBinaryTree.from_depth(3)))
+        record = algorithm.serve(11)
+        assert record.adjustment_cost == 3
+
+    def test_round_robin_path_keeps_costs_high(self):
+        """The Section 1.1 lower-bound scenario: MTF pays ~depth for every request."""
+        depth = 5
+        algorithm = MoveToFrontTree(TreeNetwork(CompleteBinaryTree.from_depth(depth)))
+        sequence = round_robin_path_sequence(depth, (depth + 1) * 20)
+        result = algorithm.run(sequence)
+        # After the first cycle every request finds its element back at the leaf.
+        steady_state = result.per_request[depth + 1 :]
+        assert all(record.access_cost == depth + 1 for record in steady_state)
+
+    def test_rotor_push_is_cheaper_on_the_round_robin_path(self):
+        """Rotor-Push spreads the path elements out and beats MTF on its bad input."""
+        from repro.algorithms import RotorPush
+
+        depth = 5
+        sequence = round_robin_path_sequence(depth, (depth + 1) * 40)
+        mtf = MoveToFrontTree(TreeNetwork(CompleteBinaryTree.from_depth(depth)))
+        rotor = RotorPush(TreeNetwork(CompleteBinaryTree.from_depth(depth), with_rotor=True))
+        assert (
+            rotor.run(sequence).total_access_cost < mtf.run(sequence).total_access_cost
+        )
+
+    def test_bijection_preserved(self, rng):
+        algorithm = MoveToFrontTree(TreeNetwork(CompleteBinaryTree.from_depth(4)))
+        for _ in range(200):
+            algorithm.serve(rng.randrange(31))
+        algorithm.network.validate()

@@ -1,0 +1,134 @@
+"""Tests for the credit/potential functions of the competitive analyses."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.potential import (
+    ROTOR_PUSH_COMPETITIVE_RATIO,
+    ROTOR_PUSH_CREDIT_FACTOR,
+    PotentialTracker,
+    element_credit,
+    flip_rank_weight,
+    level_weight,
+    total_credit,
+)
+from repro.core import CompleteBinaryTree, TreeNetwork
+from repro.exceptions import AlgorithmError
+
+
+class TestWeights:
+    def test_level_weight_zero_when_close_to_opt(self):
+        assert level_weight(level=3, opt_level=1) == 0  # 3 < 2*1 + 2
+        assert level_weight(level=2, opt_level=1) == 0
+
+    def test_level_weight_positive_when_far_below_opt(self):
+        assert level_weight(level=4, opt_level=1) == 1  # 4 - 2 - 1
+        assert level_weight(level=7, opt_level=1) == 4
+
+    def test_level_weight_equation_one(self):
+        for level in range(12):
+            for opt_level in range(6):
+                expected = level - 2 * opt_level - 1 if level >= 2 * opt_level + 2 else 0
+                assert level_weight(level, opt_level) == expected
+
+    def test_flip_rank_weight_zero_when_close_to_opt(self):
+        assert flip_rank_weight(level=2, opt_level=1, flip_rank=0) == 0.0
+
+    def test_flip_rank_weight_equation_two(self):
+        assert flip_rank_weight(level=3, opt_level=1, flip_rank=0) == pytest.approx(1.0)
+        assert flip_rank_weight(level=3, opt_level=1, flip_rank=7) == pytest.approx(1 / 8)
+        assert flip_rank_weight(level=3, opt_level=0, flip_rank=4) == pytest.approx(0.5)
+
+    def test_flip_rank_weight_in_unit_interval(self):
+        for level in range(1, 6):
+            for rank in range(1 << level):
+                assert 0.0 <= flip_rank_weight(level, 0, rank) <= 1.0
+
+    def test_element_credit_combines_weights(self):
+        credit = element_credit(level=5, opt_level=1, flip_rank=0)
+        expected = ROTOR_PUSH_CREDIT_FACTOR * (level_weight(5, 1) + flip_rank_weight(5, 1, 0))
+        assert credit == pytest.approx(expected)
+
+    def test_credit_non_negative(self):
+        for level in range(6):
+            for opt_level in range(4):
+                assert element_credit(level, opt_level, flip_rank=0) >= 0.0
+
+
+class TestTotalCredit:
+    def test_identical_trees_have_zero_credit(self):
+        network = TreeNetwork(CompleteBinaryTree.from_depth(3), with_rotor=True)
+        opt_levels = [network.tree.level(node) for node in range(15)]
+        assert total_credit(network, opt_levels) == pytest.approx(0.0)
+
+    def test_requires_rotor(self):
+        network = TreeNetwork(CompleteBinaryTree.from_depth(3), with_rotor=False)
+        with pytest.raises(AlgorithmError):
+            total_credit(network, [0] * 15)
+
+    def test_requires_matching_length(self):
+        network = TreeNetwork(CompleteBinaryTree.from_depth(3), with_rotor=True)
+        with pytest.raises(AlgorithmError):
+            total_credit(network, [0, 1])
+
+    def test_deep_misplacement_gives_positive_credit(self):
+        # Every element that OPT keeps at the root but we keep at a leaf should carry credit.
+        tree = CompleteBinaryTree.from_depth(3)
+        network = TreeNetwork(tree, with_rotor=True)
+        opt_levels = [0] * 15  # a fictional OPT that keeps everything at the root
+        assert total_credit(network, opt_levels) > 0.0
+
+
+class TestPotentialTracker:
+    def test_rejects_non_bijective_reference(self):
+        with pytest.raises(AlgorithmError):
+            PotentialTracker(depth=2, reference_placement=[0] * 7)
+
+    def test_round_checks_record_costs(self):
+        tracker = PotentialTracker(depth=3)
+        check = tracker.serve(11)
+        assert check.element == 11
+        assert check.opt_cost == 4.0  # identity reference: element 11 sits at level 3
+        assert check.bound == ROTOR_PUSH_COMPETITIVE_RATIO * 4.0
+
+    def test_amortised_inequality_on_fixed_sequence(self):
+        tracker = PotentialTracker(depth=4)
+        sequence = [30, 7, 30, 18, 3, 3, 30, 11, 25, 0, 14, 30]
+        for check in tracker.run(sequence):
+            assert check.holds
+        assert tracker.all_hold()
+
+    def test_summary_counts_rounds(self):
+        tracker = PotentialTracker(depth=3)
+        tracker.run([5, 9, 5, 1])
+        summary = tracker.summary()
+        assert summary["rounds"] == 4.0
+        assert summary["violations"] == 0.0
+        assert summary["max_ratio"] <= 1.0 + 1e-9
+
+    def test_empty_summary(self):
+        assert PotentialTracker(depth=2).summary()["rounds"] == 0.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_theorem7_inequality_holds_for_arbitrary_sequences(self, sequence):
+        """Per-round amortised cost never exceeds 12x the reference (OPT) access cost."""
+        tracker = PotentialTracker(depth=4)
+        for check in tracker.run(sequence):
+            assert check.holds
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=14), min_size=1, max_size=40),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_inequality_holds_for_shuffled_reference_placements(self, sequence, rng):
+        """The per-round argument is valid for any fixed reference placement."""
+        reference = list(range(15))
+        rng.shuffle(reference)
+        tracker = PotentialTracker(depth=3, reference_placement=reference)
+        for check in tracker.run(sequence):
+            assert check.holds

@@ -1,0 +1,51 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import CompleteBinaryTree, RotorState, TreeNetwork
+
+
+@pytest.fixture
+def tree_depth3() -> CompleteBinaryTree:
+    """The 15-node tree used by Figure 1 of the paper."""
+    return CompleteBinaryTree.from_depth(3)
+
+
+@pytest.fixture
+def tree_depth5() -> CompleteBinaryTree:
+    """A 63-node tree, large enough for non-trivial algorithm behaviour."""
+    return CompleteBinaryTree.from_depth(5)
+
+
+@pytest.fixture
+def network_depth3(tree_depth3) -> TreeNetwork:
+    """Identity-placed network on the 15-node tree, with rotor pointers."""
+    return TreeNetwork(tree_depth3, with_rotor=True)
+
+
+@pytest.fixture
+def network_depth5_random(tree_depth5) -> TreeNetwork:
+    """Randomly-placed network on the 63-node tree, with rotor pointers."""
+    return TreeNetwork.with_random_placement(tree_depth5, seed=123, with_rotor=True)
+
+
+@pytest.fixture
+def rotor_depth3(tree_depth3) -> RotorState:
+    """All-left rotor state on the 15-node tree (the paper's initial state)."""
+    return RotorState(tree_depth3)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A seeded random generator for tests that need auxiliary randomness."""
+    return random.Random(20220422)
+
+
+@pytest.fixture
+def short_uniform_sequence(rng) -> list:
+    """A short uniform request sequence over 63 elements."""
+    return [rng.randrange(63) for _ in range(500)]

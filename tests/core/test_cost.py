@@ -1,0 +1,123 @@
+"""Unit tests for the cost ledger and request cost records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import CostLedger, RequestCost
+from repro.exceptions import CostAccountingError
+
+
+class TestRequestCost:
+    def test_total_cost(self):
+        record = RequestCost(element=3, access_cost=5, adjustment_cost=7, level_at_access=4)
+        assert record.total_cost == 12
+
+    def test_record_is_frozen(self):
+        record = RequestCost(element=3, access_cost=5, adjustment_cost=7, level_at_access=4)
+        with pytest.raises(AttributeError):
+            record.access_cost = 1  # type: ignore[misc]
+
+
+class TestLedgerProtocol:
+    def test_open_charge_close(self):
+        ledger = CostLedger()
+        ledger.open_request(element=2, level_at_access=3)
+        ledger.charge_swaps(5)
+        record = ledger.close_request()
+        assert record.access_cost == 4
+        assert record.adjustment_cost == 5
+        assert record.element == 2
+
+    def test_double_open_raises(self):
+        ledger = CostLedger()
+        ledger.open_request(0, 0)
+        with pytest.raises(CostAccountingError):
+            ledger.open_request(1, 1)
+
+    def test_charge_without_open_raises(self):
+        with pytest.raises(CostAccountingError):
+            CostLedger().charge_swaps(1)
+
+    def test_close_without_open_raises(self):
+        with pytest.raises(CostAccountingError):
+            CostLedger().close_request()
+
+    def test_negative_level_raises(self):
+        with pytest.raises(CostAccountingError):
+            CostLedger().open_request(0, -1)
+
+    def test_negative_swaps_raise(self):
+        ledger = CostLedger()
+        ledger.open_request(0, 0)
+        with pytest.raises(CostAccountingError):
+            ledger.charge_swaps(-2)
+
+    def test_request_open_flag(self):
+        ledger = CostLedger()
+        assert not ledger.request_open
+        ledger.open_request(0, 0)
+        assert ledger.request_open
+        ledger.close_request()
+        assert not ledger.request_open
+
+
+class TestAggregation:
+    def _serve(self, ledger: CostLedger, element: int, level: int, swaps: int) -> None:
+        ledger.open_request(element, level)
+        ledger.charge_swaps(swaps)
+        ledger.close_request()
+
+    def test_totals_accumulate(self):
+        ledger = CostLedger()
+        self._serve(ledger, 0, 2, 3)
+        self._serve(ledger, 1, 4, 0)
+        assert ledger.n_requests == 2
+        assert ledger.total_access_cost == 3 + 5
+        assert ledger.total_adjustment_cost == 3
+        assert ledger.total_cost == 11
+
+    def test_averages(self):
+        ledger = CostLedger()
+        self._serve(ledger, 0, 1, 2)
+        self._serve(ledger, 1, 3, 4)
+        assert ledger.average_access_cost() == pytest.approx(3.0)
+        assert ledger.average_adjustment_cost() == pytest.approx(3.0)
+        assert ledger.average_total_cost() == pytest.approx(6.0)
+
+    def test_averages_with_no_requests(self):
+        ledger = CostLedger()
+        assert ledger.average_access_cost() == 0.0
+        assert ledger.average_adjustment_cost() == 0.0
+        assert ledger.average_total_cost() == 0.0
+
+    def test_keep_records_false_drops_history_but_keeps_totals(self):
+        ledger = CostLedger(keep_records=False)
+        self._serve(ledger, 0, 2, 3)
+        self._serve(ledger, 1, 1, 1)
+        assert ledger.records == []
+        assert ledger.n_requests == 2
+        assert ledger.total_cost == 3 + 3 + 2 + 1
+
+    def test_reset(self):
+        ledger = CostLedger()
+        self._serve(ledger, 0, 2, 3)
+        ledger.reset()
+        assert ledger.n_requests == 0
+        assert ledger.total_cost == 0
+        assert ledger.records == []
+
+    def test_reset_while_open_raises(self):
+        ledger = CostLedger()
+        ledger.open_request(0, 0)
+        with pytest.raises(CostAccountingError):
+            ledger.reset()
+
+    def test_snapshot_totals(self):
+        ledger = CostLedger()
+        self._serve(ledger, 0, 2, 3)
+        snapshot = ledger.snapshot_totals()
+        assert snapshot["n_requests"] == 1
+        assert snapshot["total_access_cost"] == 3
+        assert snapshot["total_adjustment_cost"] == 3
+        assert snapshot["average_total_cost"] == pytest.approx(6.0)

@@ -1,0 +1,82 @@
+"""Tests for the text rendering helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CompleteBinaryTree, TreeNetwork
+from repro.core.render import (
+    MAX_RENDER_NODES,
+    render_figure1_style,
+    render_levels,
+    render_tree,
+)
+from repro.exceptions import TreeStructureError
+
+
+class TestRenderLevels:
+    def test_every_level_on_its_own_line(self, network_depth3):
+        output = render_levels(network_depth3)
+        lines = output.splitlines()
+        assert len(lines) == 4
+        assert lines[0] == "level 0: e0"
+        assert lines[1] == "level 1: e1  e2"
+
+    def test_flip_rank_annotations_match_figure1(self, network_depth3):
+        output = render_levels(network_depth3, show_flip_ranks=True)
+        # Leaf level of the all-left initial state: flip-ranks 0 4 2 6 1 5 3 7.
+        assert "e7/0  e8/4  e9/2  e10/6  e11/1  e12/5  e13/3  e14/7" in output
+
+    def test_flip_ranks_require_rotor(self, tree_depth3):
+        network = TreeNetwork(tree_depth3, with_rotor=False)
+        with pytest.raises(TreeStructureError):
+            render_levels(network, show_flip_ranks=True)
+
+    def test_large_trees_are_refused(self):
+        depth = MAX_RENDER_NODES.bit_length()  # guarantees n_nodes > limit
+        network = TreeNetwork(CompleteBinaryTree.from_depth(depth))
+        with pytest.raises(TreeStructureError):
+            render_levels(network)
+
+
+class TestRenderTree:
+    def test_outline_contains_every_node(self, network_depth3):
+        output = render_tree(network_depth3)
+        for node in range(15):
+            assert f"[{node}]" in output
+
+    def test_rotor_pointer_annotations(self, network_depth3):
+        output = render_tree(network_depth3)
+        assert "->L" in output
+        network_depth3.rotor.toggle(0)
+        assert "->R" in render_tree(network_depth3)
+
+    def test_subtree_rendering(self, network_depth3):
+        output = render_tree(network_depth3, node=2)
+        assert "[2]" in output
+        assert "[1]" not in output
+
+    def test_render_without_rotor(self, tree_depth3):
+        network = TreeNetwork(tree_depth3, with_rotor=False)
+        output = render_tree(network)
+        assert "->L" not in output
+
+
+class TestFigure1Style:
+    def test_contains_levels_and_global_path(self, network_depth3):
+        output = render_figure1_style(network_depth3)
+        assert "global path: e0 -> e1 -> e3 -> e7" in output
+        assert "level 3" in output
+
+    def test_requires_rotor(self, tree_depth3):
+        network = TreeNetwork(tree_depth3, with_rotor=False)
+        with pytest.raises(TreeStructureError):
+            render_figure1_style(network)
+
+    def test_reflects_algorithm_state(self, network_depth3):
+        from repro.algorithms import RotorPush
+
+        algorithm = RotorPush(network_depth3)
+        algorithm.serve(5)
+        output = render_figure1_style(network_depth3)
+        assert output.splitlines()[0] == "level 0: e5/0"

@@ -1,0 +1,220 @@
+"""Unit tests for rotor pointers, global paths, flips and flip-ranks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CompleteBinaryTree, RotorState
+from repro.exceptions import RotorStateError
+
+
+class TestConstruction:
+    def test_default_pointers_are_left(self, rotor_depth3):
+        assert all(direction == 0 for direction in rotor_depth3.pointers())
+
+    def test_pointer_count_matches_internal_nodes(self, tree_depth3):
+        assert len(RotorState(tree_depth3).pointers()) == 7
+
+    def test_explicit_pointers(self, tree_depth3):
+        state = RotorState(tree_depth3, pointers=[1] * 7)
+        assert state.pointed_child(0) == 2
+
+    def test_wrong_pointer_count_raises(self, tree_depth3):
+        with pytest.raises(RotorStateError):
+            RotorState(tree_depth3, pointers=[0, 1])
+
+    def test_invalid_pointer_value_raises(self, tree_depth3):
+        with pytest.raises(RotorStateError):
+            RotorState(tree_depth3, pointers=[0, 1, 2, 0, 0, 0, 0])
+
+    def test_single_node_tree_has_no_pointers(self):
+        state = RotorState(CompleteBinaryTree(1))
+        assert state.pointers() == []
+        assert state.global_path() == [0]
+
+    def test_copy_is_independent(self, rotor_depth3):
+        clone = rotor_depth3.copy()
+        clone.toggle(0)
+        assert rotor_depth3.pointer(0) == 0
+        assert clone.pointer(0) == 1
+
+    def test_equality(self, tree_depth3):
+        assert RotorState(tree_depth3) == RotorState(tree_depth3)
+        other = RotorState(tree_depth3)
+        other.toggle(0)
+        assert RotorState(tree_depth3) != other
+
+
+class TestPointers:
+    def test_toggle_flips_and_returns_new_direction(self, rotor_depth3):
+        assert rotor_depth3.toggle(0) == 1
+        assert rotor_depth3.toggle(0) == 0
+
+    def test_pointer_of_leaf_raises(self, rotor_depth3):
+        with pytest.raises(RotorStateError):
+            rotor_depth3.pointer(7)
+        with pytest.raises(RotorStateError):
+            rotor_depth3.toggle(7)
+
+    def test_set_pointer(self, rotor_depth3):
+        rotor_depth3.set_pointer(1, 1)
+        assert rotor_depth3.pointed_child(1) == 4
+
+    def test_set_pointer_invalid_direction(self, rotor_depth3):
+        with pytest.raises(RotorStateError):
+            rotor_depth3.set_pointer(1, 5)
+
+    def test_reset(self, rotor_depth3):
+        rotor_depth3.toggle(0)
+        rotor_depth3.toggle(3)
+        rotor_depth3.reset()
+        assert all(direction == 0 for direction in rotor_depth3.pointers())
+
+    def test_reset_to_right(self, rotor_depth3):
+        rotor_depth3.reset(direction=1)
+        assert all(direction == 1 for direction in rotor_depth3.pointers())
+
+    def test_apply_pointer_assignment(self, rotor_depth3):
+        rotor_depth3.apply_pointer_assignment([1, 0, 1, 0, 1, 0, 1])
+        assert rotor_depth3.pointers() == [1, 0, 1, 0, 1, 0, 1]
+
+    def test_apply_pointer_assignment_wrong_length(self, rotor_depth3):
+        with pytest.raises(RotorStateError):
+            rotor_depth3.apply_pointer_assignment([0, 1])
+
+
+class TestGlobalPath:
+    def test_initial_global_path_is_leftmost(self, rotor_depth3):
+        assert rotor_depth3.global_path() == [0, 1, 3, 7]
+
+    def test_global_path_truncation(self, rotor_depth3):
+        assert rotor_depth3.global_path(down_to_level=2) == [0, 1, 3]
+
+    def test_global_path_node(self, rotor_depth3):
+        assert rotor_depth3.global_path_node(2) == 3
+
+    def test_global_path_after_toggle(self, rotor_depth3):
+        rotor_depth3.toggle(0)
+        assert rotor_depth3.global_path() == [0, 2, 5, 11]
+
+    def test_on_global_path(self, rotor_depth3):
+        assert rotor_depth3.on_global_path(3)
+        assert not rotor_depth3.on_global_path(4)
+
+    def test_global_path_bad_level(self, rotor_depth3):
+        with pytest.raises(RotorStateError):
+            rotor_depth3.global_path(down_to_level=9)
+
+
+class TestFlip:
+    def test_flip_toggles_only_path_prefix(self, rotor_depth3):
+        before = rotor_depth3.pointers()
+        path = rotor_depth3.flip(2)
+        after = rotor_depth3.pointers()
+        assert path == [0, 1, 3]
+        # Pointers at nodes 0 and 1 toggled, everything else unchanged.
+        assert after[0] != before[0]
+        assert after[1] != before[1]
+        assert after[2:] == before[2:]
+
+    def test_flip_zero_is_noop(self, rotor_depth3):
+        before = rotor_depth3.pointers()
+        rotor_depth3.flip(0)
+        assert rotor_depth3.pointers() == before
+
+    def test_flip_bad_level(self, rotor_depth3):
+        with pytest.raises(RotorStateError):
+            rotor_depth3.flip(10)
+
+    def test_repeated_full_flips_cycle_through_all_leaves(self, rotor_depth3):
+        depth = 3
+        visited = set()
+        for _ in range(1 << depth):
+            visited.add(rotor_depth3.global_path_node(depth))
+            rotor_depth3.flip(depth)
+        assert visited == set(range(7, 15))
+
+    def test_flip_period_is_two_to_the_level(self, rotor_depth3):
+        initial = rotor_depth3.pointers()
+        for _ in range(1 << 3):
+            rotor_depth3.flip(3)
+        assert rotor_depth3.pointers() == initial
+
+
+class TestFlipRanks:
+    def test_figure1_initial_flip_ranks(self, rotor_depth3):
+        """The leaf flip-ranks of the all-left state match Figure 1 of the paper."""
+        assert rotor_depth3.flip_ranks_at_level(3) == [0, 4, 2, 6, 1, 5, 3, 7]
+        assert rotor_depth3.flip_ranks_at_level(2) == [0, 2, 1, 3]
+        assert rotor_depth3.flip_ranks_at_level(1) == [0, 1]
+        assert rotor_depth3.flip_ranks_at_level(0) == [0]
+
+    def test_flip_ranks_are_permutation_at_every_level(self, rotor_depth3):
+        rotor_depth3.validate()
+        rotor_depth3.toggle(0)
+        rotor_depth3.toggle(4)
+        rotor_depth3.validate()
+
+    def test_flip_rank_zero_iff_on_global_path(self, rotor_depth3):
+        for node in range(15):
+            on_path = rotor_depth3.on_global_path(node)
+            assert (rotor_depth3.flip_rank(node) == 0) == on_path
+
+    def test_flip_rank_definition_matches_simulation(self, tree_depth3):
+        """frnk(u) is the number of flips after which u joins the global path."""
+        state = RotorState(tree_depth3, pointers=[1, 0, 1, 0, 0, 1, 0])
+        for level in range(4):
+            visited = state.simulate_flip_sequence(level, (1 << level) - 1)
+            for node in tree_depth3.nodes_at_level(level):
+                assert visited[state.flip_rank(node)] == node
+
+    def test_lemma2_recursive_decomposition(self, tree_depth3):
+        """frnk_T(v) = frnk_T(u) + frnk_{T[u]}(v) * 2**level(u) for ancestors u."""
+        state = RotorState(tree_depth3, pointers=[1, 1, 0, 0, 1, 0, 1])
+        for node in range(15):
+            for level in range(tree_depth3.level(node) + 1):
+                ancestor = tree_depth3.ancestor_at_level(node, level)
+                expected = state.flip_rank(ancestor) + state.flip_rank_within(
+                    ancestor, node
+                ) * (1 << level)
+                assert state.flip_rank(node) == expected
+
+    def test_flip_rank_within_requires_ancestor(self, rotor_depth3):
+        with pytest.raises(RotorStateError):
+            rotor_depth3.flip_rank_within(1, 14)
+
+    def test_node_with_flip_rank_inverts_flip_rank(self, rotor_depth3):
+        rotor_depth3.toggle(0)
+        rotor_depth3.toggle(2)
+        for level in range(4):
+            for rank in range(1 << level):
+                node = rotor_depth3.node_with_flip_rank(level, rank)
+                assert rotor_depth3.flip_rank(node) == rank
+
+    def test_node_with_flip_rank_bad_rank(self, rotor_depth3):
+        with pytest.raises(RotorStateError):
+            rotor_depth3.node_with_flip_rank(2, 4)
+
+    def test_lemma3_flip_decreases_ranks_on_shallow_levels(self, rotor_depth3):
+        """After flip(d), a node at level <= d with rank 0 wraps to 2**d - 1, others drop by 1."""
+        depth = 2
+        before = {node: rotor_depth3.flip_rank(node) for node in range(7)}
+        rotor_depth3.flip(depth)
+        for node, old_rank in before.items():
+            level = (node + 1).bit_length() - 1
+            if level > depth:
+                continue
+            new_rank = rotor_depth3.flip_rank(node)
+            if old_rank == 0:
+                assert new_rank == (1 << level) - 1
+            else:
+                assert new_rank == old_rank - 1
+
+    def test_simulate_flip_sequence_restores_state(self, rotor_depth3):
+        before = rotor_depth3.pointers()
+        rotor_depth3.simulate_flip_sequence(3, 5)
+        assert rotor_depth3.pointers() == before
+
+    def test_simulate_flip_sequence_negative_count(self, rotor_depth3):
+        with pytest.raises(RotorStateError):
+            rotor_depth3.simulate_flip_sequence(2, -1)

@@ -1,0 +1,121 @@
+"""Tests for the adversarial constructions (Lemma 8 and the MTF lower bound)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.working_set import max_working_set_violation, ranks_of_sequence
+from repro.core import CompleteBinaryTree
+from repro.exceptions import WorkloadError
+from repro.workloads.adversarial import (
+    MoveToFrontLowerBoundAdversary,
+    RotorPushWorkingSetAdversary,
+    round_robin_path_sequence,
+    working_set_adversary_nodes,
+)
+
+
+class TestNodeSet:
+    def test_size_is_2x_minus_1(self):
+        for depth in range(1, 7):
+            tree = CompleteBinaryTree.from_depth(depth)
+            assert len(working_set_adversary_nodes(tree)) == 2 * (depth + 1) - 1
+
+    def test_contains_root_and_leftmost_pairs(self):
+        tree = CompleteBinaryTree.from_depth(3)
+        nodes = working_set_adversary_nodes(tree)
+        assert 0 in nodes
+        assert {1, 2, 3, 4, 7, 8} <= nodes
+        assert 5 not in nodes
+
+
+class TestRoundRobinSequence:
+    def test_cycles_through_path_elements(self):
+        sequence = round_robin_path_sequence(3, 8)
+        assert sequence == [7, 3, 1, 0, 7, 3, 1, 0]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(WorkloadError):
+            round_robin_path_sequence(-1, 5)
+        with pytest.raises(WorkloadError):
+            round_robin_path_sequence(3, -5)
+
+    def test_depth_zero(self):
+        assert round_robin_path_sequence(0, 3) == [0, 0, 0]
+
+
+class TestRotorPushAdversary:
+    def test_requests_confined_to_target_elements(self):
+        adversary = RotorPushWorkingSetAdversary(depth=4)
+        sequence = adversary.generate(300)
+        # The requested elements all started on nodes of S (identity placement),
+        # and the push-downs keep them within a bounded population.
+        assert len(set(sequence)) <= 4 * (4 + 1)
+
+    def test_working_set_stays_small(self):
+        adversary = RotorPushWorkingSetAdversary(depth=5)
+        sequence = adversary.generate(800)
+        limit = 2 * (5 + 1) - 1
+        ranks = ranks_of_sequence(sequence)
+        # After the warm-up phase the rank never exceeds the |S| bound of the lemma.
+        assert max(ranks[limit:]) <= limit
+
+    def test_access_cost_reaches_tree_depth(self):
+        """Lemma 8: the access cost of some request reaches the full depth."""
+        depth = 6
+        adversary = RotorPushWorkingSetAdversary(depth=depth)
+        _, costs = adversary.generate_with_costs(3_000)
+        assert max(record.access_cost for record in costs) >= depth
+
+    def test_violation_ratio_grows_with_depth(self):
+        """Access cost / log(working set) grows roughly linearly in the depth."""
+        ratios = []
+        for depth in (4, 8):
+            adversary = RotorPushWorkingSetAdversary(depth=depth)
+            sequence, costs = adversary.generate_with_costs(2_500)
+            ratios.append(max_working_set_violation(sequence, costs))
+        assert ratios[1] > ratios[0] * 1.4
+
+    def test_random_push_has_no_such_violation_on_small_working_sets(self):
+        """Requests confined to a small element set stay cheap for Random-Push."""
+        from repro.algorithms import RandomPush
+        from repro.core import TreeNetwork
+
+        depth = 6
+        tree = CompleteBinaryTree.from_depth(depth)
+        algorithm = RandomPush(TreeNetwork(tree), seed=5)
+        working_set = list(range(2 * (depth + 1) - 1))
+        costs = []
+        for index in range(3_000):
+            costs.append(algorithm.serve(working_set[index % len(working_set)]).access_cost)
+        steady = costs[len(working_set) * 3 :]
+        average = sum(steady) / len(steady)
+        # The working set has ~13 elements, so costs should stay close to
+        # log2(13) + 1, far below the tree depth of 6 that Rotor-Push reaches.
+        assert average <= math.log2(len(working_set)) + 2.5
+
+    def test_parameters(self):
+        adversary = RotorPushWorkingSetAdversary(depth=3)
+        params = adversary.parameters()
+        assert params["depth"] == 3
+        assert params["target_set_size"] == 7
+
+
+class TestMTFAdversary:
+    def test_generated_requests_are_leaf_elements(self):
+        adversary = MoveToFrontLowerBoundAdversary(depth=4)
+        sequence, costs = adversary.generate_with_costs(100)
+        assert len(sequence) == 100
+        # Every access after the first pays the full depth.
+        assert all(record.access_cost == 5 for record in costs[1:])
+
+    def test_matches_non_adaptive_round_robin(self):
+        depth = 4
+        adaptive = MoveToFrontLowerBoundAdversary(depth=depth).generate(40)
+        static = round_robin_path_sequence(depth, 40)
+        assert adaptive == static
+
+    def test_generate_without_costs(self):
+        assert len(MoveToFrontLowerBoundAdversary(depth=3).generate(10)) == 10

@@ -1,0 +1,75 @@
+"""Tests for saving and loading request traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads import UniformWorkload, load_trace, load_trace_workload, save_trace
+
+
+class TestSaveAndLoad:
+    def test_text_roundtrip(self, tmp_path):
+        sequence = UniformWorkload(63, seed=1).generate(500)
+        path = save_trace(
+            str(tmp_path / "trace.txt"), sequence, 63, metadata={"seed": 1}, fmt="text"
+        )
+        loaded, n_elements, metadata = load_trace(str(path))
+        assert loaded == sequence
+        assert n_elements == 63
+        assert metadata == {"seed": 1}
+
+    def test_json_roundtrip(self, tmp_path):
+        sequence = [1, 2, 3, 2, 1]
+        path = save_trace(str(tmp_path / "trace.json"), sequence, 7, fmt="json")
+        loaded, n_elements, metadata = load_trace(str(path))
+        assert loaded == sequence
+        assert n_elements == 7
+        assert metadata == {}
+
+    def test_load_as_workload(self, tmp_path):
+        sequence = [5, 5, 1, 0]
+        path = save_trace(str(tmp_path / "trace.txt"), sequence, 7)
+        workload = load_trace_workload(str(path))
+        assert workload.full_sequence() == sequence
+        assert workload.n_elements == 7
+
+    def test_loaded_trace_is_runnable(self, tmp_path):
+        from repro.algorithms import make_algorithm
+
+        sequence = UniformWorkload(31, seed=2).generate(200)
+        path = save_trace(str(tmp_path / "trace.txt"), sequence, 31)
+        workload = load_trace_workload(str(path))
+        algorithm = make_algorithm("rotor-push", n_nodes=31, placement_seed=1)
+        result = algorithm.run(workload.full_sequence())
+        assert result.n_requests == 200
+
+    def test_directories_are_created(self, tmp_path):
+        path = save_trace(str(tmp_path / "nested" / "dir" / "trace.txt"), [0, 1], 3)
+        assert path.exists()
+
+
+class TestValidation:
+    def test_save_rejects_out_of_universe_elements(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            save_trace(str(tmp_path / "t.txt"), [9], 3)
+
+    def test_save_rejects_bad_universe(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            save_trace(str(tmp_path / "t.txt"), [0], 0)
+
+    def test_save_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            save_trace(str(tmp_path / "t.bin"), [0], 3, fmt="binary")
+
+    def test_load_rejects_file_without_header(self, tmp_path):
+        path = tmp_path / "garbage.txt"
+        path.write_text("1\n2\n3\n")
+        with pytest.raises(WorkloadError):
+            load_trace(str(path))
+
+    def test_load_rejects_inconsistent_universe(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"n_elements": 2, "length": 1, "metadata": {}, "sequence": [5]}')
+        with pytest.raises(WorkloadError):
+            load_trace(str(path))
