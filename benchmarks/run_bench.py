@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Perf-trajectory benchmark: serve throughput and parallel trial scaling.
+
+Emits ``BENCH_serve.json`` so that every perf-oriented PR can be measured
+against its predecessors on the same hardware.  Two layers are measured:
+
+* **serve throughput** — whole-run requests/second per algorithm on the
+  microbench configuration (1,023-node tree, combined-locality workload,
+  ``keep_records=False``), i.e. the aggregate fast loop that large experiments
+  actually execute, plus the per-request latency of ``serve()`` with cost
+  records; and
+* **parallel trial scaling** — wall-clock of ``compare_algorithms`` at
+  ``n_jobs=1`` versus ``n_jobs=<cpus>``, together with a determinism check
+  that both produce identical aggregates.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--out BENCH_serve.json]
+
+``--quick`` shrinks the workload for CI smoke runs (a few seconds); the
+default configuration matches the numbers recorded in ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.algorithms.registry import make_algorithm
+from repro.sim.runner import compare_algorithms
+from repro.workloads.composite import CombinedLocalityWorkload
+
+#: Steady-state whole-run serve cost (microseconds/request, best of 3) of the
+#: seed revision (commit 00cf76e) on the reference container, measured with
+#: the same configuration as :func:`bench_serve`.  Kept here so every future
+#: run reports its speedup against the original implementation.
+SEED_BASELINE_US_PER_REQUEST = {
+    "rotor-push": 4.548,
+    "random-push": 4.341,
+    "move-half": 6.729,
+    "max-push": 8.053,
+    "move-to-front": 3.173,
+    "static-oblivious": 2.435,
+}
+
+ALGORITHMS = list(SEED_BASELINE_US_PER_REQUEST)
+
+
+def bench_serve(n_nodes: int, n_requests: int, repeats: int) -> dict:
+    """Whole-run serve throughput per algorithm (keep_records=False fast loop)."""
+    workload = CombinedLocalityWorkload(n_nodes, 1.4, 0.5, seed=1)
+    sequence = workload.generate(n_requests)
+    results = {}
+    for name in ALGORITHMS:
+        best = float("inf")
+        for _ in range(repeats):
+            instance = make_algorithm(
+                name, n_nodes=n_nodes, placement_seed=2, seed=3, keep_records=False
+            )
+            start = time.perf_counter()
+            instance.run(sequence)
+            best = min(best, time.perf_counter() - start)
+        us_per_request = best / len(sequence) * 1e6
+        entry = {
+            "us_per_request": round(us_per_request, 4),
+            "requests_per_sec": round(len(sequence) / best),
+        }
+        baseline = SEED_BASELINE_US_PER_REQUEST.get(name)
+        if baseline is not None:
+            entry["seed_us_per_request"] = baseline
+            entry["speedup_vs_seed"] = round(baseline / us_per_request, 2)
+        results[name] = entry
+    return results
+
+
+def bench_serve_with_records(n_nodes: int, n_requests: int, repeats: int) -> dict:
+    """Per-request latency of serve() returning RequestCost records."""
+    workload = CombinedLocalityWorkload(n_nodes, 1.4, 0.5, seed=1)
+    sequence = workload.generate(n_requests)
+    results = {}
+    for name in ("rotor-push", "static-oblivious"):
+        best = float("inf")
+        for _ in range(repeats):
+            instance = make_algorithm(
+                name, n_nodes=n_nodes, placement_seed=2, seed=3, keep_records=True
+            )
+            start = time.perf_counter()
+            for element in sequence:
+                instance.serve(element)
+            best = min(best, time.perf_counter() - start)
+        results[name] = {
+            "us_per_request": round(best / len(sequence) * 1e6, 4),
+            "requests_per_sec": round(len(sequence) / best),
+        }
+    return results
+
+
+def bench_parallel(n_nodes: int, n_requests: int, n_trials: int) -> dict:
+    """Wall-clock of compare_algorithms at n_jobs=1 vs n_jobs=<cpus> + determinism."""
+    algorithms = ["rotor-push", "random-push", "move-half", "max-push"]
+
+    def factory(seed: int) -> CombinedLocalityWorkload:
+        return CombinedLocalityWorkload(n_nodes, 1.4, 0.5, seed=seed)
+
+    def timed(n_jobs: int):
+        start = time.perf_counter()
+        aggregated = compare_algorithms(
+            algorithms,
+            factory,
+            n_nodes=n_nodes,
+            n_requests=n_requests,
+            n_trials=n_trials,
+            n_jobs=n_jobs,
+        )
+        return time.perf_counter() - start, aggregated
+
+    cpus = os.cpu_count() or 1
+    serial_seconds, serial = timed(1)
+    parallel_jobs = max(2, cpus)
+    parallel_seconds, parallel = timed(parallel_jobs)
+    identical = all(
+        serial[name].access_cost == parallel[name].access_cost
+        and serial[name].adjustment_cost == parallel[name].adjustment_cost
+        and serial[name].total_cost == parallel[name].total_cost
+        for name in algorithms
+    )
+    return {
+        "cpus": cpus,
+        "n_trials": n_trials,
+        "n_jobs_parallel": parallel_jobs,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(serial_seconds / parallel_seconds, 2),
+        "deterministic": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke configuration")
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        serve_nodes, serve_requests, repeats = 255, 4_000, 2
+        par_nodes, par_requests, par_trials = 255, 2_000, 2
+    else:
+        serve_nodes, serve_requests, repeats = 1_023, 20_000, 3
+        par_nodes, par_requests, par_trials = 1_023, 30_000, 4
+
+    report = {
+        "benchmark": "BENCH_serve",
+        "quick": args.quick,
+        "config": {
+            "serve": {"n_nodes": serve_nodes, "n_requests": serve_requests},
+            "parallel": {
+                "n_nodes": par_nodes,
+                "n_requests": par_requests,
+                "n_trials": par_trials,
+            },
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "serve_fast_loop": bench_serve(serve_nodes, serve_requests, repeats),
+        "serve_with_records": bench_serve_with_records(
+            serve_nodes, serve_requests, repeats
+        ),
+        "parallel_trials": bench_parallel(par_nodes, par_requests, par_trials),
+    }
+
+    payload = json.dumps(report, indent=2)
+    print(payload)
+    if args.out:
+        Path(args.out).write_text(payload + "\n")
+        print(f"\nwrote {args.out}", file=sys.stderr)
+
+    if not report["parallel_trials"]["deterministic"]:
+        print("ERROR: parallel run diverged from serial run", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,7 @@ from typing import Dict, Iterable, List, Optional
 from repro.core.cost import RequestCost
 from repro.core.state import TreeNetwork
 from repro.core.tree import CompleteBinaryTree
-from repro.exceptions import AlgorithmError
+from repro.exceptions import AlgorithmError, MappingError
 from repro.types import ElementId, Level, RequestSequence
 
 __all__ = ["OnlineTreeAlgorithm", "RunResult"]
@@ -175,7 +175,39 @@ class OnlineTreeAlgorithm(abc.ABC):
     def serve(self, element: ElementId) -> RequestCost:
         """Serve one request: pay the access cost, then rearrange the tree.
 
-        Returns the :class:`RequestCost` record of this request.
+        Returns the :class:`RequestCost` record of this request.  On networks
+        without marking enforcement the rearrangement runs on the trusted
+        fast path (:meth:`_adjust_fast`); with ``enforce_marking`` enabled the
+        fully checked reference path (:meth:`_adjust`) is used so the marking
+        discipline stays observable.
+        """
+        if not self._prepared:
+            raise AlgorithmError(
+                f"{self.name} requires prepare(sequence) before serving requests"
+            )
+        network = self.network
+        if network.enforce_marking:
+            level = network.access(element)
+            self._adjust(element, level)
+            return network.finish_request()
+        level, swaps = self._serve_fast(element)
+        ledger = network.ledger
+        if ledger.keep_records:
+            return ledger.records[-1]
+        return RequestCost(
+            element=element,
+            access_cost=level + 1,
+            adjustment_cost=swaps,
+            level_at_access=level,
+        )
+
+    def serve_reference(self, element: ElementId) -> RequestCost:
+        """Serve one request through the checked reference path, unconditionally.
+
+        Identical observable behaviour to :meth:`serve` (same configurations,
+        same costs) but always runs :meth:`_adjust` with the validated swap
+        primitives.  The property-test suite uses this to assert that the
+        trusted fast paths are bit-identical to the reference implementation.
         """
         if not self._prepared:
             raise AlgorithmError(
@@ -186,16 +218,33 @@ class OnlineTreeAlgorithm(abc.ABC):
         return self.network.finish_request()
 
     def run(self, sequence: Iterable[ElementId], metadata: Optional[dict] = None) -> RunResult:
-        """Serve an entire request sequence and return the aggregate result."""
+        """Serve an entire request sequence and return the aggregate result.
+
+        When the network's ledger runs with ``keep_records=False`` (and the
+        marking discipline is not enforced), the loop takes a fast path that
+        skips :class:`RequestCost` materialisation entirely: each request is
+        accounted with a single batch ledger call instead of the
+        open/charge/close protocol plus a record object.
+        """
         sequence = list(sequence)
         if self.requires_preparation and not self._prepared:
             self.prepare(sequence)
-        for element in sequence:
-            self.serve(element)
-        ledger = self.network.ledger
+        network = self.network
+        ledger = network.ledger
+        if ledger.keep_records or network.enforce_marking:
+            for element in sequence:
+                self.serve(element)
+        else:
+            if not self._prepared:
+                raise AlgorithmError(
+                    f"{self.name} requires prepare(sequence) before serving requests"
+                )
+            serve_fast = self._serve_fast
+            for element in sequence:
+                serve_fast(element)
         return RunResult(
             algorithm=self.name,
-            n_nodes=self.network.tree.n_nodes,
+            n_nodes=network.tree.n_nodes,
             n_requests=ledger.n_requests,
             total_access_cost=ledger.total_access_cost,
             total_adjustment_cost=ledger.total_adjustment_cost,
@@ -203,16 +252,60 @@ class OnlineTreeAlgorithm(abc.ABC):
             metadata=dict(metadata or {}),
         )
 
+    def _serve_fast(self, element: ElementId) -> "tuple[int, int]":
+        """Serve one request on the non-marking fast path; return (level, swaps).
+
+        Shared by :meth:`serve` and the ``keep_records=False`` loop of
+        :meth:`run`.  Algorithms with a trusted port (``_adjust_fast``
+        returning a swap count) are accounted with one
+        :meth:`repro.core.cost.CostLedger.record_request` call; unported
+        algorithms fall back to the checked protocol with a record-free close
+        (:meth:`TreeNetwork.finish_request_fast`, which also invalidates any
+        marks the adjustment set).
+        """
+        network = self.network
+        node_of = network._node_of
+        if not 0 <= element < len(node_of):
+            raise MappingError(
+                f"element {element} outside universe of size {len(node_of)}"
+            )
+        level = (node_of[element] + 1).bit_length() - 1
+        swaps = self._adjust_fast(element, level)
+        if swaps is None:
+            ledger = network.ledger
+            ledger.open_request(element, level)
+            self._adjust(element, level)
+            swaps = ledger.pending_adjustment
+            network.finish_request_fast()
+        else:
+            network.ledger.record_request(element, level, swaps)
+        return level, swaps
+
     # -------------------------------------------------------------- adjustment
 
     @abc.abstractmethod
     def _adjust(self, element: ElementId, level: Level) -> None:
         """Rearrange the tree after accessing ``element`` found at ``level``.
 
-        Implementations charge adjustment cost through the network's swap
-        primitives (or :meth:`TreeNetwork.apply_cycle` with an analytic swap
-        count).
+        This is the *reference* implementation: it charges adjustment cost
+        through the network's checked swap primitives (or
+        :meth:`TreeNetwork.apply_cycle` with an analytic swap count) and obeys
+        the marking discipline when it is enforced.
         """
+
+    def _adjust_fast(self, element: ElementId, level: Level) -> Optional[int]:
+        """Trusted fast-path twin of :meth:`_adjust`.
+
+        Implementations rearrange the tree with the unchecked primitives
+        (:meth:`TreeNetwork.apply_cycle_trusted` and friends), touch the
+        ledger **not at all**, and return the adjustment swap count; the
+        caller accounts it in one batch.  Must produce exactly the same
+        element configuration and swap count as :meth:`_adjust`.
+
+        The default returns ``None``, signalling "no trusted port available";
+        callers then fall back to the checked reference path.
+        """
+        return None
 
     # ------------------------------------------------------------------ helpers
 

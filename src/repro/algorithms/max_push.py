@@ -15,11 +15,12 @@ empirical section shows its adjustment cost dominates in every scenario.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.algorithms.base import OnlineTreeAlgorithm
 from repro.algorithms.lru_index import LevelLRUIndex
 from repro.core.state import TreeNetwork
+from repro.core.tree import node_distance
 from repro.types import ElementId, Level, NodeId
 
 __all__ = ["MaxPush"]
@@ -74,3 +75,37 @@ class MaxPush(OnlineTreeAlgorithm):
         for depth, victim in enumerate(victims[:-1], start=1):
             self._lru.move(victim, depth + 1)
         # victims[-1] stays on level `level`.
+
+    def _adjust_fast(self, element: ElementId, level: Level) -> Optional[int]:
+        lru = self._lru
+        lru.record_access(element)
+        if level == 0:
+            return 0
+        network = self.network
+        node_of = network._node_of
+
+        victims: List[ElementId] = [
+            lru.least_recently_used(depth, exclude=element)
+            for depth in range(1, level + 1)
+        ]
+        source = node_of[element]
+        cycle: List[NodeId] = [0]
+        cycle.extend(node_of[victim] for victim in victims)
+        cycle.append(source)
+
+        # Same closed-form swap count as the reference path, but with the
+        # trusted distance primitive (no per-call node validation).
+        swaps = level
+        previous = 0
+        for node in cycle[1:]:
+            swaps += node_distance(previous, node)
+            previous = node
+
+        network.apply_cycle_trusted(cycle)
+
+        lru.move(element, 0)
+        lru.move(network._elem_at[cycle[1]], 1)
+        for depth, victim in enumerate(victims[:-1], start=1):
+            lru.move(victim, depth + 1)
+        # victims[-1] stays on level `level`.
+        return swaps

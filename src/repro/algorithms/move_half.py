@@ -13,10 +13,13 @@ working-set bound but not the per-access working-set property.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.algorithms.base import OnlineTreeAlgorithm
 from repro.algorithms.lru_index import LevelLRUIndex
 from repro.core.pushdown import relocate_along_path
 from repro.core.state import TreeNetwork
+from repro.core.tree import node_distance
 from repro.types import ElementId, Level
 
 __all__ = ["MoveHalf"]
@@ -54,3 +57,20 @@ class MoveHalf(OnlineTreeAlgorithm):
             self.network.apply_cycle([source, target], charged_swaps=2 * distance - 1)
         self._lru.move(element, target_level)
         self._lru.move(partner, level)
+
+    def _adjust_fast(self, element: ElementId, level: Level) -> Optional[int]:
+        lru = self._lru
+        lru.record_access(element)
+        if level == 0:
+            return 0
+        target_level = level >> 1
+        partner = lru.least_recently_used(target_level, exclude=element)
+        network = self.network
+        source = network._node_of[element]
+        target = network._node_of[partner]
+        # Net effect of both realisations is a transposition of the two
+        # elements; the adjacent-swap count is 2*dist - 1 in closed form.
+        network.exchange_trusted(source, target)
+        lru.move(element, target_level)
+        lru.move(partner, level)
+        return 2 * node_distance(source, target) - 1

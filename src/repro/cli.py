@@ -50,6 +50,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def jobs_type(value: str) -> int:
+        jobs = int(value)
+        if jobs == 0:
+            raise argparse.ArgumentTypeError(
+                "must be positive (worker count) or negative (all CPUs), not 0"
+            )
+        return jobs
+
+    jobs_help = (
+        "worker processes for trial execution (1 = serial, negative = all CPUs); "
+        "results are bit-identical for every value"
+    )
+
     subparsers.add_parser("list", help="list algorithms and experiment scales")
 
     demo = subparsers.add_parser("demo", help="run a quick algorithm comparison")
@@ -58,6 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--trials", type=int, default=2, help="number of trials")
     demo.add_argument("--zipf", type=float, default=1.6, help="Zipf exponent")
     demo.add_argument("--repeat", type=float, default=0.5, help="repeat probability")
+    demo.add_argument("--jobs", type=jobs_type, default=1, help=jobs_help)
 
     experiment = subparsers.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument(
@@ -67,10 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--scale", default="tiny", choices=sorted(SCALES))
     experiment.add_argument("--csv-dir", default=None, help="directory for CSV exports")
+    experiment.add_argument("--jobs", type=jobs_type, default=1, help=jobs_help)
 
     report = subparsers.add_parser("report", help="run all experiments and write EXPERIMENTS.md")
     report.add_argument("--scale", default="tiny", choices=sorted(SCALES))
     report.add_argument("--output", default="EXPERIMENTS.md", help="output Markdown path")
+    report.add_argument("--jobs", type=jobs_type, default=1, help=jobs_help)
 
     return parser
 
@@ -108,6 +124,7 @@ def _command_demo(args: argparse.Namespace) -> int:
         n_nodes=args.nodes,
         n_requests=args.requests,
         n_trials=args.trials,
+        n_jobs=args.jobs,
     )
     table = ResultTable(
         name="demo",
@@ -125,22 +142,22 @@ def _command_demo(args: argparse.Namespace) -> int:
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
-    name, scale, csv_dir = args.name, args.scale, args.csv_dir
+    name, scale, csv_dir, jobs = args.name, args.scale, args.csv_dir, args.jobs
     if name in ("q1", "all"):
-        for table in run_q1(scale).values():
+        for table in run_q1(scale, n_jobs=jobs).values():
             _print_table(table, csv_dir)
     if name in ("q2", "all"):
-        _print_table(run_q2(scale), csv_dir)
+        _print_table(run_q2(scale, n_jobs=jobs), csv_dir)
     if name in ("q3", "all"):
-        _print_table(run_q3(scale), csv_dir)
+        _print_table(run_q3(scale, n_jobs=jobs), csv_dir)
     if name in ("q4", "all"):
-        _print_table(run_q4_wireframe(scale), csv_dir)
-        histogram, summary = run_q4_histogram(scale)
+        _print_table(run_q4_wireframe(scale, n_jobs=jobs), csv_dir)
+        histogram, summary = run_q4_histogram(scale, n_jobs=jobs)
         print(histogram_chart("Rotor-Push minus Random-Push (access cost)", histogram))
         print(f"mean difference: {summary['mean_difference']:+.5f}")
         print()
     if name in ("q5", "all"):
-        for table in run_q5(scale).values():
+        for table in run_q5(scale, n_jobs=jobs).values():
             _print_table(table, csv_dir)
     if name in ("table1", "all"):
         _print_table(run_table1(), csv_dir)
@@ -148,7 +165,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
 
 def _command_report(args: argparse.Namespace) -> int:
-    report = generate_report(scale=args.scale, path=args.output)
+    report = generate_report(scale=args.scale, path=args.output, n_jobs=args.jobs)
     print(f"wrote {args.output} ({len(report.splitlines())} lines)")
     return 0
 

@@ -22,7 +22,7 @@ from repro.types import ElementId
 __all__ = ["RequestCost", "CostLedger"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestCost:
     """Cost incurred while serving one request.
 
@@ -136,10 +136,75 @@ class CostLedger:
         self._open_adjustment = 0
         return record
 
+    def close_request_fast(self) -> None:
+        """Finish the open request without materialising a :class:`RequestCost`.
+
+        Fast-path variant of :meth:`close_request` for aggregate-only runs:
+        totals and counters are updated exactly as in the full version, but no
+        record object is built unless ``keep_records`` demands one.
+        """
+        if self._open_element is None:
+            raise CostAccountingError("close_request called with no open request")
+        self._total_access += self._open_level + 1
+        self._total_adjustment += self._open_adjustment
+        self._closed_count += 1
+        if self.keep_records:
+            self.records.append(
+                RequestCost(
+                    element=self._open_element,
+                    access_cost=self._open_level + 1,
+                    adjustment_cost=self._open_adjustment,
+                    level_at_access=self._open_level,
+                )
+            )
+        self._open_element = None
+        self._open_adjustment = 0
+
+    def record_request(
+        self, element: ElementId, level_at_access: int, swaps: int = 0
+    ) -> None:
+        """Account one whole request in a single call.
+
+        Batch equivalent of ``open_request`` / ``charge_swaps`` /
+        ``close_request`` for serve loops that know the total swap count of a
+        request analytically: the ledger is touched once instead of three
+        times and no intermediate open state is kept.
+        """
+        if self._open_element is not None:
+            raise CostAccountingError(
+                "record_request called while a request is already open "
+                f"(element {self._open_element})"
+            )
+        if level_at_access < 0:
+            raise CostAccountingError(
+                f"level_at_access must be non-negative, got {level_at_access}"
+            )
+        if swaps < 0:
+            raise CostAccountingError(f"swap count must be non-negative, got {swaps}")
+        self._total_access += level_at_access + 1
+        self._total_adjustment += swaps
+        self._closed_count += 1
+        if self.keep_records:
+            self.records.append(
+                RequestCost(
+                    element=element,
+                    access_cost=level_at_access + 1,
+                    adjustment_cost=swaps,
+                    level_at_access=level_at_access,
+                )
+            )
+
     @property
     def request_open(self) -> bool:
         """Whether a request is currently being accounted."""
         return self._open_element is not None
+
+    @property
+    def pending_adjustment(self) -> int:
+        """Adjustment cost charged to the currently open request so far."""
+        if self._open_element is None:
+            raise CostAccountingError("no request is open")
+        return self._open_adjustment
 
     # -------------------------------------------------------------- aggregate
 
@@ -176,6 +241,21 @@ class CostLedger:
     def average_total_cost(self) -> float:
         """Average total cost per request (0.0 if no request was served)."""
         return self.total_cost / self._closed_count if self._closed_count else 0.0
+
+    def copy(self) -> "CostLedger":
+        """Return an independent copy carrying the same totals and records.
+
+        Raises :class:`CostAccountingError` while a request is open, because
+        half-accounted state cannot be duplicated meaningfully.
+        """
+        if self._open_element is not None:
+            raise CostAccountingError("cannot copy the ledger while a request is open")
+        clone = CostLedger(keep_records=self.keep_records)
+        clone.records = list(self.records)
+        clone._total_access = self._total_access
+        clone._total_adjustment = self._total_adjustment
+        clone._closed_count = self._closed_count
+        return clone
 
     def reset(self) -> None:
         """Forget all recorded costs (used when re-running an algorithm)."""

@@ -148,10 +148,11 @@ class RotorState:
             raise RotorStateError(
                 f"level {down_to_level} outside tree of depth {tree.depth}"
             )
-        path: NodePath = [tree.root]
-        node = tree.root
+        pointers = self._pointers
+        path: NodePath = [0]
+        node = 0
         for _ in range(limit):
-            node = tree.child(node, self._pointers[node])
+            node = 2 * node + 1 + pointers[node]
             path.append(node)
         return path
 
@@ -178,9 +179,17 @@ class RotorState:
             raise RotorStateError(
                 f"cannot flip at level {level} in a tree of depth {self._tree.depth}"
             )
-        path = self.global_path(down_to_level=level)
-        for node in path[:level]:
-            self._pointers[node] ^= 1
+        # Toggle each pointer as it is consumed: the walk visits exactly the
+        # global-path nodes above ``level``, so this fuses the path query and
+        # the toggle pass into one loop over trusted index arithmetic.
+        pointers = self._pointers
+        path: NodePath = [0]
+        node = 0
+        for _ in range(level):
+            direction = pointers[node]
+            pointers[node] = direction ^ 1
+            node = 2 * node + 1 + direction
+            path.append(node)
         return path
 
     # ------------------------------------------------------------- flip-ranks

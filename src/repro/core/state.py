@@ -19,7 +19,7 @@ marked; after the swap both involved nodes are marked" - is enforced when
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.cost import CostLedger
 from repro.core.rotor import RotorState
@@ -35,7 +35,7 @@ def identity_placement(n_nodes: int) -> List[ElementId]:
     return list(range(n_nodes))
 
 
-def random_placement(n_nodes: int, rng: Optional[random.Random] = None) -> List[ElementId]:
+def random_placement(n_nodes: int, rng: Union[random.Random, int]) -> List[ElementId]:
     """Return a uniformly random placement of elements onto nodes.
 
     The paper's experiments always construct the initial tree "by placing the
@@ -46,10 +46,20 @@ def random_placement(n_nodes: int, rng: Optional[random.Random] = None) -> List[
     n_nodes:
         Number of nodes (and elements).
     rng:
-        Optional :class:`random.Random` instance for reproducibility.
+        A :class:`random.Random` instance or an integer seed.  The argument is
+        mandatory: library code must state its randomness source explicitly
+        instead of silently drawing from the global ``random`` module, so that
+        every placement in an experiment is attributable to a seed.
     """
+    if isinstance(rng, int) and not isinstance(rng, bool):
+        rng = random.Random(rng)
+    if not isinstance(rng, random.Random):
+        raise TypeError(
+            "random_placement requires an explicit random.Random instance or "
+            f"integer seed, got {rng!r}"
+        )
     placement = list(range(n_nodes))
-    (rng or random).shuffle(placement)
+    rng.shuffle(placement)
     return placement
 
 
@@ -71,7 +81,23 @@ class TreeNetwork:
     enforce_marking:
         When ``True``, :meth:`swap` enforces the marking discipline: a swap is
         legal only if at least one endpoint is marked, and the access path of
-        the current request is marked automatically by :meth:`access`.
+        the current request is marked automatically by :meth:`access`.  When
+        ``False`` (the default, used by all large-scale runs), no marking
+        bookkeeping is performed at all: :meth:`access` then costs one epoch
+        increment instead of stamping the whole root path.
+    rotor:
+        Optional pre-built :class:`RotorState` to attach (it must live on the
+        same tree).  Takes precedence over ``with_rotor``; used by
+        :meth:`copy` so rotor pointers travel through the constructor instead
+        of being bolted on afterwards.
+
+    Notes
+    -----
+    Marking is implemented as an epoch-stamped integer array rather than a
+    per-request set: every request bumps a single epoch counter, and a node is
+    marked iff its stamp equals the current epoch.  Clearing all marks at the
+    end of a request is therefore O(1) (one counter bump) instead of O(depth)
+    set destruction, and the serve hot path allocates nothing.
     """
 
     __slots__ = (
@@ -81,7 +107,8 @@ class TreeNetwork:
         "enforce_marking",
         "_elem_at",
         "_node_of",
-        "_marked",
+        "_mark_epoch",
+        "_epoch",
     )
 
     def __init__(
@@ -91,15 +118,26 @@ class TreeNetwork:
         with_rotor: bool = False,
         ledger: Optional[CostLedger] = None,
         enforce_marking: bool = False,
+        rotor: Optional[RotorState] = None,
     ) -> None:
         self.tree = tree
         if placement is None:
             placement = identity_placement(tree.n_nodes)
         self._set_placement(placement)
-        self.rotor: Optional[RotorState] = RotorState(tree) if with_rotor else None
+        if rotor is not None:
+            if rotor.tree != tree:
+                raise MappingError(
+                    "rotor state belongs to a different tree than the network"
+                )
+            self.rotor: Optional[RotorState] = rotor
+        else:
+            self.rotor = RotorState(tree) if with_rotor else None
         self.ledger = ledger if ledger is not None else CostLedger()
         self.enforce_marking = enforce_marking
-        self._marked: set = set()
+        # Epoch 0 is reserved for "never marked"; the counter starts at 1 so
+        # the freshly zeroed stamp array reads as fully unmarked.
+        self._mark_epoch: List[int] = [0] * tree.n_nodes
+        self._epoch = 1
 
     # ------------------------------------------------------------ construction
 
@@ -143,21 +181,23 @@ class TreeNetwork:
             self._node_of[element] = node
 
     def copy(self) -> "TreeNetwork":
-        """Return a deep copy (fresh ledger totals are preserved by reference semantics).
+        """Return an independent deep copy of this network.
 
         The copy shares the immutable tree object but owns independent copies
-        of the placement, rotor pointers, marking set and a *fresh* ledger.
+        of the placement, the rotor pointers (passed through the constructor),
+        the marking state and the cost ledger — including its accumulated
+        totals and records, so a copy taken mid-experiment continues
+        accounting from the same figures as the original.
         """
         clone = TreeNetwork(
             self.tree,
-            placement=list(self._elem_at),
-            with_rotor=False,
-            ledger=CostLedger(keep_records=self.ledger.keep_records),
+            placement=self._elem_at,
+            rotor=self.rotor.copy() if self.rotor is not None else None,
+            ledger=self.ledger.copy(),
             enforce_marking=self.enforce_marking,
         )
-        if self.rotor is not None:
-            clone.rotor = self.rotor.copy()
-        clone._marked = set(self._marked)
+        clone._mark_epoch = list(self._mark_epoch)
+        clone._epoch = self._epoch
         return clone
 
     # -------------------------------------------------------------- the mapping
@@ -206,29 +246,59 @@ class TreeNetwork:
         """Access ``element``: open cost accounting and mark its root path.
 
         Returns the element's level at access time.  The access cost
-        ``level + 1`` is recorded in the ledger; the root-to-element path is
-        marked so that subsequent swaps obeying the marking discipline are
-        legal.
+        ``level + 1`` is recorded in the ledger.  When ``enforce_marking`` is
+        enabled, the root-to-element path is marked (epoch-stamped) so that
+        subsequent swaps obeying the marking discipline are legal; without
+        enforcement no marking work is done at all — the dominant cost of the
+        old implementation was building a fresh ``set(path_to_root)`` per
+        request even though nothing ever consulted it.
         """
-        node = self.node_of(element)
-        level = self.tree.level(node)
+        node_of = self._node_of
+        if not 0 <= element < len(node_of):
+            raise MappingError(
+                f"element {element} outside universe of size {len(node_of)}"
+            )
+        node = node_of[element]
+        level = (node + 1).bit_length() - 1
         self.ledger.open_request(element, level)
-        self._marked = set(self.tree.path_to_root(node))
+        self._epoch += 1
+        if self.enforce_marking:
+            epoch = self._epoch
+            stamp = self._mark_epoch
+            stamp[node] = epoch
+            while node:
+                node = (node - 1) >> 1
+                stamp[node] = epoch
         return level
 
     def finish_request(self):
         """Close cost accounting for the current request and clear markings."""
         record = self.ledger.close_request()
-        self._marked.clear()
+        self._epoch += 1  # lazily invalidates every mark of this request
         return record
 
+    def finish_request_fast(self) -> None:
+        """Close the current request without materialising a cost record.
+
+        Fast-path twin of :meth:`finish_request` for aggregate-only serve
+        loops (``keep_records=False``): ledger totals are updated identically
+        but no :class:`repro.core.cost.RequestCost` is built or returned.
+        """
+        self.ledger.close_request_fast()
+        self._epoch += 1
+
     def is_marked(self, node: NodeId) -> bool:
-        """Return ``True`` if ``node`` is marked in the current request."""
-        return node in self._marked
+        """Return ``True`` if ``node`` is marked in the current request.
+
+        Marking state is only materialised when ``enforce_marking`` is enabled
+        (or :meth:`mark` is called explicitly); on non-enforcing networks the
+        serve fast path skips it entirely and this always returns ``False``.
+        """
+        return self._mark_epoch[node] == self._epoch
 
     def mark(self, node: NodeId) -> None:
         """Explicitly mark ``node`` (used by algorithms with bespoke swap plans)."""
-        self._marked.add(self.tree.check_node(node))
+        self._mark_epoch[self.tree.check_node(node)] = self._epoch
 
     # ------------------------------------------------------------------- swaps
 
@@ -250,13 +320,15 @@ class TreeNetwork:
         if not (parent_of_a or parent_of_b):
             raise SwapError(f"nodes {node_a} and {node_b} are not adjacent")
         if self.enforce_marking:
-            if node_a not in self._marked and node_b not in self._marked:
+            epoch = self._epoch
+            stamp = self._mark_epoch
+            if stamp[node_a] != epoch and stamp[node_b] != epoch:
                 raise SwapError(
                     f"swap of unmarked nodes {node_a}, {node_b} violates the "
                     "marking discipline"
                 )
-            self._marked.add(node_a)
-            self._marked.add(node_b)
+            stamp[node_a] = epoch
+            stamp[node_b] = epoch
         elem_a, elem_b = self._elem_at[node_a], self._elem_at[node_b]
         self._elem_at[node_a], self._elem_at[node_b] = elem_b, elem_a
         self._node_of[elem_a], self._node_of[elem_b] = node_b, node_a
@@ -297,6 +369,38 @@ class TreeNetwork:
                 self._node_of[element] = node
         if charged_swaps:
             self.ledger.charge_swaps(charged_swaps)
+
+    def apply_cycle_trusted(self, cycle_nodes: Sequence[NodeId]) -> None:
+        """Apply a cyclic element shift without validation or cost accounting.
+
+        Trusted fast-path twin of :meth:`apply_cycle`: the caller guarantees
+        that ``cycle_nodes`` are valid, pairwise-distinct nodes of this tree
+        and accounts the adjustment cost itself (via
+        :meth:`repro.core.cost.CostLedger.charge_swaps` or
+        :meth:`repro.core.cost.CostLedger.record_request`).  The element
+        permutation is identical to :meth:`apply_cycle`.
+        """
+        elem_at = self._elem_at
+        node_of = self._node_of
+        carried = elem_at[cycle_nodes[-1]]
+        for node in cycle_nodes:
+            displaced = elem_at[node]
+            elem_at[node] = carried
+            node_of[carried] = node
+            carried = displaced
+
+    def exchange_trusted(self, node_a: NodeId, node_b: NodeId) -> None:
+        """Exchange the elements of two valid nodes, no validation or accounting.
+
+        Trusted fast-path primitive for algorithms (Move-Half) whose net
+        effect is a transposition realised by adjacent swaps whose count is
+        known in closed form.
+        """
+        elem_at = self._elem_at
+        node_of = self._node_of
+        elem_a, elem_b = elem_at[node_a], elem_at[node_b]
+        elem_at[node_a], elem_at[node_b] = elem_b, elem_a
+        node_of[elem_a], node_of[elem_b] = node_b, node_a
 
     def reset_placement(self, placement: Sequence[ElementId]) -> None:
         """Replace the whole element placement (used by offline/static algorithms).

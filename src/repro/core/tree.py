@@ -25,7 +25,61 @@ __all__ = [
     "is_complete_size",
     "depth_for_size",
     "size_for_depth",
+    "node_level",
+    "node_distance",
+    "root_path",
 ]
+
+
+def node_level(node: NodeId) -> Level:
+    """Return the level of ``node`` by pure bit arithmetic (no validation).
+
+    Trusted fast-path primitive: callers guarantee ``node >= 0``.  The serve
+    hot loops inline this expression directly; the function is the canonical,
+    property-tested statement of the identity they rely on.
+
+    >>> [node_level(k) for k in (0, 1, 2, 3, 6, 7)]
+    [0, 1, 1, 2, 2, 3]
+    """
+    return (node + 1).bit_length() - 1
+
+
+def node_distance(a: NodeId, b: NodeId) -> int:
+    """Return the tree distance between two heap-indexed nodes (no validation).
+
+    Trusted fast-path primitive: equivalent to
+    :meth:`CompleteBinaryTree.distance` but without node checks, so it can be
+    used in serve loops that have already validated their inputs.
+    """
+    level_a = (a + 1).bit_length() - 1
+    level_b = (b + 1).bit_length() - 1
+    distance = level_a - level_b if level_a >= level_b else level_b - level_a
+    while level_a > level_b:
+        a = (a - 1) >> 1
+        level_a -= 1
+    while level_b > level_a:
+        b = (b - 1) >> 1
+        level_b -= 1
+    while a != b:
+        a = (a - 1) >> 1
+        b = (b - 1) >> 1
+        distance += 2
+    return distance
+
+
+def root_path(node: NodeId) -> NodePath:
+    """Return the path ``root -> ... -> node`` by pure bit arithmetic.
+
+    Trusted fast-path primitive: no validation, callers guarantee
+    ``node >= 0``.  The heap-index parent chain is independent of the tree
+    size, so no tree instance is needed.
+    """
+    path = [node]
+    while node:
+        node = (node - 1) >> 1
+        path.append(node)
+    path.reverse()
+    return path
 
 
 def is_complete_size(n_nodes: int) -> bool:

@@ -41,6 +41,7 @@ def _run_size_sweep(
     scale: ExperimentScale,
     locality: str,
     table_name: str,
+    n_jobs: int = 1,
 ) -> ResultTable:
     """Shared implementation for both Q1 panels."""
     algorithms = list(SELF_ADJUSTING_ALGORITHMS) + [_BASELINE]
@@ -62,6 +63,7 @@ def _run_size_sweep(
             n_requests=n_requests,
             n_trials=scale.n_trials,
             base_seed=scale.base_seed,
+            n_jobs=n_jobs,
         )
 
         if locality == "temporal":
@@ -87,21 +89,25 @@ def _run_size_sweep(
     return table
 
 
-def run_q1_temporal(scale: str = "tiny") -> ResultTable:
+def run_q1_temporal(scale: str = "tiny", n_jobs: int = 1) -> ResultTable:
     """Reproduce Figure 2a (size sweep under temporal locality ``p = 0.9``)."""
-    return _run_size_sweep(get_scale(scale), "temporal", "fig2a_network_size_temporal")
+    return _run_size_sweep(
+        get_scale(scale), "temporal", "fig2a_network_size_temporal", n_jobs=n_jobs
+    )
 
 
-def run_q1_spatial(scale: str = "tiny") -> ResultTable:
+def run_q1_spatial(scale: str = "tiny", n_jobs: int = 1) -> ResultTable:
     """Reproduce Figure 2b (size sweep under Zipf spatial locality ``a = 2.2``)."""
-    return _run_size_sweep(get_scale(scale), "spatial", "fig2b_network_size_spatial")
+    return _run_size_sweep(
+        get_scale(scale), "spatial", "fig2b_network_size_spatial", n_jobs=n_jobs
+    )
 
 
-def run_q1(scale: str = "tiny") -> Dict[str, ResultTable]:
+def run_q1(scale: str = "tiny", n_jobs: int = 1) -> Dict[str, ResultTable]:
     """Run both Q1 panels and return them keyed by figure identifier."""
     return {
-        "fig2a": run_q1_temporal(scale),
-        "fig2b": run_q1_spatial(scale),
+        "fig2a": run_q1_temporal(scale, n_jobs=n_jobs),
+        "fig2b": run_q1_spatial(scale, n_jobs=n_jobs),
     }
 
 

@@ -22,7 +22,7 @@ from repro.workloads.temporal import TemporalWorkload
 __all__ = ["run_q2", "series_for_plot", "sequence_entropies"]
 
 
-def run_q2(scale: str = "tiny") -> ResultTable:
+def run_q2(scale: str = "tiny", n_jobs: int = 1) -> ResultTable:
     """Run the Figure 3 sweep and return its data table."""
     config = get_scale(scale)
     sweep = ParameterSweep(
@@ -35,6 +35,7 @@ def run_q2(scale: str = "tiny") -> ResultTable:
         n_requests=config.n_requests,
         n_trials=config.n_trials,
         base_seed=config.base_seed,
+        n_jobs=n_jobs,
     )
     return sweep.run(table_name="fig3_temporal_locality")
 

@@ -23,7 +23,7 @@ from repro.workloads.zipf import ZipfWorkload
 __all__ = ["run_q3", "series_for_plot", "sequence_entropies"]
 
 
-def run_q3(scale: str = "tiny") -> ResultTable:
+def run_q3(scale: str = "tiny", n_jobs: int = 1) -> ResultTable:
     """Run the Figure 4 sweep and return its data table."""
     config = get_scale(scale)
     sweep = ParameterSweep(
@@ -36,6 +36,7 @@ def run_q3(scale: str = "tiny") -> ResultTable:
         n_requests=config.n_requests,
         n_trials=config.n_trials,
         base_seed=config.base_seed,
+        n_jobs=n_jobs,
     )
     return sweep.run(table_name="fig4_spatial_locality")
 

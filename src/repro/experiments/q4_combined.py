@@ -19,17 +19,22 @@ from typing import Dict, List, Tuple
 from repro.algorithms.registry import RotorPush, RandomPush, StaticOblivious
 from repro.experiments.config import get_scale
 from repro.sim.metrics import Histogram, histogram_of_differences, per_request_cost_difference
+from repro.sim.parallel import map_ordered
 from repro.sim.results import ResultTable
-from repro.sim.runner import TrialRunner
-from repro.sim.engine import simulate
+from repro.sim.runner import TrialPayload, TrialRunner, _execute_trial
 from repro.workloads.composite import CombinedLocalityWorkload
 from repro.workloads.uniform import UniformWorkload
 
 __all__ = ["run_q4_wireframe", "run_q4_histogram", "wireframe_grid"]
 
 
-def run_q4_wireframe(scale: str = "tiny") -> ResultTable:
-    """Run the Figure 5a grid and return one row per (p, a) point."""
+def run_q4_wireframe(scale: str = "tiny", n_jobs: int = 1) -> ResultTable:
+    """Run the Figure 5a grid and return one row per (p, a) point.
+
+    All (p, a, trial, algorithm) work items of the grid are flattened into a
+    single (optionally parallel) pass; results are bit-identical for every
+    ``n_jobs``.
+    """
     config = get_scale(scale)
     algorithms = [RotorPush.name, StaticOblivious.name]
     table = ResultTable(
@@ -42,31 +47,41 @@ def run_q4_wireframe(scale: str = "tiny") -> ResultTable:
             "difference",
         ],
     )
+    runner = TrialRunner(
+        n_nodes=config.n_nodes,
+        n_requests=config.n_requests,
+        n_trials=config.n_trials,
+        base_seed=config.base_seed,
+    )
+    all_payloads: List[TrialPayload] = []
+    cells: List[Tuple[float, float, List[TrialPayload]]] = []
     for probability in config.q4_probabilities:
         for exponent in config.q4_exponents:
-            runner = TrialRunner(
-                n_nodes=config.n_nodes,
-                n_requests=config.n_requests,
-                n_trials=config.n_trials,
-                base_seed=config.base_seed,
-            )
-            aggregated = TrialRunner.aggregate(
-                runner.run(
-                    algorithms,
-                    lambda seed, _p=probability, _a=exponent: CombinedLocalityWorkload(
-                        config.n_nodes, _a, _p, seed=seed
-                    ),
+            sequences = runner.trial_sequences(
+                lambda seed, _p=probability, _a=exponent: CombinedLocalityWorkload(
+                    config.n_nodes, _a, _p, seed=seed
                 )
             )
-            rotor_cost = aggregated[RotorPush.name].mean_total_cost
-            static_cost = aggregated[StaticOblivious.name].mean_total_cost
-            table.add_row(
-                p=probability,
-                a=exponent,
-                rotor_total_cost=rotor_cost,
-                static_oblivious_total_cost=static_cost,
-                difference=rotor_cost - static_cost,
-            )
+            payloads = runner.build_payloads(algorithms, sequences)
+            all_payloads.extend(payloads)
+            cells.append((probability, exponent, payloads))
+    all_results = map_ordered(_execute_trial, all_payloads, n_jobs)
+    cursor = 0
+    for probability, exponent, payloads in cells:
+        results = all_results[cursor : cursor + len(payloads)]
+        cursor += len(payloads)
+        aggregated = TrialRunner.aggregate(
+            TrialRunner.collect(algorithms, payloads, results)
+        )
+        rotor_cost = aggregated[RotorPush.name].mean_total_cost
+        static_cost = aggregated[StaticOblivious.name].mean_total_cost
+        table.add_row(
+            p=probability,
+            a=exponent,
+            rotor_total_cost=rotor_cost,
+            static_oblivious_total_cost=static_cost,
+            difference=rotor_cost - static_cost,
+        )
     return table
 
 
@@ -91,36 +106,37 @@ def wireframe_grid(table: ResultTable) -> Tuple[List[float], List[float], List[L
 def run_q4_histogram(
     scale: str = "tiny",
     n_sequences: int = None,
+    n_jobs: int = 1,
 ) -> Tuple[Histogram, Dict[str, float]]:
     """Run the Figure 5b comparison and return the histogram plus summary statistics.
 
     Rotor-Push and Random-Push serve the *same* uniform sequences from the
     *same* initial placements; the histogram collects the per-request access
-    cost differences (Rotor-Push minus Random-Push) over all sequences.
+    cost differences (Rotor-Push minus Random-Push) over all sequences.  With
+    ``n_jobs > 1`` the per-sequence simulations run on a process pool; the
+    histogram is identical for every ``n_jobs``.
     """
     config = get_scale(scale)
     if n_sequences is None:
         n_sequences = max(2, config.n_trials)
-    differences: List[int] = []
+    payloads: List[TrialPayload] = []
     for index in range(n_sequences):
         workload = UniformWorkload(config.n_nodes, seed=config.base_seed + index)
         sequence = workload.generate(config.n_requests)
         placement_seed = config.base_seed + 500 + index
-        rotor_result = simulate(
-            RotorPush.name,
-            sequence,
-            n_nodes=config.n_nodes,
-            placement_seed=placement_seed,
-            keep_records=True,
+        payloads.append(
+            (RotorPush.name, sequence, config.n_nodes, placement_seed,
+             None, True, index, {})
         )
-        random_result = simulate(
-            RandomPush.name,
-            sequence,
-            n_nodes=config.n_nodes,
-            placement_seed=placement_seed,
-            seed=config.base_seed + 900 + index,
-            keep_records=True,
+        payloads.append(
+            (RandomPush.name, sequence, config.n_nodes, placement_seed,
+             config.base_seed + 900 + index, True, index, {})
         )
+    results = map_ordered(_execute_trial, payloads, n_jobs)
+    differences: List[int] = []
+    for pair_start in range(0, len(results), 2):
+        rotor_result = results[pair_start]
+        random_result = results[pair_start + 1]
         differences.extend(
             per_request_cost_difference(rotor_result, random_result, which="access")
         )

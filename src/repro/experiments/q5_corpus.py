@@ -26,10 +26,17 @@ from repro.analysis.complexity_map import trace_complexity
 from repro.analysis.entropy import locality_summary
 from repro.experiments.config import get_scale
 from repro.sim.engine import simulate
+from repro.sim.parallel import map_ordered
 from repro.sim.results import ResultTable
 from repro.workloads.corpus import CorpusWorkload, synthetic_corpus_workloads
 
 __all__ = ["corpus_for_scale", "run_q5_complexity_map", "run_q5_costs", "run_q5"]
+
+
+def _simulate_payload(payload: dict):
+    """Process-pool worker: one keyword-argument bundle for :func:`simulate`."""
+    kwargs = dict(payload)
+    return simulate(kwargs.pop("algorithm_name"), kwargs.pop("sequence"), **kwargs)
 
 
 def corpus_for_scale(
@@ -79,8 +86,13 @@ def run_q5_costs(
     workloads: Optional[Sequence[CorpusWorkload]] = None,
     algorithms: Optional[Sequence[str]] = None,
     max_requests: Optional[int] = None,
+    n_jobs: int = 1,
 ) -> ResultTable:
-    """Run all algorithms on every corpus dataset (Figure 7 data)."""
+    """Run all algorithms on every corpus dataset (Figure 7 data).
+
+    The (dataset, algorithm) runs are independent; with ``n_jobs > 1`` they
+    are fanned out over a process pool with bit-identical results.
+    """
     config = get_scale(scale)
     algorithm_names = list(algorithms or PAPER_ALGORITHMS)
     table = ResultTable(
@@ -96,34 +108,39 @@ def run_q5_costs(
         ],
     )
     limit = max_requests if max_requests is not None else config.n_requests
+    payloads: List[dict] = []
     for workload in corpus_for_scale(scale, workloads):
         sequence = workload.full_sequence()[:limit]
         for algorithm in algorithm_names:
-            result = simulate(
-                algorithm,
-                sequence,
-                n_nodes=workload.n_elements,
-                placement_seed=config.base_seed,
-                seed=config.base_seed + 1,
-                keep_records=False,
-                metadata={"dataset": workload.title},
+            payloads.append(
+                {
+                    "algorithm_name": algorithm,
+                    "sequence": sequence,
+                    "n_nodes": workload.n_elements,
+                    "placement_seed": config.base_seed,
+                    "seed": config.base_seed + 1,
+                    "keep_records": False,
+                    "metadata": {"dataset": workload.title},
+                }
             )
-            table.add_row(
-                dataset=workload.title,
-                algorithm=algorithm,
-                n_requests=result.n_requests,
-                tree_size=workload.n_elements,
-                mean_access_cost=result.average_access_cost,
-                mean_adjustment_cost=result.average_adjustment_cost,
-                mean_total_cost=result.average_total_cost,
-            )
+    results = map_ordered(_simulate_payload, payloads, n_jobs)
+    for payload, result in zip(payloads, results):
+        table.add_row(
+            dataset=payload["metadata"]["dataset"],
+            algorithm=payload["algorithm_name"],
+            n_requests=result.n_requests,
+            tree_size=payload["n_nodes"],
+            mean_access_cost=result.average_access_cost,
+            mean_adjustment_cost=result.average_adjustment_cost,
+            mean_total_cost=result.average_total_cost,
+        )
     return table
 
 
-def run_q5(scale: str = "tiny") -> Dict[str, ResultTable]:
+def run_q5(scale: str = "tiny", n_jobs: int = 1) -> Dict[str, ResultTable]:
     """Run both Q5 analyses on the same corpus and return them keyed by figure."""
     workloads = corpus_for_scale(scale)
     return {
         "fig6": run_q5_complexity_map(scale, workloads),
-        "fig7": run_q5_costs(scale, workloads),
+        "fig7": run_q5_costs(scale, workloads, n_jobs=n_jobs),
     }

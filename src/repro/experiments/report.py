@@ -20,20 +20,21 @@ from repro.sim.results import ResultTable
 __all__ = ["run_all_experiments", "render_report", "generate_report"]
 
 
-def run_all_experiments(scale: str = "tiny") -> Dict[str, object]:
+def run_all_experiments(scale: str = "tiny", n_jobs: int = 1) -> Dict[str, object]:
     """Run every experiment of the evaluation at the given scale.
 
     Returns a dictionary keyed by figure/table identifier; values are
     :class:`repro.sim.results.ResultTable` objects except for the Figure 5b
-    histogram, which is a ``(histogram, summary)`` tuple.
+    histogram, which is a ``(histogram, summary)`` tuple.  ``n_jobs`` fans the
+    independent trial runs of every experiment over a process pool.
     """
     results: Dict[str, object] = {}
-    results.update(q1_network_size.run_q1(scale))
-    results["fig3"] = q2_temporal.run_q2(scale)
-    results["fig4"] = q3_spatial.run_q3(scale)
-    results["fig5a"] = q4_combined.run_q4_wireframe(scale)
-    results["fig5b"] = q4_combined.run_q4_histogram(scale)
-    results.update(q5_corpus.run_q5(scale))
+    results.update(q1_network_size.run_q1(scale, n_jobs=n_jobs))
+    results["fig3"] = q2_temporal.run_q2(scale, n_jobs=n_jobs)
+    results["fig4"] = q3_spatial.run_q3(scale, n_jobs=n_jobs)
+    results["fig5a"] = q4_combined.run_q4_wireframe(scale, n_jobs=n_jobs)
+    results["fig5b"] = q4_combined.run_q4_histogram(scale, n_jobs=n_jobs)
+    results.update(q5_corpus.run_q5(scale, n_jobs=n_jobs))
     results["table1"] = run_table1()
     return results
 
@@ -147,9 +148,11 @@ def render_report(results: Dict[str, object], scale: str = "tiny") -> str:
     return "\n".join(lines)
 
 
-def generate_report(scale: str = "tiny", path: Optional[str] = None) -> str:
+def generate_report(
+    scale: str = "tiny", path: Optional[str] = None, n_jobs: int = 1
+) -> str:
     """Run all experiments and render (optionally write) the Markdown report."""
-    results = run_all_experiments(scale)
+    results = run_all_experiments(scale, n_jobs=n_jobs)
     report = render_report(results, scale)
     if path is not None:
         with open(path, "w") as handle:

@@ -10,6 +10,7 @@ from repro.sim.metrics import (
     per_request_cost_difference,
     total_cost_series,
 )
+from repro.sim.parallel import map_ordered, resolve_n_jobs
 from repro.sim.results import ResultTable, summarise_values
 from repro.sim.runner import (
     AggregatedOutcome,
@@ -26,6 +27,8 @@ __all__ = [
     "ResultTable",
     "TrialOutcome",
     "TrialRunner",
+    "map_ordered",
+    "resolve_n_jobs",
     "access_cost_series",
     "adjustment_cost_series",
     "compare_algorithms",

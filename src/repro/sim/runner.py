@@ -6,16 +6,23 @@ configuration over several seeded trials and aggregates the average costs, and
 :func:`compare_algorithms`, which does so for a set of algorithms on the *same*
 per-trial sequences (so differences between algorithms are not confounded by
 workload noise).
+
+Both accept ``n_jobs`` to fan the independent (trial, algorithm) work items
+out over a process pool (see :mod:`repro.sim.parallel`).  Per-trial seeds are
+derived from the trial index alone, and results are reassembled in payload
+order, so ``n_jobs > 1`` produces bit-for-bit the same outcomes as a serial
+run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import RunResult
 from repro.exceptions import ExperimentError
 from repro.sim.engine import simulate
+from repro.sim.parallel import map_ordered
 from repro.sim.results import summarise_values
 from repro.types import ElementId
 from repro.workloads.base import WorkloadGenerator
@@ -24,6 +31,28 @@ __all__ = ["TrialOutcome", "AggregatedOutcome", "TrialRunner", "compare_algorith
 
 #: Signature of a factory producing a fresh workload for trial ``i``.
 WorkloadFactory = Callable[[int], WorkloadGenerator]
+
+#: One (trial, algorithm) work item: everything :func:`repro.sim.engine.simulate`
+#: needs, fully materialised so it can cross a process boundary.
+TrialPayload = Tuple[str, List[ElementId], int, int, int, bool, int, dict]
+
+
+def _execute_trial(payload: TrialPayload) -> RunResult:
+    """Process-pool worker: run one algorithm on one trial sequence.
+
+    Module-level so it is picklable; the payload carries plain data only.
+    """
+    name, sequence, n_nodes, placement_seed, seed, keep_records, trial, kwargs = payload
+    return simulate(
+        name,
+        sequence,
+        n_nodes=n_nodes,
+        placement_seed=placement_seed,
+        seed=seed,
+        keep_records=keep_records,
+        metadata={"trial": trial},
+        **kwargs,
+    )
 
 
 @dataclass(frozen=True)
@@ -81,6 +110,10 @@ class TrialRunner:
         workload, the placement and the algorithm randomness).
     keep_records:
         Whether to retain per-request cost records (memory-heavy for long runs).
+    n_jobs:
+        Worker processes for the (trial, algorithm) fan-out; ``1`` (default)
+        runs serially, negative uses every CPU.  Parallel runs are
+        bit-identical to serial ones (see :mod:`repro.sim.parallel`).
     """
 
     def __init__(
@@ -90,6 +123,7 @@ class TrialRunner:
         n_trials: int = 3,
         base_seed: int = 0,
         keep_records: bool = False,
+        n_jobs: int = 1,
     ) -> None:
         if n_trials <= 0:
             raise ExperimentError(f"n_trials must be positive, got {n_trials}")
@@ -100,6 +134,7 @@ class TrialRunner:
         self.n_trials = n_trials
         self.base_seed = base_seed
         self.keep_records = keep_records
+        self.n_jobs = n_jobs
 
     def trial_sequences(self, workload_factory: WorkloadFactory) -> List[List[ElementId]]:
         """Generate one request sequence per trial using the factory."""
@@ -129,31 +164,72 @@ class TrialRunner:
         sequences = self.trial_sequences(workload_factory)
         return self.run_on_sequences(algorithms, sequences, algorithm_kwargs)
 
+    def build_payloads(
+        self,
+        algorithms: Sequence[str],
+        sequences: Sequence[Sequence[ElementId]],
+        algorithm_kwargs: Optional[Dict[str, dict]] = None,
+    ) -> List[TrialPayload]:
+        """Materialise the (trial, algorithm) work items in deterministic order.
+
+        Seeds depend only on the trial index (placement ``base_seed + 10_000 +
+        trial``, algorithm ``base_seed + 20_000 + trial``), so the payloads —
+        and therefore the results — are independent of where and in which
+        order they are executed.
+        """
+        algorithm_kwargs = algorithm_kwargs or {}
+        payloads: List[TrialPayload] = []
+        for trial, sequence in enumerate(sequences):
+            placement_seed = self.base_seed + 10_000 + trial
+            algorithm_seed = self.base_seed + 20_000 + trial
+            for name in algorithms:
+                payloads.append(
+                    (
+                        name,
+                        list(sequence),
+                        self.n_nodes,
+                        placement_seed,
+                        algorithm_seed,
+                        self.keep_records,
+                        trial,
+                        dict(algorithm_kwargs.get(name, {})),
+                    )
+                )
+        return payloads
+
+    @staticmethod
+    def collect(
+        algorithms: Sequence[str],
+        payloads: Sequence[TrialPayload],
+        results: Sequence[RunResult],
+    ) -> Dict[str, List[TrialOutcome]]:
+        """Reassemble ordered worker results into the per-algorithm outcome map."""
+        outcomes: Dict[str, List[TrialOutcome]] = {name: [] for name in algorithms}
+        for payload, result in zip(payloads, results):
+            name, trial = payload[0], payload[6]
+            outcomes[name].append(
+                TrialOutcome(algorithm=name, trial=trial, result=result)
+            )
+        return outcomes
+
     def run_on_sequences(
         self,
         algorithms: Sequence[str],
         sequences: Sequence[Sequence[ElementId]],
         algorithm_kwargs: Optional[Dict[str, dict]] = None,
+        n_jobs: Optional[int] = None,
     ) -> Dict[str, List[TrialOutcome]]:
-        """Run every algorithm on externally supplied per-trial sequences."""
-        algorithm_kwargs = algorithm_kwargs or {}
-        outcomes: Dict[str, List[TrialOutcome]] = {name: [] for name in algorithms}
-        for trial, sequence in enumerate(sequences):
-            placement_seed = self.base_seed + 10_000 + trial
-            for name in algorithms:
-                kwargs = dict(algorithm_kwargs.get(name, {}))
-                result = simulate(
-                    name,
-                    sequence,
-                    n_nodes=self.n_nodes,
-                    placement_seed=placement_seed,
-                    seed=self.base_seed + 20_000 + trial,
-                    keep_records=self.keep_records,
-                    metadata={"trial": trial},
-                    **kwargs,
-                )
-                outcomes[name].append(TrialOutcome(algorithm=name, trial=trial, result=result))
-        return outcomes
+        """Run every algorithm on externally supplied per-trial sequences.
+
+        ``n_jobs`` overrides the runner-wide setting for this call.
+        """
+        payloads = self.build_payloads(algorithms, sequences, algorithm_kwargs)
+        results = map_ordered(
+            _execute_trial,
+            payloads,
+            self.n_jobs if n_jobs is None else n_jobs,
+        )
+        return self.collect(algorithms, payloads, results)
 
     @staticmethod
     def aggregate(outcomes: Dict[str, List[TrialOutcome]]) -> Dict[str, AggregatedOutcome]:
@@ -185,6 +261,7 @@ def compare_algorithms(
     base_seed: int = 0,
     keep_records: bool = False,
     algorithm_kwargs: Optional[Dict[str, dict]] = None,
+    n_jobs: int = 1,
 ) -> Dict[str, AggregatedOutcome]:
     """One-call helper: run all algorithms over seeded trials and aggregate."""
     runner = TrialRunner(
@@ -193,6 +270,7 @@ def compare_algorithms(
         n_trials=n_trials,
         base_seed=base_seed,
         keep_records=keep_records,
+        n_jobs=n_jobs,
     )
     outcomes = runner.run(algorithms, workload_factory, algorithm_kwargs)
     return TrialRunner.aggregate(outcomes)

@@ -10,11 +10,12 @@ factory parameterised by the point, the algorithms to compare, and produces a
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ExperimentError
+from repro.sim.parallel import map_ordered
 from repro.sim.results import ResultTable
-from repro.sim.runner import TrialRunner
+from repro.sim.runner import TrialPayload, TrialRunner, _execute_trial
 from repro.workloads.base import WorkloadGenerator
 
 __all__ = ["SweepPoint", "ParameterSweep"]
@@ -44,6 +45,11 @@ class ParameterSweep:
         Default tree size for points that do not carry their own.
     n_requests, n_trials, base_seed:
         Passed to the underlying :class:`repro.sim.runner.TrialRunner`.
+    n_jobs:
+        Worker processes for the fan-out.  All (point, trial, algorithm) work
+        items of the sweep are flattened into a single pool pass, so the
+        parallelism is not throttled by small per-point trial counts; results
+        are reassembled in order and bit-identical to a serial run.
     """
 
     def __init__(
@@ -56,6 +62,7 @@ class ParameterSweep:
         n_trials: int = 3,
         base_seed: int = 0,
         algorithm_kwargs: Optional[Dict[str, dict]] = None,
+        n_jobs: int = 1,
     ) -> None:
         if not points:
             raise ExperimentError("a sweep needs at least one parameter point")
@@ -69,6 +76,7 @@ class ParameterSweep:
         self.n_trials = n_trials
         self.base_seed = base_seed
         self.algorithm_kwargs = algorithm_kwargs or {}
+        self.n_jobs = n_jobs
 
     def _point_columns(self) -> List[str]:
         columns: List[str] = []
@@ -93,6 +101,12 @@ class ParameterSweep:
             "n_trials",
         ]
         table = ResultTable(name=table_name, columns=columns)
+
+        # Phase 1: materialise every (point, trial, algorithm) work item.  The
+        # whole sweep is flattened into one payload list so a single pool pass
+        # can load-balance across points.
+        all_payloads: List[TrialPayload] = []
+        point_chunks: List[Tuple[SweepPoint, List[TrialPayload]]] = []
         for point in self.points:
             n_nodes = int(point.get("n_nodes", self.n_nodes or 0))
             if n_nodes <= 0:
@@ -105,11 +119,22 @@ class ParameterSweep:
                 n_trials=self.n_trials,
                 base_seed=self.base_seed,
             )
-            outcomes = runner.run(
-                self.algorithms,
-                lambda seed, _point=point: self.workload_factory(_point, seed),
-                self.algorithm_kwargs,
+            sequences = runner.trial_sequences(
+                lambda seed, _point=point: self.workload_factory(_point, seed)
             )
+            payloads = runner.build_payloads(
+                self.algorithms, sequences, self.algorithm_kwargs
+            )
+            all_payloads.extend(payloads)
+            point_chunks.append((point, payloads))
+
+        # Phase 2: execute (serially or on the pool) and aggregate per point.
+        all_results = map_ordered(_execute_trial, all_payloads, self.n_jobs)
+        cursor = 0
+        for point, payloads in point_chunks:
+            results = all_results[cursor : cursor + len(payloads)]
+            cursor += len(payloads)
+            outcomes = TrialRunner.collect(self.algorithms, payloads, results)
             aggregated = TrialRunner.aggregate(outcomes)
             for algorithm in self.algorithms:
                 summary = aggregated[algorithm]
