@@ -11,7 +11,10 @@ against its predecessors on the same hardware.  Two layers are measured:
   records; and
 * **parallel trial scaling** — wall-clock of ``compare_algorithms`` at
   ``n_jobs=1`` versus ``n_jobs=<cpus>``, together with a determinism check
-  that both produce identical aggregates.
+  that both produce identical aggregates; and
+* **fan-out payloads** — build time, pickled size and parallel dispatch
+  wall-clock of materialised-sequence payloads versus spec-shipped streaming
+  payloads for the same trial grid, with a determinism cross-check.
 
 Usage::
 
@@ -31,8 +34,10 @@ import sys
 import time
 from pathlib import Path
 
+import pickle
+
 from repro.algorithms.registry import make_algorithm
-from repro.sim.runner import compare_algorithms
+from repro.sim.runner import TrialRunner, compare_algorithms, execute_payloads
 from repro.workloads.composite import CombinedLocalityWorkload
 
 #: Steady-state whole-run serve cost (microseconds/request, best of 3) of the
@@ -140,6 +145,59 @@ def bench_parallel(n_nodes: int, n_requests: int, n_trials: int) -> dict:
     }
 
 
+def bench_fanout(n_nodes: int, n_requests: int, n_trials: int, n_jobs: int) -> dict:
+    """Payload build + dispatch cost: materialised sequences vs shipped specs."""
+    algorithms = ["rotor-push", "static-oblivious"]
+
+    def factory(seed: int) -> CombinedLocalityWorkload:
+        return CombinedLocalityWorkload(n_nodes, 1.4, 0.5, seed=seed)
+
+    runner = TrialRunner(
+        n_nodes=n_nodes, n_requests=n_requests, n_trials=n_trials, base_seed=1
+    )
+
+    start = time.perf_counter()
+    sequences = runner.trial_sequences(factory)
+    materialised = runner.build_payloads(algorithms, sequences)
+    materialised_build = time.perf_counter() - start
+    materialised_bytes = len(pickle.dumps(materialised))
+
+    start = time.perf_counter()
+    sources = runner.trial_sources(factory)
+    spec_payloads = runner.build_payloads(algorithms, sources)
+    spec_build = time.perf_counter() - start
+    spec_bytes = len(pickle.dumps(spec_payloads))
+
+    start = time.perf_counter()
+    materialised_results = execute_payloads(materialised, n_jobs)
+    materialised_dispatch = time.perf_counter() - start
+
+    start = time.perf_counter()
+    spec_results = execute_payloads(spec_payloads, n_jobs)
+    spec_dispatch = time.perf_counter() - start
+
+    identical = all(
+        left.to_dict() == right.to_dict()
+        for left, right in zip(materialised_results, spec_results)
+    )
+    return {
+        "n_payloads": len(spec_payloads),
+        "n_jobs": n_jobs,
+        "materialised": {
+            "build_seconds": round(materialised_build, 4),
+            "payload_bytes": materialised_bytes,
+            "dispatch_seconds": round(materialised_dispatch, 3),
+        },
+        "spec": {
+            "build_seconds": round(spec_build, 4),
+            "payload_bytes": spec_bytes,
+            "dispatch_seconds": round(spec_dispatch, 3),
+        },
+        "payload_bytes_ratio": round(materialised_bytes / max(1, spec_bytes), 1),
+        "deterministic": identical,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke configuration")
@@ -174,6 +232,9 @@ def main(argv=None) -> int:
             serve_nodes, serve_requests, repeats
         ),
         "parallel_trials": bench_parallel(par_nodes, par_requests, par_trials),
+        "fanout_payloads": bench_fanout(
+            par_nodes, par_requests, par_trials, max(2, os.cpu_count() or 1)
+        ),
     }
 
     payload = json.dumps(report, indent=2)
@@ -184,6 +245,9 @@ def main(argv=None) -> int:
 
     if not report["parallel_trials"]["deterministic"]:
         print("ERROR: parallel run diverged from serial run", file=sys.stderr)
+        return 1
+    if not report["fanout_payloads"]["deterministic"]:
+        print("ERROR: spec dispatch diverged from materialised dispatch", file=sys.stderr)
         return 1
     return 0
 

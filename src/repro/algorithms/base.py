@@ -229,19 +229,49 @@ class OnlineTreeAlgorithm(abc.ABC):
         sequence = list(sequence)
         if self.requires_preparation and not self._prepared:
             self.prepare(sequence)
+        return self._run_chunks((sequence,), metadata)
+
+    def run_stream(
+        self,
+        chunks: Iterable[Iterable[ElementId]],
+        metadata: Optional[dict] = None,
+    ) -> RunResult:
+        """Serve a chunked request stream and return the aggregate result.
+
+        The streaming twin of :meth:`run`: requests arrive as an iterable of
+        chunks (see :meth:`repro.workloads.base.WorkloadGenerator.iter_requests`)
+        and are served as they arrive, so the full sequence is never resident.
+        Offline algorithms (``requires_preparation``) must see the whole
+        sequence anyway and therefore materialise it before delegating to
+        :meth:`run`.  Costs are identical to ``run`` on the concatenated
+        stream by construction — both drive the same serve loop.
+        """
+        if self.requires_preparation and not self._prepared:
+            sequence = [element for chunk in chunks for element in chunk]
+            return self.run(sequence, metadata=metadata)
+        return self._run_chunks(chunks, metadata)
+
+    def _run_chunks(
+        self,
+        chunks: Iterable[Iterable[ElementId]],
+        metadata: Optional[dict],
+    ) -> RunResult:
+        """Shared serve loop of :meth:`run` and :meth:`run_stream`."""
         network = self.network
         ledger = network.ledger
         if ledger.keep_records or network.enforce_marking:
-            for element in sequence:
-                self.serve(element)
+            for chunk in chunks:
+                for element in chunk:
+                    self.serve(element)
         else:
             if not self._prepared:
                 raise AlgorithmError(
                     f"{self.name} requires prepare(sequence) before serving requests"
                 )
             serve_fast = self._serve_fast
-            for element in sequence:
-                serve_fast(element)
+            for chunk in chunks:
+                for element in chunk:
+                    serve_fast(element)
         return RunResult(
             algorithm=self.name,
             n_nodes=network.tree.n_nodes,

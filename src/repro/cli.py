@@ -63,6 +63,17 @@ def build_parser() -> argparse.ArgumentParser:
         "results are bit-identical for every value"
     )
 
+    def chunk_type(value: str) -> int:
+        chunk = int(value)
+        if chunk <= 0:
+            raise argparse.ArgumentTypeError("must be a positive request count")
+        return chunk
+
+    chunk_help = (
+        "streaming chunk size for spec-shipped workloads (requests per chunk; "
+        "memory/batching knob only, never changes results)"
+    )
+
     subparsers.add_parser("list", help="list algorithms and experiment scales")
 
     demo = subparsers.add_parser("demo", help="run a quick algorithm comparison")
@@ -72,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--zipf", type=float, default=1.6, help="Zipf exponent")
     demo.add_argument("--repeat", type=float, default=0.5, help="repeat probability")
     demo.add_argument("--jobs", type=jobs_type, default=1, help=jobs_help)
+    demo.add_argument("--chunk-size", type=chunk_type, default=None, help=chunk_help)
 
     experiment = subparsers.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument(
@@ -82,11 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", default="tiny", choices=sorted(SCALES))
     experiment.add_argument("--csv-dir", default=None, help="directory for CSV exports")
     experiment.add_argument("--jobs", type=jobs_type, default=1, help=jobs_help)
+    experiment.add_argument("--chunk-size", type=chunk_type, default=None, help=chunk_help)
 
     report = subparsers.add_parser("report", help="run all experiments and write EXPERIMENTS.md")
     report.add_argument("--scale", default="tiny", choices=sorted(SCALES))
     report.add_argument("--output", default="EXPERIMENTS.md", help="output Markdown path")
     report.add_argument("--jobs", type=jobs_type, default=1, help=jobs_help)
+    report.add_argument("--chunk-size", type=chunk_type, default=None, help=chunk_help)
 
     return parser
 
@@ -125,6 +139,7 @@ def _command_demo(args: argparse.Namespace) -> int:
         n_requests=args.requests,
         n_trials=args.trials,
         n_jobs=args.jobs,
+        chunk_size=args.chunk_size,
     )
     table = ResultTable(
         name="demo",
@@ -143,16 +158,17 @@ def _command_demo(args: argparse.Namespace) -> int:
 
 def _command_experiment(args: argparse.Namespace) -> int:
     name, scale, csv_dir, jobs = args.name, args.scale, args.csv_dir, args.jobs
+    chunk = args.chunk_size
     if name in ("q1", "all"):
-        for table in run_q1(scale, n_jobs=jobs).values():
+        for table in run_q1(scale, n_jobs=jobs, chunk_size=chunk).values():
             _print_table(table, csv_dir)
     if name in ("q2", "all"):
-        _print_table(run_q2(scale, n_jobs=jobs), csv_dir)
+        _print_table(run_q2(scale, n_jobs=jobs, chunk_size=chunk), csv_dir)
     if name in ("q3", "all"):
-        _print_table(run_q3(scale, n_jobs=jobs), csv_dir)
+        _print_table(run_q3(scale, n_jobs=jobs, chunk_size=chunk), csv_dir)
     if name in ("q4", "all"):
-        _print_table(run_q4_wireframe(scale, n_jobs=jobs), csv_dir)
-        histogram, summary = run_q4_histogram(scale, n_jobs=jobs)
+        _print_table(run_q4_wireframe(scale, n_jobs=jobs, chunk_size=chunk), csv_dir)
+        histogram, summary = run_q4_histogram(scale, n_jobs=jobs, chunk_size=chunk)
         print(histogram_chart("Rotor-Push minus Random-Push (access cost)", histogram))
         print(f"mean difference: {summary['mean_difference']:+.5f}")
         print()
@@ -165,7 +181,12 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
 
 def _command_report(args: argparse.Namespace) -> int:
-    report = generate_report(scale=args.scale, path=args.output, n_jobs=args.jobs)
+    report = generate_report(
+        scale=args.scale,
+        path=args.output,
+        n_jobs=args.jobs,
+        chunk_size=args.chunk_size,
+    )
     print(f"wrote {args.output} ({len(report.splitlines())} lines)")
     return 0
 

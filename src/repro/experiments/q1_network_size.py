@@ -11,7 +11,7 @@ pays off; the paper's finding is that the benefit grows with the tree size.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.algorithms.registry import SELF_ADJUSTING_ALGORITHMS, StaticOblivious
 from repro.experiments.config import ExperimentScale, get_scale
@@ -42,6 +42,7 @@ def _run_size_sweep(
     locality: str,
     table_name: str,
     n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> ResultTable:
     """Shared implementation for both Q1 panels."""
     algorithms = list(SELF_ADJUSTING_ALGORITHMS) + [_BASELINE]
@@ -64,6 +65,7 @@ def _run_size_sweep(
             n_trials=scale.n_trials,
             base_seed=scale.base_seed,
             n_jobs=n_jobs,
+            chunk_size=chunk_size,
         )
 
         if locality == "temporal":
@@ -89,25 +91,39 @@ def _run_size_sweep(
     return table
 
 
-def run_q1_temporal(scale: str = "tiny", n_jobs: int = 1) -> ResultTable:
+def run_q1_temporal(
+    scale: str = "tiny", n_jobs: int = 1, chunk_size: Optional[int] = None
+) -> ResultTable:
     """Reproduce Figure 2a (size sweep under temporal locality ``p = 0.9``)."""
     return _run_size_sweep(
-        get_scale(scale), "temporal", "fig2a_network_size_temporal", n_jobs=n_jobs
+        get_scale(scale),
+        "temporal",
+        "fig2a_network_size_temporal",
+        n_jobs=n_jobs,
+        chunk_size=chunk_size,
     )
 
 
-def run_q1_spatial(scale: str = "tiny", n_jobs: int = 1) -> ResultTable:
+def run_q1_spatial(
+    scale: str = "tiny", n_jobs: int = 1, chunk_size: Optional[int] = None
+) -> ResultTable:
     """Reproduce Figure 2b (size sweep under Zipf spatial locality ``a = 2.2``)."""
     return _run_size_sweep(
-        get_scale(scale), "spatial", "fig2b_network_size_spatial", n_jobs=n_jobs
+        get_scale(scale),
+        "spatial",
+        "fig2b_network_size_spatial",
+        n_jobs=n_jobs,
+        chunk_size=chunk_size,
     )
 
 
-def run_q1(scale: str = "tiny", n_jobs: int = 1) -> Dict[str, ResultTable]:
+def run_q1(
+    scale: str = "tiny", n_jobs: int = 1, chunk_size: Optional[int] = None
+) -> Dict[str, ResultTable]:
     """Run both Q1 panels and return them keyed by figure identifier."""
     return {
-        "fig2a": run_q1_temporal(scale, n_jobs=n_jobs),
-        "fig2b": run_q1_spatial(scale, n_jobs=n_jobs),
+        "fig2a": run_q1_temporal(scale, n_jobs=n_jobs, chunk_size=chunk_size),
+        "fig2b": run_q1_spatial(scale, n_jobs=n_jobs, chunk_size=chunk_size),
     }
 
 

@@ -10,7 +10,7 @@ Rotor-Push and Random-Push are the best and overtake Static-Opt a bit after
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.algorithms.registry import PAPER_ALGORITHMS
 from repro.analysis.entropy import empirical_entropy
@@ -22,7 +22,9 @@ from repro.workloads.temporal import TemporalWorkload
 __all__ = ["run_q2", "series_for_plot", "sequence_entropies"]
 
 
-def run_q2(scale: str = "tiny", n_jobs: int = 1) -> ResultTable:
+def run_q2(
+    scale: str = "tiny", n_jobs: int = 1, chunk_size: Optional[int] = None
+) -> ResultTable:
     """Run the Figure 3 sweep and return its data table."""
     config = get_scale(scale)
     sweep = ParameterSweep(
@@ -36,6 +38,7 @@ def run_q2(scale: str = "tiny", n_jobs: int = 1) -> ResultTable:
         n_trials=config.n_trials,
         base_seed=config.base_seed,
         n_jobs=n_jobs,
+        chunk_size=chunk_size,
     )
     return sweep.run(table_name="fig3_temporal_locality")
 

@@ -11,7 +11,7 @@ cheapest option in these purely spatial scenarios.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.algorithms.registry import PAPER_ALGORITHMS
 from repro.analysis.entropy import empirical_entropy
@@ -23,7 +23,9 @@ from repro.workloads.zipf import ZipfWorkload
 __all__ = ["run_q3", "series_for_plot", "sequence_entropies"]
 
 
-def run_q3(scale: str = "tiny", n_jobs: int = 1) -> ResultTable:
+def run_q3(
+    scale: str = "tiny", n_jobs: int = 1, chunk_size: Optional[int] = None
+) -> ResultTable:
     """Run the Figure 4 sweep and return its data table."""
     config = get_scale(scale)
     sweep = ParameterSweep(
@@ -37,6 +39,7 @@ def run_q3(scale: str = "tiny", n_jobs: int = 1) -> ResultTable:
         n_trials=config.n_trials,
         base_seed=config.base_seed,
         n_jobs=n_jobs,
+        chunk_size=chunk_size,
     )
     return sweep.run(table_name="fig4_spatial_locality")
 

@@ -14,26 +14,28 @@ Reproduces the two panels of Figure 5:
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.algorithms.registry import RotorPush, RandomPush, StaticOblivious
 from repro.experiments.config import get_scale
 from repro.sim.metrics import Histogram, histogram_of_differences, per_request_cost_difference
-from repro.sim.parallel import map_ordered
 from repro.sim.results import ResultTable
-from repro.sim.runner import TrialPayload, TrialRunner, _execute_trial
+from repro.sim.runner import SpecSource, TrialPayload, TrialRunner, execute_payloads
 from repro.workloads.composite import CombinedLocalityWorkload
-from repro.workloads.uniform import UniformWorkload
+from repro.workloads.spec import DEFAULT_CHUNK_SIZE, WorkloadSpec
 
 __all__ = ["run_q4_wireframe", "run_q4_histogram", "wireframe_grid"]
 
 
-def run_q4_wireframe(scale: str = "tiny", n_jobs: int = 1) -> ResultTable:
+def run_q4_wireframe(
+    scale: str = "tiny", n_jobs: int = 1, chunk_size: Optional[int] = None
+) -> ResultTable:
     """Run the Figure 5a grid and return one row per (p, a) point.
 
     All (p, a, trial, algorithm) work items of the grid are flattened into a
-    single (optionally parallel) pass; results are bit-identical for every
-    ``n_jobs``.
+    single (optionally parallel) pass; workloads cross the process boundary
+    as specs and are streamed in the workers.  Results are bit-identical for
+    every ``n_jobs``.
     """
     config = get_scale(scale)
     algorithms = [RotorPush.name, StaticOblivious.name]
@@ -52,20 +54,21 @@ def run_q4_wireframe(scale: str = "tiny", n_jobs: int = 1) -> ResultTable:
         n_requests=config.n_requests,
         n_trials=config.n_trials,
         base_seed=config.base_seed,
+        chunk_size=chunk_size,
     )
     all_payloads: List[TrialPayload] = []
     cells: List[Tuple[float, float, List[TrialPayload]]] = []
     for probability in config.q4_probabilities:
         for exponent in config.q4_exponents:
-            sequences = runner.trial_sequences(
+            sources = runner.trial_sources(
                 lambda seed, _p=probability, _a=exponent: CombinedLocalityWorkload(
                     config.n_nodes, _a, _p, seed=seed
                 )
             )
-            payloads = runner.build_payloads(algorithms, sequences)
+            payloads = runner.build_payloads(algorithms, sources)
             all_payloads.extend(payloads)
             cells.append((probability, exponent, payloads))
-    all_results = map_ordered(_execute_trial, all_payloads, n_jobs)
+    all_results = execute_payloads(all_payloads, n_jobs)
     cursor = 0
     for probability, exponent, payloads in cells:
         results = all_results[cursor : cursor + len(payloads)]
@@ -107,12 +110,13 @@ def run_q4_histogram(
     scale: str = "tiny",
     n_sequences: int = None,
     n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> Tuple[Histogram, Dict[str, float]]:
     """Run the Figure 5b comparison and return the histogram plus summary statistics.
 
     Rotor-Push and Random-Push serve the *same* uniform sequences from the
-    *same* initial placements; the histogram collects the per-request access
-    cost differences (Rotor-Push minus Random-Push) over all sequences.  With
+    *same* initial placements: both payloads of a pair carry the same
+    uniform-workload spec, so the workers regenerate identical streams.  With
     ``n_jobs > 1`` the per-sequence simulations run on a process pool; the
     histogram is identical for every ``n_jobs``.
     """
@@ -121,18 +125,41 @@ def run_q4_histogram(
         n_sequences = max(2, config.n_trials)
     payloads: List[TrialPayload] = []
     for index in range(n_sequences):
-        workload = UniformWorkload(config.n_nodes, seed=config.base_seed + index)
-        sequence = workload.generate(config.n_requests)
+        spec = WorkloadSpec.create(
+            "uniform", seed=config.base_seed + index, n_elements=config.n_nodes
+        )
+        # both algorithms of the pair serve this stream: shared lets the
+        # worker generate it once
+        source = SpecSource(
+            spec,
+            config.n_requests,
+            DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size,
+            shared=True,
+        )
         placement_seed = config.base_seed + 500 + index
         payloads.append(
-            (RotorPush.name, sequence, config.n_nodes, placement_seed,
-             None, True, index, {})
+            TrialPayload(
+                algorithm=RotorPush.name,
+                source=source,
+                n_nodes=config.n_nodes,
+                placement_seed=placement_seed,
+                algorithm_seed=None,
+                keep_records=True,
+                trial=index,
+            )
         )
         payloads.append(
-            (RandomPush.name, sequence, config.n_nodes, placement_seed,
-             config.base_seed + 900 + index, True, index, {})
+            TrialPayload(
+                algorithm=RandomPush.name,
+                source=source,
+                n_nodes=config.n_nodes,
+                placement_seed=placement_seed,
+                algorithm_seed=config.base_seed + 900 + index,
+                keep_records=True,
+                trial=index,
+            )
         )
-    results = map_ordered(_execute_trial, payloads, n_jobs)
+    results = execute_payloads(payloads, n_jobs)
     differences: List[int] = []
     for pair_start in range(0, len(results), 2):
         rotor_result = results[pair_start]

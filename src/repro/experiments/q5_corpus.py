@@ -25,18 +25,11 @@ from repro.algorithms.registry import PAPER_ALGORITHMS
 from repro.analysis.complexity_map import trace_complexity
 from repro.analysis.entropy import locality_summary
 from repro.experiments.config import get_scale
-from repro.sim.engine import simulate
-from repro.sim.parallel import map_ordered
 from repro.sim.results import ResultTable
+from repro.sim.runner import SequenceSource, TrialPayload, execute_payloads
 from repro.workloads.corpus import CorpusWorkload, synthetic_corpus_workloads
 
 __all__ = ["corpus_for_scale", "run_q5_complexity_map", "run_q5_costs", "run_q5"]
-
-
-def _simulate_payload(payload: dict):
-    """Process-pool worker: one keyword-argument bundle for :func:`simulate`."""
-    kwargs = dict(payload)
-    return simulate(kwargs.pop("algorithm_name"), kwargs.pop("sequence"), **kwargs)
 
 
 def corpus_for_scale(
@@ -108,28 +101,31 @@ def run_q5_costs(
         ],
     )
     limit = max_requests if max_requests is not None else config.n_requests
-    payloads: List[dict] = []
-    for workload in corpus_for_scale(scale, workloads):
-        sequence = workload.full_sequence()[:limit]
+    payloads: List[TrialPayload] = []
+    for index, workload in enumerate(corpus_for_scale(scale, workloads)):
+        # Corpus traces are data, not a recipe: ship the (truncated) sequence
+        # itself.  All algorithms on a dataset share one source object.
+        source = SequenceSource(tuple(workload.full_sequence()[:limit]))
         for algorithm in algorithm_names:
             payloads.append(
-                {
-                    "algorithm_name": algorithm,
-                    "sequence": sequence,
-                    "n_nodes": workload.n_elements,
-                    "placement_seed": config.base_seed,
-                    "seed": config.base_seed + 1,
-                    "keep_records": False,
-                    "metadata": {"dataset": workload.title},
-                }
+                TrialPayload(
+                    algorithm=algorithm,
+                    source=source,
+                    n_nodes=workload.n_elements,
+                    placement_seed=config.base_seed,
+                    algorithm_seed=config.base_seed + 1,
+                    keep_records=False,
+                    trial=index,
+                    metadata={"dataset": workload.title},
+                )
             )
-    results = map_ordered(_simulate_payload, payloads, n_jobs)
+    results = execute_payloads(payloads, n_jobs)
     for payload, result in zip(payloads, results):
         table.add_row(
-            dataset=payload["metadata"]["dataset"],
-            algorithm=payload["algorithm_name"],
+            dataset=payload.metadata["dataset"],
+            algorithm=payload.algorithm,
             n_requests=result.n_requests,
-            tree_size=payload["n_nodes"],
+            tree_size=payload.n_nodes,
             mean_access_cost=result.average_access_cost,
             mean_adjustment_cost=result.average_adjustment_cost,
             mean_total_cost=result.average_total_cost,
@@ -137,8 +133,15 @@ def run_q5_costs(
     return table
 
 
-def run_q5(scale: str = "tiny", n_jobs: int = 1) -> Dict[str, ResultTable]:
-    """Run both Q5 analyses on the same corpus and return them keyed by figure."""
+def run_q5(
+    scale: str = "tiny", n_jobs: int = 1, chunk_size: Optional[int] = None
+) -> Dict[str, ResultTable]:
+    """Run both Q5 analyses on the same corpus and return them keyed by figure.
+
+    ``chunk_size`` is accepted for interface uniformity with the other
+    experiment drivers; corpus traces cross the process boundary as data
+    (:class:`repro.sim.runner.SequenceSource`), so it has no effect here.
+    """
     workloads = corpus_for_scale(scale)
     return {
         "fig6": run_q5_complexity_map(scale, workloads),

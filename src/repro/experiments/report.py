@@ -20,21 +20,29 @@ from repro.sim.results import ResultTable
 __all__ = ["run_all_experiments", "render_report", "generate_report"]
 
 
-def run_all_experiments(scale: str = "tiny", n_jobs: int = 1) -> Dict[str, object]:
+def run_all_experiments(
+    scale: str = "tiny", n_jobs: int = 1, chunk_size: Optional[int] = None
+) -> Dict[str, object]:
     """Run every experiment of the evaluation at the given scale.
 
     Returns a dictionary keyed by figure/table identifier; values are
     :class:`repro.sim.results.ResultTable` objects except for the Figure 5b
     histogram, which is a ``(histogram, summary)`` tuple.  ``n_jobs`` fans the
-    independent trial runs of every experiment over a process pool.
+    independent trial runs of every experiment over a (persistent, reused)
+    process pool; ``chunk_size`` tunes the streaming chunk granularity of the
+    spec-shipped workloads.
     """
     results: Dict[str, object] = {}
-    results.update(q1_network_size.run_q1(scale, n_jobs=n_jobs))
-    results["fig3"] = q2_temporal.run_q2(scale, n_jobs=n_jobs)
-    results["fig4"] = q3_spatial.run_q3(scale, n_jobs=n_jobs)
-    results["fig5a"] = q4_combined.run_q4_wireframe(scale, n_jobs=n_jobs)
-    results["fig5b"] = q4_combined.run_q4_histogram(scale, n_jobs=n_jobs)
-    results.update(q5_corpus.run_q5(scale, n_jobs=n_jobs))
+    results.update(q1_network_size.run_q1(scale, n_jobs=n_jobs, chunk_size=chunk_size))
+    results["fig3"] = q2_temporal.run_q2(scale, n_jobs=n_jobs, chunk_size=chunk_size)
+    results["fig4"] = q3_spatial.run_q3(scale, n_jobs=n_jobs, chunk_size=chunk_size)
+    results["fig5a"] = q4_combined.run_q4_wireframe(
+        scale, n_jobs=n_jobs, chunk_size=chunk_size
+    )
+    results["fig5b"] = q4_combined.run_q4_histogram(
+        scale, n_jobs=n_jobs, chunk_size=chunk_size
+    )
+    results.update(q5_corpus.run_q5(scale, n_jobs=n_jobs, chunk_size=chunk_size))
     results["table1"] = run_table1()
     return results
 
@@ -149,10 +157,13 @@ def render_report(results: Dict[str, object], scale: str = "tiny") -> str:
 
 
 def generate_report(
-    scale: str = "tiny", path: Optional[str] = None, n_jobs: int = 1
+    scale: str = "tiny",
+    path: Optional[str] = None,
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> str:
     """Run all experiments and render (optionally write) the Markdown report."""
-    results = run_all_experiments(scale, n_jobs=n_jobs)
+    results = run_all_experiments(scale, n_jobs=n_jobs, chunk_size=chunk_size)
     report = render_report(results, scale)
     if path is not None:
         with open(path, "w") as handle:

@@ -1,6 +1,11 @@
 """Simulation engine, multi-trial runners, parameter sweeps and result tables."""
 
-from repro.sim.engine import simulate, simulate_algorithm_on_sequence, simulate_workload
+from repro.sim.engine import (
+    simulate,
+    simulate_algorithm_on_sequence,
+    simulate_stream,
+    simulate_workload,
+)
 from repro.sim.metrics import (
     Histogram,
     access_cost_series,
@@ -10,11 +15,14 @@ from repro.sim.metrics import (
     per_request_cost_difference,
     total_cost_series,
 )
-from repro.sim.parallel import map_ordered, resolve_n_jobs
+from repro.sim.parallel import map_ordered, resolve_n_jobs, shutdown_persistent_pool
 from repro.sim.results import ResultTable, summarise_values
 from repro.sim.runner import (
     AggregatedOutcome,
+    SequenceSource,
+    SpecSource,
     TrialOutcome,
+    TrialPayload,
     TrialRunner,
     compare_algorithms,
 )
@@ -25,10 +33,15 @@ __all__ = [
     "Histogram",
     "ParameterSweep",
     "ResultTable",
+    "SequenceSource",
+    "SpecSource",
     "TrialOutcome",
+    "TrialPayload",
     "TrialRunner",
     "map_ordered",
     "resolve_n_jobs",
+    "shutdown_persistent_pool",
+    "simulate_stream",
     "access_cost_series",
     "adjustment_cost_series",
     "compare_algorithms",

@@ -18,7 +18,12 @@ from repro.exceptions import ExperimentError
 from repro.types import ElementId
 from repro.workloads.base import WorkloadGenerator
 
-__all__ = ["simulate", "simulate_algorithm_on_sequence", "simulate_workload"]
+__all__ = [
+    "simulate",
+    "simulate_algorithm_on_sequence",
+    "simulate_stream",
+    "simulate_workload",
+]
 
 
 def simulate_algorithm_on_sequence(
@@ -68,6 +73,41 @@ def simulate(
     return simulate_algorithm_on_sequence(
         algorithm, sequence, metadata=extra, with_locality_stats=with_locality_stats
     )
+
+
+def simulate_stream(
+    algorithm_name: str,
+    chunks: Iterable[Iterable[ElementId]],
+    n_nodes: Optional[int] = None,
+    depth: Optional[int] = None,
+    placement_seed: Optional[int] = None,
+    seed: Optional[int] = None,
+    keep_records: bool = True,
+    metadata: Optional[dict] = None,
+    **algorithm_kwargs,
+) -> RunResult:
+    """Build an algorithm by name and serve a chunked request stream.
+
+    The streaming twin of :func:`simulate`: ``chunks`` is an iterable of
+    request chunks (typically
+    :meth:`repro.workloads.base.WorkloadGenerator.iter_requests`), served as
+    they are produced so the full sequence is never materialised.  Pool
+    workers use this to turn a shipped :class:`repro.workloads.spec.WorkloadSpec`
+    into costs without ever holding a paper-scale sequence.
+    """
+    algorithm = make_algorithm(
+        algorithm_name,
+        n_nodes=n_nodes,
+        depth=depth,
+        placement_seed=placement_seed,
+        seed=seed,
+        keep_records=keep_records,
+        **algorithm_kwargs,
+    )
+    extra = dict(metadata or {})
+    extra.setdefault("placement_seed", placement_seed)
+    extra.setdefault("algorithm_seed", seed)
+    return algorithm.run_stream(chunks, metadata=extra)
 
 
 def simulate_workload(

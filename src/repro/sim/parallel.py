@@ -21,13 +21,21 @@ completion time.
 
 from __future__ import annotations
 
+import atexit
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.exceptions import ExperimentError
+from repro.workloads.spec import registry_version
 
-__all__ = ["resolve_n_jobs", "map_ordered"]
+__all__ = [
+    "resolve_n_jobs",
+    "map_ordered",
+    "shutdown_persistent_pool",
+]
 
 _PayloadT = TypeVar("_PayloadT")
 _ResultT = TypeVar("_ResultT")
@@ -48,6 +56,62 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
     return n_jobs
 
 
+# One process pool, reused across map_ordered calls (and therefore across
+# sweep points and whole experiments).  Spinning a pool up costs fork+import
+# per worker; at paper scale a sweep used to pay that once per point.  The
+# pool is keyed by its worker count: asking for a different n_jobs replaces
+# it, asking for the same reuses it.  Workers are spawned lazily by the
+# executor, so an oversized pool serving a tiny payload list costs nothing.
+# All access goes through _pool_lock; map_ordered holds it for the whole
+# parallel section, so concurrent threaded callers serialise their fan-outs
+# rather than shutting each other's executor down mid-map.
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers: int = 0
+_pool_registry_version: int = -1
+_pool_lock = threading.Lock()
+
+
+def _acquire_pool_locked(max_workers: int) -> ProcessPoolExecutor:
+    """Return the shared executor (caller must hold ``_pool_lock``).
+
+    The pool is also keyed on the workload-registry version: forked workers
+    snapshot the registry at pool creation, so a kind registered after that
+    would be unknown to them.  A version bump forces a rebuild, re-forking
+    the current parent state.
+    """
+    global _pool, _pool_workers, _pool_registry_version
+    if max_workers <= 0:
+        raise ExperimentError(f"max_workers must be positive, got {max_workers}")
+    version = registry_version()
+    if _pool is not None and (
+        _pool_workers != max_workers or _pool_registry_version != version
+    ):
+        _shutdown_pool_locked()
+    if _pool is None:
+        _pool = ProcessPoolExecutor(max_workers=max_workers)
+        _pool_workers = max_workers
+        _pool_registry_version = version
+    return _pool
+
+
+def _shutdown_pool_locked() -> None:
+    global _pool, _pool_workers, _pool_registry_version
+    if _pool is not None:
+        _pool.shutdown(wait=True)
+        _pool = None
+        _pool_workers = 0
+        _pool_registry_version = -1
+
+
+def shutdown_persistent_pool() -> None:
+    """Shut the shared executor down (registered at interpreter exit)."""
+    with _pool_lock:
+        _shutdown_pool_locked()
+
+
+atexit.register(shutdown_persistent_pool)
+
+
 def map_ordered(
     worker: Callable[[_PayloadT], _ResultT],
     payloads: Sequence[_PayloadT],
@@ -57,17 +121,24 @@ def map_ordered(
 
     With ``n_jobs`` resolving to 1 (or at most one payload) this is a plain
     serial loop with zero overhead.  Otherwise the payloads are fanned out
-    over a :class:`concurrent.futures.ProcessPoolExecutor`; ``worker`` must be
-    a module-level function and the payloads picklable.  The result list is
+    over the persistent :class:`concurrent.futures.ProcessPoolExecutor`
+    (created on first use, reused across calls); ``worker`` must be a
+    module-level function and the payloads picklable.  The result list is
     ordered by payload position regardless of completion order, which is what
     makes parallel trial execution deterministic.
     """
     jobs = resolve_n_jobs(n_jobs)
     if jobs == 1 or len(payloads) <= 1:
         return [worker(payload) for payload in payloads]
-    max_workers = min(jobs, len(payloads))
     # Chunk so each worker receives a few batches (amortises IPC) while still
     # keeping enough batches in flight to balance uneven item durations.
-    chunksize = max(1, len(payloads) // (4 * max_workers))
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(worker, payloads, chunksize=chunksize))
+    chunksize = max(1, len(payloads) // (4 * min(jobs, len(payloads))))
+    with _pool_lock:
+        pool = _acquire_pool_locked(jobs)
+        try:
+            return list(pool.map(worker, payloads, chunksize=chunksize))
+        except BrokenProcessPool:
+            # A worker died (OOM, signal); discard the broken pool so the
+            # next call starts from a healthy one, then surface the failure.
+            _shutdown_pool_locked()
+            raise

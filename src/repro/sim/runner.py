@@ -7,51 +7,168 @@ configuration over several seeded trials and aggregates the average costs, and
 per-trial sequences (so differences between algorithms are not confounded by
 workload noise).
 
+Work items are shipped to workers as :class:`TrialPayload` objects whose
+workload half is a :class:`WorkloadSource`:
+
+* :class:`SpecSource` — an immutable :class:`repro.workloads.spec.WorkloadSpec`
+  plus a request count; the worker rebuilds the generator and *streams*
+  requests in chunks into the serve fast path.  This is the default whenever
+  the workload can describe itself as a spec: nothing is generated in the
+  parent process and the payload pickles in bytes, not megabytes.
+* :class:`SequenceSource` — a materialised request sequence, used for
+  workloads without a spec (adaptive adversaries, ad-hoc generators) and by
+  the explicit :meth:`TrialRunner.run_on_sequences` API.
+
 Both accept ``n_jobs`` to fan the independent (trial, algorithm) work items
-out over a process pool (see :mod:`repro.sim.parallel`).  Per-trial seeds are
-derived from the trial index alone, and results are reassembled in payload
-order, so ``n_jobs > 1`` produces bit-for-bit the same outcomes as a serial
-run.
+out over a persistent process pool (see :mod:`repro.sim.parallel`).  Per-trial
+seeds are derived from the trial index alone, spec seeds are therefore pure
+functions of the trial index, and results are reassembled in payload order, so
+``n_jobs > 1`` — and streaming versus materialising — produce bit-for-bit the
+same outcomes as a serial run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.algorithms.base import RunResult
 from repro.exceptions import ExperimentError
-from repro.sim.engine import simulate
+from repro.sim.engine import simulate, simulate_stream
 from repro.sim.parallel import map_ordered
 from repro.sim.results import summarise_values
 from repro.types import ElementId
-from repro.workloads.base import WorkloadGenerator
+from repro.workloads.base import WorkloadGenerator, check_chunk_size
+from repro.workloads.spec import DEFAULT_CHUNK_SIZE, WorkloadSpec, build_workload
 
-__all__ = ["TrialOutcome", "AggregatedOutcome", "TrialRunner", "compare_algorithms"]
+__all__ = [
+    "SequenceSource",
+    "SpecSource",
+    "TrialOutcome",
+    "AggregatedOutcome",
+    "TrialPayload",
+    "TrialRunner",
+    "compare_algorithms",
+    "execute_payloads",
+]
 
-#: Signature of a factory producing a fresh workload for trial ``i``.
-WorkloadFactory = Callable[[int], WorkloadGenerator]
+#: Signature of a factory producing a fresh workload — or directly a
+#: :class:`~repro.workloads.spec.WorkloadSpec` — for trial ``i``.
+WorkloadFactory = Callable[[int], Union[WorkloadGenerator, WorkloadSpec]]
 
-#: One (trial, algorithm) work item: everything :func:`repro.sim.engine.simulate`
-#: needs, fully materialised so it can cross a process boundary.
-TrialPayload = Tuple[str, List[ElementId], int, int, int, bool, int, dict]
+
+@dataclass(frozen=True)
+class SequenceSource:
+    """A materialised request sequence crossing the process boundary as data."""
+
+    sequence: Tuple[ElementId, ...]
+
+
+@dataclass(frozen=True)
+class SpecSource:
+    """A workload spec to rebuild and stream inside the worker.
+
+    ``shared`` marks sources that appear in several payloads (one per
+    algorithm of the same trial): workers then memoise the generated chunks
+    in a single-entry cache, so the stream is generated once per trial per
+    worker instead of once per payload — the worker-side memory cost (one
+    resident sequence) is exactly what the materialised pipeline paid.
+    Unshared sources stream without retaining anything.
+    """
+
+    spec: WorkloadSpec
+    n_requests: int
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    shared: bool = False
+
+
+WorkloadSource = Union[SequenceSource, SpecSource]
+
+
+@dataclass(frozen=True)
+class TrialPayload:
+    """One (trial, algorithm) work item, picklable and order-independent."""
+
+    algorithm: str
+    source: WorkloadSource
+    n_nodes: int
+    placement_seed: Optional[int]
+    algorithm_seed: Optional[int]
+    keep_records: bool
+    trial: int
+    algorithm_kwargs: Dict[str, object] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+#: Single-entry per-process memo for ``shared`` spec sources (see
+#: :class:`SpecSource`).  Keyed by the source itself; cleared whenever a
+#: different shared source arrives, so at most one sequence is resident.
+#: :func:`execute_payloads` clears it when a pass completes; idle pool
+#: workers hold at most one trial's sequence until their next pass (or
+#: :func:`repro.sim.parallel.shutdown_persistent_pool`).
+_shared_chunks_cache: Dict[SpecSource, List[List[ElementId]]] = {}
+
+
+def execute_payloads(
+    payloads: Sequence["TrialPayload"], n_jobs: Optional[int]
+) -> List[RunResult]:
+    """Execute payloads (serially or on the pool), releasing the stream memo.
+
+    The one entry point the runners use around :func:`map_ordered`: it clears
+    the shared-chunk memo once the pass is done so a completed experiment
+    does not keep the last trial's materialised sequence alive in this
+    process.
+    """
+    try:
+        return map_ordered(_execute_trial, payloads, n_jobs)
+    finally:
+        _shared_chunks_cache.clear()
+
+
+def _chunks_of(source: SpecSource):
+    """Return the request chunks of ``source``, memoising shared sources."""
+    if not source.shared:
+        workload = build_workload(source.spec)
+        return workload.iter_requests(source.n_requests, source.chunk_size)
+    chunks = _shared_chunks_cache.get(source)
+    if chunks is None:
+        workload = build_workload(source.spec)
+        chunks = list(workload.iter_requests(source.n_requests, source.chunk_size))
+        _shared_chunks_cache.clear()
+        _shared_chunks_cache[source] = chunks
+    return chunks
 
 
 def _execute_trial(payload: TrialPayload) -> RunResult:
-    """Process-pool worker: run one algorithm on one trial sequence.
+    """Process-pool worker: run one algorithm on one trial workload.
 
-    Module-level so it is picklable; the payload carries plain data only.
+    Module-level so it is picklable.  Spec sources are rebuilt and streamed
+    chunk by chunk into the serve fast path; sequence sources are served as
+    is.  Both produce identical results for the same underlying requests.
     """
-    name, sequence, n_nodes, placement_seed, seed, keep_records, trial, kwargs = payload
+    metadata: Dict[str, object] = {"trial": payload.trial, **payload.metadata}
+    source = payload.source
+    if isinstance(source, SpecSource):
+        chunks = _chunks_of(source)
+        return simulate_stream(
+            payload.algorithm,
+            chunks,
+            n_nodes=payload.n_nodes,
+            placement_seed=payload.placement_seed,
+            seed=payload.algorithm_seed,
+            keep_records=payload.keep_records,
+            metadata=metadata,
+            **payload.algorithm_kwargs,
+        )
     return simulate(
-        name,
-        sequence,
-        n_nodes=n_nodes,
-        placement_seed=placement_seed,
-        seed=seed,
-        keep_records=keep_records,
-        metadata={"trial": trial},
-        **kwargs,
+        payload.algorithm,
+        source.sequence,
+        n_nodes=payload.n_nodes,
+        placement_seed=payload.placement_seed,
+        seed=payload.algorithm_seed,
+        keep_records=payload.keep_records,
+        metadata=metadata,
+        **payload.algorithm_kwargs,
     )
 
 
@@ -114,6 +231,10 @@ class TrialRunner:
         Worker processes for the (trial, algorithm) fan-out; ``1`` (default)
         runs serially, negative uses every CPU.  Parallel runs are
         bit-identical to serial ones (see :mod:`repro.sim.parallel`).
+    chunk_size:
+        Streaming chunk size for spec-shipped workloads (default
+        :data:`repro.workloads.spec.DEFAULT_CHUNK_SIZE`); affects memory and
+        batching only, never the generated stream.
     """
 
     def __init__(
@@ -124,6 +245,7 @@ class TrialRunner:
         base_seed: int = 0,
         keep_records: bool = False,
         n_jobs: int = 1,
+        chunk_size: Optional[int] = None,
     ) -> None:
         if n_trials <= 0:
             raise ExperimentError(f"n_trials must be positive, got {n_trials}")
@@ -135,17 +257,60 @@ class TrialRunner:
         self.base_seed = base_seed
         self.keep_records = keep_records
         self.n_jobs = n_jobs
+        self.chunk_size = (
+            DEFAULT_CHUNK_SIZE if chunk_size is None else check_chunk_size(int(chunk_size))
+        )
+
+    def _check_universe(self, n_elements: object) -> None:
+        if n_elements != self.n_nodes:
+            raise ExperimentError(
+                f"workload universe {n_elements} does not match "
+                f"runner tree size {self.n_nodes}"
+            )
+
+    def trial_sources(self, workload_factory: WorkloadFactory) -> List[WorkloadSource]:
+        """Build one workload source per trial without generating any requests.
+
+        The factory is called with the per-trial seed and may return either a
+        :class:`~repro.workloads.spec.WorkloadSpec` directly or a freshly
+        constructed generator.  Generators that can describe themselves as a
+        spec (:meth:`~repro.workloads.base.WorkloadGenerator.to_spec`) are
+        shipped as specs and streamed in the worker; only spec-less workloads
+        are materialised here as a fallback.
+        """
+        sources: List[WorkloadSource] = []
+        for trial in range(self.n_trials):
+            built = workload_factory(self.base_seed + trial)
+            if isinstance(built, WorkloadSpec):
+                self._check_universe(built.get("n_elements", self.n_nodes))
+                sources.append(SpecSource(built, self.n_requests, self.chunk_size))
+                continue
+            self._check_universe(built.n_elements)
+            spec = built.to_spec() if built.ships_as_spec else None
+            if spec is not None:
+                sources.append(SpecSource(spec, self.n_requests, self.chunk_size))
+            else:
+                # Spec-less workloads (adaptive adversaries, ad-hoc
+                # generators) and trace-backed workloads, whose spec would
+                # embed the whole trace: ship the truncated sequence instead.
+                sources.append(
+                    SequenceSource(tuple(built.generate(self.n_requests)))
+                )
+        return sources
 
     def trial_sequences(self, workload_factory: WorkloadFactory) -> List[List[ElementId]]:
-        """Generate one request sequence per trial using the factory."""
+        """Generate one materialised request sequence per trial (legacy path).
+
+        Kept for callers that need the raw sequences (entropy measurements,
+        oracle comparisons); the runners themselves ship specs via
+        :meth:`trial_sources` instead.
+        """
         sequences: List[List[ElementId]] = []
         for trial in range(self.n_trials):
             workload = workload_factory(self.base_seed + trial)
-            if workload.n_elements != self.n_nodes:
-                raise ExperimentError(
-                    f"workload universe {workload.n_elements} does not match "
-                    f"runner tree size {self.n_nodes}"
-                )
+            if isinstance(workload, WorkloadSpec):
+                workload = build_workload(workload)
+            self._check_universe(workload.n_elements)
             sequences.append(workload.generate(self.n_requests))
         return sequences
 
@@ -155,44 +320,55 @@ class TrialRunner:
         workload_factory: WorkloadFactory,
         algorithm_kwargs: Optional[Dict[str, dict]] = None,
     ) -> Dict[str, List[TrialOutcome]]:
-        """Run every algorithm on every trial sequence.
+        """Run every algorithm on every trial workload.
 
-        All algorithms see the *same* sequence in a given trial; per-trial
-        placement seeds are also shared so the initial tree is identical across
+        All algorithms see the *same* stream in a given trial (the same spec
+        rebuilds the same generator in every worker); per-trial placement
+        seeds are also shared so the initial tree is identical across
         algorithms, as in the paper's setup.
         """
-        sequences = self.trial_sequences(workload_factory)
-        return self.run_on_sequences(algorithms, sequences, algorithm_kwargs)
+        sources = self.trial_sources(workload_factory)
+        payloads = self.build_payloads(algorithms, sources, algorithm_kwargs)
+        results = execute_payloads(payloads, self.n_jobs)
+        return self.collect(algorithms, payloads, results)
 
     def build_payloads(
         self,
         algorithms: Sequence[str],
-        sequences: Sequence[Sequence[ElementId]],
+        sources: Sequence[Union[WorkloadSource, Sequence[ElementId]]],
         algorithm_kwargs: Optional[Dict[str, dict]] = None,
     ) -> List[TrialPayload]:
-        """Materialise the (trial, algorithm) work items in deterministic order.
+        """Build the (trial, algorithm) work items in deterministic order.
 
-        Seeds depend only on the trial index (placement ``base_seed + 10_000 +
-        trial``, algorithm ``base_seed + 20_000 + trial``), so the payloads —
-        and therefore the results — are independent of where and in which
-        order they are executed.
+        ``sources`` may mix :class:`SpecSource`/:class:`SequenceSource`
+        objects and raw sequences (wrapped transparently).  Seeds depend only
+        on the trial index (placement ``base_seed + 10_000 + trial``,
+        algorithm ``base_seed + 20_000 + trial``), so the payloads — and
+        therefore the results — are independent of where and in which order
+        they are executed.
         """
         algorithm_kwargs = algorithm_kwargs or {}
         payloads: List[TrialPayload] = []
-        for trial, sequence in enumerate(sequences):
+        for trial, source in enumerate(sources):
+            if not isinstance(source, (SpecSource, SequenceSource)):
+                source = SequenceSource(tuple(source))
+            if isinstance(source, SpecSource) and len(algorithms) > 1:
+                # every algorithm of this trial serves the same stream; let
+                # workers generate it once, not once per algorithm
+                source = replace(source, shared=True)
             placement_seed = self.base_seed + 10_000 + trial
             algorithm_seed = self.base_seed + 20_000 + trial
             for name in algorithms:
                 payloads.append(
-                    (
-                        name,
-                        list(sequence),
-                        self.n_nodes,
-                        placement_seed,
-                        algorithm_seed,
-                        self.keep_records,
-                        trial,
-                        dict(algorithm_kwargs.get(name, {})),
+                    TrialPayload(
+                        algorithm=name,
+                        source=source,
+                        n_nodes=self.n_nodes,
+                        placement_seed=placement_seed,
+                        algorithm_seed=algorithm_seed,
+                        keep_records=self.keep_records,
+                        trial=trial,
+                        algorithm_kwargs=dict(algorithm_kwargs.get(name, {})),
                     )
                 )
         return payloads
@@ -206,9 +382,10 @@ class TrialRunner:
         """Reassemble ordered worker results into the per-algorithm outcome map."""
         outcomes: Dict[str, List[TrialOutcome]] = {name: [] for name in algorithms}
         for payload, result in zip(payloads, results):
-            name, trial = payload[0], payload[6]
-            outcomes[name].append(
-                TrialOutcome(algorithm=name, trial=trial, result=result)
+            outcomes[payload.algorithm].append(
+                TrialOutcome(
+                    algorithm=payload.algorithm, trial=payload.trial, result=result
+                )
             )
         return outcomes
 
@@ -224,11 +401,7 @@ class TrialRunner:
         ``n_jobs`` overrides the runner-wide setting for this call.
         """
         payloads = self.build_payloads(algorithms, sequences, algorithm_kwargs)
-        results = map_ordered(
-            _execute_trial,
-            payloads,
-            self.n_jobs if n_jobs is None else n_jobs,
-        )
+        results = execute_payloads(payloads, self.n_jobs if n_jobs is None else n_jobs)
         return self.collect(algorithms, payloads, results)
 
     @staticmethod
@@ -262,6 +435,7 @@ def compare_algorithms(
     keep_records: bool = False,
     algorithm_kwargs: Optional[Dict[str, dict]] = None,
     n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> Dict[str, AggregatedOutcome]:
     """One-call helper: run all algorithms over seeded trials and aggregate."""
     runner = TrialRunner(
@@ -271,6 +445,7 @@ def compare_algorithms(
         base_seed=base_seed,
         keep_records=keep_records,
         n_jobs=n_jobs,
+        chunk_size=chunk_size,
     )
     outcomes = runner.run(algorithms, workload_factory, algorithm_kwargs)
     return TrialRunner.aggregate(outcomes)

@@ -10,21 +10,21 @@ factory parameterised by the point, the algorithms to compare, and produces a
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ExperimentError
-from repro.sim.parallel import map_ordered
 from repro.sim.results import ResultTable
-from repro.sim.runner import TrialPayload, TrialRunner, _execute_trial
-from repro.workloads.base import WorkloadGenerator
+from repro.sim.runner import TrialPayload, TrialRunner, execute_payloads
+from repro.workloads.base import WorkloadGenerator, check_chunk_size
+from repro.workloads.spec import WorkloadSpec
 
 __all__ = ["SweepPoint", "ParameterSweep"]
 
 #: A sweep point is a dictionary of named parameter values.
 SweepPoint = Dict[str, object]
 
-#: Factory building a workload for a sweep point and a trial seed.
-PointWorkloadFactory = Callable[[SweepPoint, int], WorkloadGenerator]
+#: Factory building a workload (or a spec) for a sweep point and a trial seed.
+PointWorkloadFactory = Callable[[SweepPoint, int], Union[WorkloadGenerator, WorkloadSpec]]
 
 
 class ParameterSweep:
@@ -50,6 +50,9 @@ class ParameterSweep:
         items of the sweep are flattened into a single pool pass, so the
         parallelism is not throttled by small per-point trial counts; results
         are reassembled in order and bit-identical to a serial run.
+    chunk_size:
+        Streaming chunk size for spec-shipped workloads (memory/batching knob
+        only; never changes the generated stream).
     """
 
     def __init__(
@@ -63,6 +66,7 @@ class ParameterSweep:
         base_seed: int = 0,
         algorithm_kwargs: Optional[Dict[str, dict]] = None,
         n_jobs: int = 1,
+        chunk_size: Optional[int] = None,
     ) -> None:
         if not points:
             raise ExperimentError("a sweep needs at least one parameter point")
@@ -77,6 +81,9 @@ class ParameterSweep:
         self.base_seed = base_seed
         self.algorithm_kwargs = algorithm_kwargs or {}
         self.n_jobs = n_jobs
+        if chunk_size is not None:
+            check_chunk_size(int(chunk_size))
+        self.chunk_size = chunk_size
 
     def _point_columns(self) -> List[str]:
         columns: List[str] = []
@@ -85,6 +92,43 @@ class ParameterSweep:
                 if key not in columns:
                     columns.append(key)
         return columns
+
+    def build_payloads(self) -> Tuple[List[TrialPayload], List[Tuple[SweepPoint, int]]]:
+        """Phase 1: describe every (point, trial, algorithm) work item.
+
+        The whole sweep is flattened into one payload list so a single pool
+        pass can load-balance across points.  Spec-able workloads cross as
+        specs — no request sequence is ever materialised in the parent
+        process, so phase 1 is O(points × trials) small objects instead of
+        O(points × trials × n_requests) resident integers.
+
+        Returns the flat payload list plus ``(point, n_payloads)`` pairs for
+        reassembly.
+        """
+        all_payloads: List[TrialPayload] = []
+        point_chunks: List[Tuple[SweepPoint, int]] = []
+        for point in self.points:
+            n_nodes = int(point.get("n_nodes", self.n_nodes or 0))
+            if n_nodes <= 0:
+                raise ExperimentError(
+                    f"sweep point {point} has no tree size and no default was given"
+                )
+            runner = TrialRunner(
+                n_nodes=n_nodes,
+                n_requests=self.n_requests,
+                n_trials=self.n_trials,
+                base_seed=self.base_seed,
+                chunk_size=self.chunk_size,
+            )
+            sources = runner.trial_sources(
+                lambda seed, _point=point: self.workload_factory(_point, seed)
+            )
+            payloads = runner.build_payloads(
+                self.algorithms, sources, self.algorithm_kwargs
+            )
+            all_payloads.extend(payloads)
+            point_chunks.append((point, len(payloads)))
+        return all_payloads, point_chunks
 
     def run(self, table_name: str = "sweep") -> ResultTable:
         """Execute the sweep and return a result table.
@@ -102,38 +146,15 @@ class ParameterSweep:
         ]
         table = ResultTable(name=table_name, columns=columns)
 
-        # Phase 1: materialise every (point, trial, algorithm) work item.  The
-        # whole sweep is flattened into one payload list so a single pool pass
-        # can load-balance across points.
-        all_payloads: List[TrialPayload] = []
-        point_chunks: List[Tuple[SweepPoint, List[TrialPayload]]] = []
-        for point in self.points:
-            n_nodes = int(point.get("n_nodes", self.n_nodes or 0))
-            if n_nodes <= 0:
-                raise ExperimentError(
-                    f"sweep point {point} has no tree size and no default was given"
-                )
-            runner = TrialRunner(
-                n_nodes=n_nodes,
-                n_requests=self.n_requests,
-                n_trials=self.n_trials,
-                base_seed=self.base_seed,
-            )
-            sequences = runner.trial_sequences(
-                lambda seed, _point=point: self.workload_factory(_point, seed)
-            )
-            payloads = runner.build_payloads(
-                self.algorithms, sequences, self.algorithm_kwargs
-            )
-            all_payloads.extend(payloads)
-            point_chunks.append((point, payloads))
+        all_payloads, point_chunks = self.build_payloads()
 
         # Phase 2: execute (serially or on the pool) and aggregate per point.
-        all_results = map_ordered(_execute_trial, all_payloads, self.n_jobs)
+        all_results = execute_payloads(all_payloads, self.n_jobs)
         cursor = 0
-        for point, payloads in point_chunks:
-            results = all_results[cursor : cursor + len(payloads)]
-            cursor += len(payloads)
+        for point, n_payloads in point_chunks:
+            payloads = all_payloads[cursor : cursor + n_payloads]
+            results = all_results[cursor : cursor + n_payloads]
+            cursor += n_payloads
             outcomes = TrialRunner.collect(self.algorithms, payloads, results)
             aggregated = TrialRunner.aggregate(outcomes)
             for algorithm in self.algorithms:

@@ -32,6 +32,13 @@ from repro.workloads.corpus import (
     tokens_to_requests,
 )
 from repro.workloads.markov import MarkovWorkload
+from repro.workloads.spec import (
+    DEFAULT_CHUNK_SIZE,
+    WorkloadSpec,
+    build_workload,
+    register_workload,
+    registered_kinds,
+)
 from repro.workloads.synthetic_text import (
     DEFAULT_BOOK_SPECS,
     SyntheticBook,
@@ -47,6 +54,11 @@ __all__ = [
     "CombinedLocalityWorkload",
     "CorpusWorkload",
     "DEFAULT_BOOK_SPECS",
+    "DEFAULT_CHUNK_SIZE",
+    "WorkloadSpec",
+    "build_workload",
+    "register_workload",
+    "registered_kinds",
     "MarkovWorkload",
     "MixtureWorkload",
     "MoveToFrontLowerBoundAdversary",

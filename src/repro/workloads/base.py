@@ -5,18 +5,39 @@ A *workload* is a recipe for producing request sequences over a universe of
 every experiment can be reproduced exactly; they expose the parameters that the
 paper varies (repeat probability ``p`` for temporal locality, Zipf exponent
 ``a`` for spatial locality, tree size for Q1) through their constructors.
+
+Two protocols matter for the experiment pipeline:
+
+* **Specs** — :meth:`WorkloadGenerator.to_spec` describes a generator as an
+  immutable :class:`repro.workloads.spec.WorkloadSpec` that
+  :func:`repro.workloads.spec.build_workload` turns back into a pristine
+  generator.  Specs (not generator objects, not materialised sequences) are
+  what the runners ship to pool workers.
+* **Streaming** — :meth:`WorkloadGenerator.iter_requests` yields the exact
+  stream that :meth:`generate` would return, in chunks, so paper-scale
+  sequences (10^6 requests) never need to be resident at once.  Subclasses
+  with sequentially drawn randomness override it natively; the base fallback
+  materialises once and slices, which is always correct.
 """
 
 from __future__ import annotations
 
 import abc
 import random
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.exceptions import WorkloadError
 from repro.types import ElementId
+from repro.workloads.spec import DEFAULT_CHUNK_SIZE, WorkloadSpec, register_workload
 
-__all__ = ["WorkloadGenerator", "SequenceWorkload"]
+__all__ = ["WorkloadGenerator", "SequenceWorkload", "check_chunk_size"]
+
+
+def check_chunk_size(chunk_size: int) -> int:
+    """Validate a streaming chunk size (shared by all ``iter_requests``)."""
+    if chunk_size <= 0:
+        raise WorkloadError(f"chunk_size must be positive, got {chunk_size}")
+    return chunk_size
 
 
 class WorkloadGenerator(abc.ABC):
@@ -33,6 +54,12 @@ class WorkloadGenerator(abc.ABC):
 
     #: Short name used in experiment metadata and benchmark labels.
     name: str = "abstract"
+
+    #: Whether runners should prefer shipping this workload's spec to pool
+    #: workers.  True for generators whose spec is a small recipe; False for
+    #: trace-backed workloads whose spec embeds the full trace — shipping the
+    #: (truncated) materialised sequence is strictly smaller for those.
+    ships_as_spec: bool = True
 
     def __init__(self, n_elements: int, seed: Optional[int] = None) -> None:
         if n_elements <= 0:
@@ -54,10 +81,60 @@ class WorkloadGenerator(abc.ABC):
         """Return the generator's parameters (for experiment metadata)."""
         return {"workload": self.name, "n_elements": self.n_elements, "seed": self.seed}
 
+    def iter_requests(
+        self, n_requests: int, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> Iterator[List[ElementId]]:
+        """Yield the stream of :meth:`generate` in chunks of ``chunk_size``.
+
+        The concatenation of the yielded chunks is exactly
+        ``generate(n_requests)`` on a generator in the same RNG state.  This
+        base implementation materialises once and slices — always correct;
+        subclasses whose randomness is drawn sequentially per request override
+        it to generate chunk by chunk without ever holding the full sequence.
+        """
+        self._check_length(n_requests)
+        check_chunk_size(chunk_size)
+        sequence = self.generate(n_requests)
+        for start in range(0, len(sequence), chunk_size):
+            yield sequence[start : start + chunk_size]
+
+    def to_spec(self) -> Optional[WorkloadSpec]:
+        """Return the spec that rebuilds this generator, or ``None``.
+
+        ``None`` means the generator cannot be described declaratively (e.g.
+        adaptive adversaries); callers then fall back to materialising the
+        sequence.  The returned spec reconstructs the generator *as freshly
+        constructed* — it does not capture consumed RNG state, so callers must
+        take the spec before generating.
+        """
+        return None
+
     def reseed(self, seed: Optional[int]) -> None:
-        """Re-seed the generator (used by multi-trial experiment runners)."""
+        """Restore the generator to the pristine state of seed ``seed``.
+
+        .. deprecated::
+            Prefer building a fresh generator from a spec
+            (:func:`repro.workloads.spec.build_workload`); the experiment
+            runners no longer mutate generators.  ``reseed`` remains as a
+            thin, correct wrapper: it resets the base RNG **and** all derived
+            RNG state (NumPy streams, identifier permutations, nested
+            component generators) via the :meth:`_reseed_derived` hook, so
+            ``g.reseed(s); g.generate(n)`` equals a freshly constructed
+            generator with seed ``s``.
+        """
         self.seed = seed
         self._rng = random.Random(seed)
+        self._reseed_derived()
+
+    def _reseed_derived(self) -> None:
+        """Reset RNG state derived from the seed beyond the base ``_rng``.
+
+        Called by :meth:`reseed` after the base RNG has been replaced.
+        Subclasses owning NumPy generators, seeded permutations, lazily built
+        caches or nested component generators must override this and restore
+        each to its freshly constructed state, consuming ``self._rng`` in
+        exactly the order the constructor does.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         params = ", ".join(f"{k}={v!r}" for k, v in self.parameters().items())
@@ -72,6 +149,9 @@ class SequenceWorkload(WorkloadGenerator):
     """
 
     name = "fixed-sequence"
+
+    # The spec *is* the trace; runners ship the truncated sequence instead.
+    ships_as_spec = False
 
     def __init__(self, n_elements: int, sequence: List[ElementId]) -> None:
         super().__init__(n_elements, seed=None)
@@ -89,6 +169,24 @@ class SequenceWorkload(WorkloadGenerator):
             return list(self._sequence)
         return self._sequence[:n_requests]
 
+    def iter_requests(
+        self, n_requests: int, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> Iterator[List[ElementId]]:
+        """Yield trace slices directly, never copying the whole trace."""
+        self._check_length(n_requests)
+        check_chunk_size(chunk_size)
+        limit = min(n_requests, len(self._sequence))
+        for start in range(0, limit, chunk_size):
+            yield self._sequence[start : min(start + chunk_size, limit)]
+
+    def to_spec(self) -> WorkloadSpec:
+        """Describe the trace as a ``fixed-sequence`` spec (the trace is the data)."""
+        return WorkloadSpec.create(
+            "fixed-sequence",
+            n_elements=self.n_elements,
+            sequence=tuple(self._sequence),
+        )
+
     def full_sequence(self) -> List[ElementId]:
         """Return the complete stored trace."""
         return list(self._sequence)
@@ -97,3 +195,8 @@ class SequenceWorkload(WorkloadGenerator):
         params = super().parameters()
         params["trace_length"] = len(self._sequence)
         return params
+
+
+@register_workload("fixed-sequence")
+def _build_fixed_sequence(params: Dict[str, object], seed: Optional[int]) -> SequenceWorkload:
+    return SequenceWorkload(int(params["n_elements"]), list(params["sequence"]))

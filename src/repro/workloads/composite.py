@@ -11,12 +11,18 @@ stress-testing the algorithms).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.exceptions import WorkloadError
 from repro.types import ElementId
-from repro.workloads.base import WorkloadGenerator
-from repro.workloads.temporal import apply_temporal_locality
+from repro.workloads.base import WorkloadGenerator, check_chunk_size
+from repro.workloads.spec import (
+    DEFAULT_CHUNK_SIZE,
+    WorkloadSpec,
+    build_workload,
+    register_workload,
+)
+from repro.workloads.temporal import _repeat_postprocess_chunks, apply_temporal_locality
 from repro.workloads.zipf import ZipfWorkload
 
 __all__ = ["CombinedLocalityWorkload", "MixtureWorkload"]
@@ -57,17 +63,55 @@ class CombinedLocalityWorkload(WorkloadGenerator):
             n_elements, zipf_exponent, seed=self._rng.randrange(2**63)
         )
 
+    def _reseed_derived(self) -> None:
+        # Re-derive the inner Zipf seed from the fresh base RNG, exactly as
+        # the constructor does, and push it all the way down (NumPy stream
+        # and identifier permutation included).
+        self._zipf.reseed(self._rng.randrange(2**63))
+
     def generate(self, n_requests: int) -> List[ElementId]:
         """Return a sequence with the requested combination of localities."""
         self._check_length(n_requests)
         base = self._zipf.generate(n_requests)
         return apply_temporal_locality(base, self.repeat_probability, self._rng)
 
+    def iter_requests(
+        self, n_requests: int, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> Iterator[List[ElementId]]:
+        """Stream natively: Zipf chunks post-processed with the repeat rule,
+        carrying the previous request across chunk boundaries."""
+        self._check_length(n_requests)
+        check_chunk_size(chunk_size)
+        yield from _repeat_postprocess_chunks(
+            self._zipf.iter_requests(n_requests, chunk_size),
+            self.repeat_probability,
+            self._rng,
+        )
+
+    def to_spec(self) -> WorkloadSpec:
+        return WorkloadSpec.create(
+            "combined-locality",
+            seed=self.seed,
+            n_elements=self.n_elements,
+            zipf_exponent=self.zipf_exponent,
+            repeat_probability=self.repeat_probability,
+        )
+
     def parameters(self):
         params = super().parameters()
         params["zipf_exponent"] = self.zipf_exponent
         params["repeat_probability"] = self.repeat_probability
         return params
+
+
+@register_workload("combined-locality")
+def _build_combined(params: Dict[str, object], seed: Optional[int]) -> CombinedLocalityWorkload:
+    return CombinedLocalityWorkload(
+        int(params["n_elements"]),
+        float(params["zipf_exponent"]),
+        float(params["repeat_probability"]),
+        seed=seed,
+    )
 
 
 class MixtureWorkload(WorkloadGenerator):
@@ -109,22 +153,66 @@ class MixtureWorkload(WorkloadGenerator):
         self._components = list(components)
         self._weights = [float(w) for w in weights]
 
+    def _reseed_derived(self) -> None:
+        # Component generators are seed state of the mixture: restore each to
+        # its own pristine seeded state.
+        for component in self._components:
+            component.reseed(component.seed)
+
     def generate(self, n_requests: int) -> List[ElementId]:
-        """Return a sequence where each request comes from a weighted random component."""
+        """Return a sequence where each request comes from a weighted random component.
+
+        The choice vector is drawn first and each component generates exactly
+        the number of requests the choices assign to it, so component RNG
+        streams advance by the consumed amount only (no k-times overdraw at
+        paper scale) and stay consistent with the interleaved output.
+        """
         self._check_length(n_requests)
-        streams = [component.generate(n_requests) for component in self._components]
-        cursors = [0] * len(streams)
         choices = self._rng.choices(
-            range(len(streams)), weights=self._weights, k=n_requests
+            range(len(self._components)), weights=self._weights, k=n_requests
         )
+        counts = [0] * len(self._components)
+        for pick in choices:
+            counts[pick] += 1
+        streams = [
+            component.generate(count)
+            for component, count in zip(self._components, counts)
+        ]
+        cursors = [0] * len(streams)
         sequence: List[ElementId] = []
         for pick in choices:
             sequence.append(streams[pick][cursors[pick]])
             cursors[pick] += 1
         return sequence
 
+    def to_spec(self) -> Optional[WorkloadSpec]:
+        component_specs = []
+        for component in self._components:
+            spec = component.to_spec()
+            if spec is None:
+                return None
+            component_specs.append(spec)
+        return WorkloadSpec.create(
+            "mixture",
+            seed=self.seed,
+            n_elements=self.n_elements,
+            components=tuple(component_specs),
+            weights=tuple(self._weights),
+        )
+
     def parameters(self):
         params = super().parameters()
         params["components"] = [c.parameters() for c in self._components]
         params["weights"] = list(self._weights)
         return params
+
+
+@register_workload("mixture")
+def _build_mixture(params: Dict[str, object], seed: Optional[int]) -> MixtureWorkload:
+    components = [build_workload(spec) for spec in params["components"]]
+    return MixtureWorkload(
+        int(params["n_elements"]),
+        components,
+        weights=list(params["weights"]),
+        seed=seed,
+    )

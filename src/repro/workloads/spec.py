@@ -1,0 +1,165 @@
+"""Immutable workload specifications and the kind registry.
+
+A :class:`WorkloadSpec` is a frozen, picklable, hashable description of a
+workload generator: a ``kind`` naming a registered workload class, a tuple of
+``(name, value)`` parameter pairs and a ``seed``.  Specs are the unit that
+crosses process boundaries: experiment runners ship *specs* to pool workers,
+which call :func:`build_workload` and stream requests locally, instead of
+pickling whole materialised request sequences (which dominates fan-out cost at
+paper scale — 10^6 requests per trial).
+
+The spec protocol replaces ad-hoc mutation of generator objects:
+
+* construction is the only way RNG state comes into existence — a spec plus
+  :func:`build_workload` always yields a generator in its pristine seeded
+  state, so there is no reseeding protocol to get subtly wrong;
+* :meth:`repro.workloads.base.WorkloadGenerator.to_spec` is the inverse:
+  every registered generator can describe itself as the spec that rebuilds it.
+
+Workload modules register a builder for their kind at import time via
+:func:`register_workload`; :func:`build_workload` lazily imports
+:mod:`repro.workloads` on a registry miss so worker processes need no import
+ceremony.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import WorkloadError
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "WorkloadSpec",
+    "register_workload",
+    "build_workload",
+    "registered_kinds",
+]
+
+#: Default number of requests generated per streaming chunk.  Large enough to
+#: amortise per-chunk overhead (NumPy draws, loop setup), small enough that a
+#: worker never holds more than a sliver of a 10^6-request sequence.
+DEFAULT_CHUNK_SIZE = 65_536
+
+
+def _freeze(value: object) -> object:
+    """Recursively convert ``value`` into an immutable, hashable equivalent."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    return value
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Immutable description of a workload: ``{kind, params, seed}``.
+
+    ``params`` is stored as a sorted tuple of ``(name, value)`` pairs so that
+    two specs describing the same workload compare (and hash) equal.  Values
+    may be scalars, tuples or nested :class:`WorkloadSpec` objects (e.g. the
+    components of a mixture).
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, object], ...] = ()
+    seed: Optional[int] = None
+
+    @classmethod
+    def create(cls, kind: str, seed: Optional[int] = None, **params: object) -> "WorkloadSpec":
+        """Build a spec from keyword parameters, freezing mutable values."""
+        frozen = tuple(sorted((name, _freeze(value)) for name, value in params.items()))
+        return cls(kind=kind, params=frozen, seed=seed)
+
+    def param_dict(self) -> Dict[str, object]:
+        """Return the parameters as a plain dictionary."""
+        return dict(self.params)
+
+    def get(self, name: str, default: object = None) -> object:
+        """Return one parameter value (or ``default``)."""
+        return self.param_dict().get(name, default)
+
+    def build(self):
+        """Construct the described generator (shorthand for :func:`build_workload`)."""
+        return build_workload(self)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-friendly representation (nested specs recurse)."""
+
+        def thaw(value: object) -> object:
+            if isinstance(value, WorkloadSpec):
+                return value.to_dict()
+            if isinstance(value, tuple):
+                return [thaw(item) for item in value]
+            return value
+
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "params": {name: thaw(value) for name, value in self.params},
+        }
+
+
+#: A builder turns ``(params, seed)`` back into a generator instance.
+WorkloadBuilder = Callable[[Dict[str, object], Optional[int]], object]
+
+_REGISTRY: Dict[str, WorkloadBuilder] = {}
+
+#: Bumped on every registration.  Long-lived worker pools fork a snapshot of
+#: this module's state; :mod:`repro.sim.parallel` keys its persistent pool on
+#: this counter so kinds registered after the pool was created still reach
+#: the workers (the pool is rebuilt, re-forking current state).
+_REGISTRY_VERSION = 0
+
+_CORE_LOADED = False
+
+
+def register_workload(kind: str) -> Callable[[WorkloadBuilder], WorkloadBuilder]:
+    """Class-module decorator registering a builder for ``kind``."""
+
+    def decorate(builder: WorkloadBuilder) -> WorkloadBuilder:
+        global _REGISTRY_VERSION
+        _REGISTRY[kind] = builder
+        _REGISTRY_VERSION += 1
+        return builder
+
+    return decorate
+
+
+def registry_version() -> int:
+    """Return the registration counter (changes whenever a kind is added)."""
+    return _REGISTRY_VERSION
+
+
+def registered_kinds() -> List[str]:
+    """Return the sorted list of registered workload kinds."""
+    _ensure_registry()
+    return sorted(_REGISTRY)
+
+
+def _ensure_registry() -> None:
+    """Import the workload package once so the core kinds are registered.
+
+    Guarded by its own flag (not ``if not _REGISTRY``) so a custom kind
+    registered before first use does not mask the core kinds.
+    """
+    global _CORE_LOADED
+    if not _CORE_LOADED:
+        _CORE_LOADED = True
+        import repro.workloads  # noqa: F401  (imports register the builders)
+
+
+def build_workload(spec: WorkloadSpec):
+    """Construct a pristine generator from ``spec``.
+
+    The returned generator is exactly what the spec's original constructor
+    call produced: same parameters, same seed, untouched RNG streams.
+    """
+    _ensure_registry()
+    builder = _REGISTRY.get(spec.kind)
+    if builder is None:
+        raise WorkloadError(
+            f"unknown workload kind {spec.kind!r}; registered kinds: {registered_kinds()}"
+        )
+    return builder(spec.param_dict(), spec.seed)

@@ -15,11 +15,17 @@ entropy; the paper reports entropies from 15.95 (``p = 0``) down to 15.16
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.exceptions import WorkloadError
 from repro.types import ElementId
-from repro.workloads.base import WorkloadGenerator
+from repro.workloads.base import WorkloadGenerator, check_chunk_size
+from repro.workloads.spec import (
+    DEFAULT_CHUNK_SIZE,
+    WorkloadSpec,
+    build_workload,
+    register_workload,
+)
 from repro.workloads.uniform import UniformWorkload
 
 __all__ = ["TemporalWorkload", "apply_temporal_locality"]
@@ -86,6 +92,12 @@ class TemporalWorkload(WorkloadGenerator):
             )
         self._base = base
 
+    def _reseed_derived(self) -> None:
+        # The nested base generator carries its own RNG state; restore it to
+        # its pristine seeded state so the composite equals a fresh instance.
+        if self._base is not None:
+            self._base.reseed(self._base.seed)
+
     def generate(self, n_requests: int) -> List[ElementId]:
         """Return a sequence with temporal locality ``p`` over the base workload."""
         self._check_length(n_requests)
@@ -99,9 +111,78 @@ class TemporalWorkload(WorkloadGenerator):
             base_sequence, self.repeat_probability, self._rng
         )
 
+    def iter_requests(
+        self, n_requests: int, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> Iterator[List[ElementId]]:
+        """Stream natively: the repeat decisions consume ``self._rng`` once per
+        position after the first, so carrying the previous request across chunk
+        boundaries reproduces :meth:`generate` exactly.  The base stream and
+        the repeat decisions live on different RNG objects, so interleaving
+        them chunk-wise does not change either stream."""
+        self._check_length(n_requests)
+        check_chunk_size(chunk_size)
+        if n_requests == 0:
+            return
+        if self._base is not None:
+            base_chunks = self._base.iter_requests(n_requests, chunk_size)
+        else:
+            base_chunks = UniformWorkload(
+                self.n_elements, seed=self._rng.randrange(2**63)
+            ).iter_requests(n_requests, chunk_size)
+        yield from _repeat_postprocess_chunks(
+            base_chunks, self.repeat_probability, self._rng
+        )
+
+    def to_spec(self) -> Optional[WorkloadSpec]:
+        base_spec = None
+        if self._base is not None:
+            base_spec = self._base.to_spec()
+            if base_spec is None:
+                return None
+        params: Dict[str, object] = {
+            "n_elements": self.n_elements,
+            "repeat_probability": self.repeat_probability,
+        }
+        if base_spec is not None:
+            params["base"] = base_spec
+        return WorkloadSpec.create("temporal", seed=self.seed, **params)
+
     def parameters(self):
         params = super().parameters()
         params["repeat_probability"] = self.repeat_probability
         if self._base is not None:
             params["base"] = self._base.parameters()
         return params
+
+
+def _repeat_postprocess_chunks(
+    chunks: Iterator[List[ElementId]],
+    repeat_probability: float,
+    rng,
+) -> Iterator[List[ElementId]]:
+    """Chunk-streaming twin of :func:`apply_temporal_locality`.
+
+    Consumes one ``rng.random()`` per position except the very first of the
+    whole stream, in stream order — the same draws in the same order as the
+    materialised helper.
+    """
+    previous: Optional[ElementId] = None
+    for chunk in chunks:
+        result = list(chunk)
+        for index in range(len(result)):
+            if previous is not None and rng.random() < repeat_probability:
+                result[index] = previous
+            previous = result[index]
+        yield result
+
+
+@register_workload("temporal")
+def _build_temporal(params: Dict[str, object], seed: Optional[int]) -> TemporalWorkload:
+    base_spec = params.get("base")
+    base = build_workload(base_spec) if base_spec is not None else None
+    return TemporalWorkload(
+        int(params["n_elements"]),
+        float(params["repeat_probability"]),
+        seed=seed,
+        base=base,
+    )

@@ -8,10 +8,11 @@ the temporal-locality post-processing (Q2).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.types import ElementId
-from repro.workloads.base import WorkloadGenerator
+from repro.workloads.base import WorkloadGenerator, check_chunk_size
+from repro.workloads.spec import DEFAULT_CHUNK_SIZE, WorkloadSpec, register_workload
 
 __all__ = ["UniformWorkload"]
 
@@ -30,3 +31,25 @@ class UniformWorkload(WorkloadGenerator):
         n = self.n_elements
         rng = self._rng
         return [rng.randrange(n) for _ in range(n_requests)]
+
+    def iter_requests(
+        self, n_requests: int, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> Iterator[List[ElementId]]:
+        """Stream natively: draws are sequential, so chunking is exact."""
+        self._check_length(n_requests)
+        check_chunk_size(chunk_size)
+        n = self.n_elements
+        rng = self._rng
+        remaining = n_requests
+        while remaining > 0:
+            count = min(chunk_size, remaining)
+            yield [rng.randrange(n) for _ in range(count)]
+            remaining -= count
+
+    def to_spec(self) -> WorkloadSpec:
+        return WorkloadSpec.create("uniform", seed=self.seed, n_elements=self.n_elements)
+
+
+@register_workload("uniform")
+def _build_uniform(params: Dict[str, object], seed: Optional[int]) -> UniformWorkload:
+    return UniformWorkload(int(params["n_elements"]), seed=seed)

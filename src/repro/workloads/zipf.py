@@ -14,13 +14,14 @@ seeded random permutation.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
 from repro.exceptions import WorkloadError
 from repro.types import ElementId
-from repro.workloads.base import WorkloadGenerator
+from repro.workloads.base import WorkloadGenerator, check_chunk_size
+from repro.workloads.spec import DEFAULT_CHUNK_SIZE, WorkloadSpec, register_workload
 
 __all__ = ["ZipfWorkload", "zipf_probabilities"]
 
@@ -71,11 +72,20 @@ class ZipfWorkload(WorkloadGenerator):
         self.exponent = float(exponent)
         self.permute_identifiers = permute_identifiers
         self._probabilities = zipf_probabilities(n_elements, self.exponent)
-        self._np_rng = np.random.default_rng(seed)
-        if permute_identifiers:
-            self._identifier_of_rank = self._np_rng.permutation(n_elements)
+        self._init_np_state()
+
+    def _init_np_state(self) -> None:
+        """Create the NumPy stream and identifier permutation from ``self.seed``."""
+        self._np_rng = np.random.default_rng(self.seed)
+        if self.permute_identifiers:
+            self._identifier_of_rank = self._np_rng.permutation(self.n_elements)
         else:
-            self._identifier_of_rank = np.arange(n_elements)
+            self._identifier_of_rank = np.arange(self.n_elements)
+
+    def _reseed_derived(self) -> None:
+        # The NumPy stream and the rank-to-identifier permutation are seed
+        # state too; without this hook, reseed() would leave them stale.
+        self._init_np_state()
 
     def generate(self, n_requests: int) -> List[ElementId]:
         """Return ``n_requests`` independent Zipf-distributed element identifiers."""
@@ -86,6 +96,32 @@ class ZipfWorkload(WorkloadGenerator):
             self.n_elements, size=n_requests, p=self._probabilities
         )
         return [int(identifier) for identifier in self._identifier_of_rank[ranks]]
+
+    def iter_requests(
+        self, n_requests: int, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> Iterator[List[ElementId]]:
+        """Stream natively: ``Generator.choice`` draws one uniform variate per
+        request from the bit stream, so chunked draws concatenate to exactly
+        one full-size draw."""
+        self._check_length(n_requests)
+        check_chunk_size(chunk_size)
+        remaining = n_requests
+        while remaining > 0:
+            count = min(chunk_size, remaining)
+            ranks = self._np_rng.choice(
+                self.n_elements, size=count, p=self._probabilities
+            )
+            yield [int(identifier) for identifier in self._identifier_of_rank[ranks]]
+            remaining -= count
+
+    def to_spec(self) -> WorkloadSpec:
+        return WorkloadSpec.create(
+            "zipf",
+            seed=self.seed,
+            n_elements=self.n_elements,
+            exponent=self.exponent,
+            permute_identifiers=self.permute_identifiers,
+        )
 
     def probability_of_rank(self, rank: int) -> float:
         """Return the sampling probability of the ``rank``-th most popular element."""
@@ -100,3 +136,13 @@ class ZipfWorkload(WorkloadGenerator):
         params["exponent"] = self.exponent
         params["permute_identifiers"] = self.permute_identifiers
         return params
+
+
+@register_workload("zipf")
+def _build_zipf(params: Dict[str, object], seed: Optional[int]) -> ZipfWorkload:
+    return ZipfWorkload(
+        int(params["n_elements"]),
+        float(params["exponent"]),
+        seed=seed,
+        permute_identifiers=bool(params.get("permute_identifiers", True)),
+    )
