@@ -2,13 +2,15 @@
 """Perf-trajectory benchmark: serve throughput and parallel trial scaling.
 
 Emits ``BENCH_serve.json`` so that every perf-oriented PR can be measured
-against its predecessors on the same hardware.  Two layers are measured:
+against its predecessors on the same hardware.  The measured layers:
 
 * **serve throughput** — whole-run requests/second per algorithm on the
   microbench configuration (1,023-node tree, combined-locality workload,
-  ``keep_records=False``), i.e. the aggregate fast loop that large experiments
-  actually execute, plus the per-request latency of ``serve()`` with cost
-  records; and
+  ``keep_records=False``), once per serve backend (``python`` scalar loops
+  versus ``array`` typed-array placement + vectorised batch serving), plus
+  the streaming serve cost with per-request cost records kept; and
+* **backend equivalence** — a guard that both backends produce identical
+  totals and placements before any throughput number is trusted; and
 * **parallel trial scaling** — wall-clock of ``compare_algorithms`` at
   ``n_jobs=1`` versus ``n_jobs=<cpus>``, together with a determinism check
   that both produce identical aggregates; and
@@ -37,6 +39,7 @@ from pathlib import Path
 import pickle
 
 from repro.algorithms.registry import make_algorithm
+from repro.core import backend as backend_mod
 from repro.sim.runner import TrialRunner, compare_algorithms, execute_payloads
 from repro.workloads.composite import CombinedLocalityWorkload
 
@@ -53,56 +56,129 @@ SEED_BASELINE_US_PER_REQUEST = {
     "static-oblivious": 2.435,
 }
 
-ALGORITHMS = list(SEED_BASELINE_US_PER_REQUEST)
+#: All benchmarked algorithms: the seed-baselined six plus Static-Opt (added
+#: with the array backend, which vectorises its whole serve loop; it has no
+#: seed-era baseline to compare against).
+ALGORITHMS = list(SEED_BASELINE_US_PER_REQUEST) + ["static-opt"]
 
 
-def bench_serve(n_nodes: int, n_requests: int, repeats: int) -> dict:
-    """Whole-run serve throughput per algorithm (keep_records=False fast loop)."""
+def _chunks_for(n_nodes: int, n_requests: int, backend: str):
+    """Materialise the benchmark stream in the backend's transport format.
+
+    Generation happens outside the timed region; what is timed is exactly
+    what a pool worker does with chunks in hand: ``run_stream`` into the
+    serve path.
+    """
     workload = CombinedLocalityWorkload(n_nodes, 1.4, 0.5, seed=1)
-    sequence = workload.generate(n_requests)
+    as_array = backend == "array" and backend_mod.HAS_NUMPY
+    return list(workload.iter_requests(n_requests, as_array=as_array))
+
+
+def bench_serve(
+    n_nodes: int, n_requests: int, repeats: int, backend: str, reference: dict = None
+) -> dict:
+    """Whole-run serve throughput per algorithm (keep_records=False fast loop).
+
+    ``reference`` (the python-backend result, when benchmarking the array
+    backend) adds a ``speedup_vs_python`` figure per algorithm.
+    """
+    chunks = _chunks_for(n_nodes, n_requests, backend)
     results = {}
     for name in ALGORITHMS:
         best = float("inf")
         for _ in range(repeats):
             instance = make_algorithm(
-                name, n_nodes=n_nodes, placement_seed=2, seed=3, keep_records=False
+                name,
+                n_nodes=n_nodes,
+                placement_seed=2,
+                seed=3,
+                keep_records=False,
+                backend=backend,
             )
             start = time.perf_counter()
-            instance.run(sequence)
+            instance.run_stream(chunks)
             best = min(best, time.perf_counter() - start)
-        us_per_request = best / len(sequence) * 1e6
+        us_per_request = best / n_requests * 1e6
         entry = {
+            "backend": backend,
             "us_per_request": round(us_per_request, 4),
-            "requests_per_sec": round(len(sequence) / best),
+            "requests_per_sec": round(n_requests / best),
         }
         baseline = SEED_BASELINE_US_PER_REQUEST.get(name)
         if baseline is not None:
             entry["seed_us_per_request"] = baseline
             entry["speedup_vs_seed"] = round(baseline / us_per_request, 2)
+        if reference is not None:
+            entry["speedup_vs_python"] = round(
+                reference[name]["us_per_request"] / us_per_request, 2
+            )
         results[name] = entry
     return results
 
 
-def bench_serve_with_records(n_nodes: int, n_requests: int, repeats: int) -> dict:
-    """Per-request latency of serve() returning RequestCost records."""
-    workload = CombinedLocalityWorkload(n_nodes, 1.4, 0.5, seed=1)
-    sequence = workload.generate(n_requests)
+def bench_serve_with_records(
+    n_nodes: int, n_requests: int, repeats: int, backend: str
+) -> dict:
+    """Streaming serve cost with per-request cost records retained.
+
+    Measures the columnar record path end to end: the run buffers every
+    record and the consumer then reads all of them (iterating
+    ``RunResult.per_request`` materialises one :class:`RequestCost` per
+    request), so buffering *and* lazy materialisation are both inside the
+    timed region — comparable to the pre-columnar numbers, which built one
+    record object per request while serving.
+    """
+    chunks = _chunks_for(n_nodes, n_requests, backend)
     results = {}
     for name in ("rotor-push", "static-oblivious"):
         best = float("inf")
         for _ in range(repeats):
             instance = make_algorithm(
-                name, n_nodes=n_nodes, placement_seed=2, seed=3, keep_records=True
+                name,
+                n_nodes=n_nodes,
+                placement_seed=2,
+                seed=3,
+                keep_records=True,
+                backend=backend,
             )
             start = time.perf_counter()
-            for element in sequence:
-                instance.serve(element)
+            result = instance.run_stream(chunks)
+            consumed = sum(record.access_cost for record in result.per_request)
             best = min(best, time.perf_counter() - start)
+        assert len(result.per_request) == n_requests
+        assert consumed == result.total_access_cost
         results[name] = {
-            "us_per_request": round(best / len(sequence) * 1e6, 4),
-            "requests_per_sec": round(len(sequence) / best),
+            "backend": backend,
+            "us_per_request": round(best / n_requests * 1e6, 4),
+            "requests_per_sec": round(n_requests / best),
         }
     return results
+
+
+def bench_backend_equivalence(n_nodes: int, n_requests: int) -> dict:
+    """Assert both backends produce identical costs and placements."""
+    identical = True
+    for name in ALGORITHMS:
+        outcomes = {}
+        for backend in ("python", "array"):
+            chunks = _chunks_for(n_nodes, n_requests, backend)
+            instance = make_algorithm(
+                name,
+                n_nodes=n_nodes,
+                placement_seed=2,
+                seed=3,
+                keep_records=False,
+                backend=backend,
+            )
+            result = instance.run_stream(chunks)
+            outcomes[backend] = (
+                result.total_access_cost,
+                result.total_adjustment_cost,
+                result.n_requests,
+                instance.network.placement(),
+            )
+        identical = identical and outcomes["python"] == outcomes["array"]
+    return {"identical": identical}
 
 
 def bench_parallel(n_nodes: int, n_requests: int, n_trials: int) -> dict:
@@ -211,6 +287,7 @@ def main(argv=None) -> int:
         serve_nodes, serve_requests, repeats = 1_023, 20_000, 3
         par_nodes, par_requests, par_trials = 1_023, 30_000, 4
 
+    serve_python = bench_serve(serve_nodes, serve_requests, repeats, "python")
     report = {
         "benchmark": "BENCH_serve",
         "quick": args.quick,
@@ -226,10 +303,20 @@ def main(argv=None) -> int:
             "python": platform.python_version(),
             "platform": platform.platform(),
             "cpus": os.cpu_count(),
+            "numpy": backend_mod.np.__version__ if backend_mod.HAS_NUMPY else None,
         },
-        "serve_fast_loop": bench_serve(serve_nodes, serve_requests, repeats),
+        "backend_equivalence": bench_backend_equivalence(
+            serve_nodes, min(serve_requests, 5_000)
+        ),
+        "serve_fast_loop": serve_python,
+        "serve_fast_loop_array": bench_serve(
+            serve_nodes, serve_requests, repeats, "array", reference=serve_python
+        ),
         "serve_with_records": bench_serve_with_records(
-            serve_nodes, serve_requests, repeats
+            serve_nodes, serve_requests, repeats, "python"
+        ),
+        "serve_with_records_array": bench_serve_with_records(
+            serve_nodes, serve_requests, repeats, "array"
         ),
         "parallel_trials": bench_parallel(par_nodes, par_requests, par_trials),
         "fanout_payloads": bench_fanout(
@@ -243,6 +330,9 @@ def main(argv=None) -> int:
         Path(args.out).write_text(payload + "\n")
         print(f"\nwrote {args.out}", file=sys.stderr)
 
+    if not report["backend_equivalence"]["identical"]:
+        print("ERROR: array backend diverged from python backend", file=sys.stderr)
+        return 1
     if not report["parallel_trials"]["deterministic"]:
         print("ERROR: parallel run diverged from serial run", file=sys.stderr)
         return 1

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.core import backend as _backend
 from repro.core.cost import RequestCost
 from repro.core.state import TreeNetwork
 from repro.core.tree import CompleteBinaryTree
@@ -43,7 +44,11 @@ class RunResult:
         Summed costs over the whole run.
     per_request:
         Optional per-request cost records (present when the network's ledger
-        keeps records).
+        keeps records).  Stored as a lazily-materialising
+        :class:`repro.core.cost.RequestRecordColumns` snapshot by the run
+        loops — it behaves like a list of :class:`RequestCost` (indexing,
+        slicing, iteration, equality) but costs three integer columns, not
+        one object per request.
     metadata:
         Free-form extra information (seeds, workload parameters, ...).
     """
@@ -53,7 +58,7 @@ class RunResult:
     n_requests: int
     total_access_cost: int
     total_adjustment_cost: int
-    per_request: List[RequestCost] = field(default_factory=list)
+    per_request: Sequence[RequestCost] = field(default_factory=list)
     metadata: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -117,6 +122,17 @@ class OnlineTreeAlgorithm(abc.ABC):
     is_self_adjusting: bool = True
     requires_preparation: bool = False
 
+    #: Whether serving an element always leaves it at the root, with a
+    #: level-0 request being a complete no-op (no placement change, no
+    #: algorithm-state change, no randomness consumed).  Algorithms with this
+    #: property (Move-To-Front, Rotor-Push, Random-Push) get the vectorised
+    #: root-hit batch serve: every request equal to its predecessor is settled
+    #: by array ops and only the placement-mutating requests run the scalar
+    #: ``_adjust_fast``.  The vectorised path therefore also requires a
+    #: trusted ``_adjust_fast`` port; setting the flag without one simply
+    #: keeps the scalar loop.
+    batch_root_promote: bool = False
+
     def __init__(self, network: TreeNetwork) -> None:
         self.network = network
         self._prepared = not self.requires_preparation
@@ -131,18 +147,31 @@ class OnlineTreeAlgorithm(abc.ABC):
         placement_seed: Optional[int] = None,
         keep_records: bool = True,
         enforce_marking: bool = False,
+        backend: Optional[str] = None,
         **kwargs,
     ) -> "OnlineTreeAlgorithm":
         """Build the algorithm on a fresh tree with a random initial placement.
 
         Exactly one of ``n_nodes`` or ``depth`` must be given.  The initial
         placement is uniformly random, seeded by ``placement_seed``, matching
-        the paper's experimental setup.  Additional keyword arguments are
-        forwarded to the algorithm constructor (for example ``seed`` for
-        Random-Push).
+        the paper's experimental setup.  ``backend`` selects the serve
+        backend of the underlying network (see :mod:`repro.core.backend`).
+        Additional keyword arguments are forwarded to the algorithm
+        constructor (for example ``seed`` for Random-Push).
         """
         if (n_nodes is None) == (depth is None):
             raise AlgorithmError("specify exactly one of n_nodes or depth")
+        if backend is None or backend == "auto":
+            # Per-algorithm auto-detection: typed-array placement pays for
+            # itself only when a vectorised batch port consumes the NumPy
+            # views; algorithms serving every request through the scalar loop
+            # are fastest on plain lists.  Explicit names are always honoured.
+            backend = (
+                _backend.BACKEND_ARRAY
+                if _backend.HAS_NUMPY
+                and (not cls.is_self_adjusting or cls.batch_root_promote)
+                else _backend.BACKEND_PYTHON
+            )
         tree = (
             CompleteBinaryTree(n_nodes)
             if n_nodes is not None
@@ -154,6 +183,7 @@ class OnlineTreeAlgorithm(abc.ABC):
             with_rotor=cls._needs_rotor(),
             enforce_marking=enforce_marking,
             keep_records=keep_records,
+            backend=backend,
         )
         return cls(network, **kwargs)
 
@@ -242,11 +272,23 @@ class OnlineTreeAlgorithm(abc.ABC):
         chunks (see :meth:`repro.workloads.base.WorkloadGenerator.iter_requests`)
         and are served as they arrive, so the full sequence is never resident.
         Offline algorithms (``requires_preparation``) must see the whole
-        sequence anyway and therefore materialise it before delegating to
-        :meth:`run`.  Costs are identical to ``run`` on the concatenated
-        stream by construction — both drive the same serve loop.
+        sequence anyway and therefore materialise it first; an all-ndarray
+        stream is concatenated (and prepared) without ever boxing a request
+        into a Python int.  Costs are identical to ``run`` on the
+        concatenated stream by construction — both drive the same serve loop.
         """
         if self.requires_preparation and not self._prepared:
+            chunks = list(chunks)
+            if (
+                chunks
+                and _backend.HAS_NUMPY
+                and all(isinstance(chunk, _backend.np.ndarray) for chunk in chunks)
+            ):
+                sequence = (
+                    _backend.np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+                )
+                self.prepare(sequence)
+                return self._run_chunks(chunks, metadata)
             sequence = [element for chunk in chunks for element in chunk]
             return self.run(sequence, metadata=metadata)
         return self._run_chunks(chunks, metadata)
@@ -256,31 +298,166 @@ class OnlineTreeAlgorithm(abc.ABC):
         chunks: Iterable[Iterable[ElementId]],
         metadata: Optional[dict],
     ) -> RunResult:
-        """Shared serve loop of :meth:`run` and :meth:`run_stream`."""
+        """Shared serve loop of :meth:`run` and :meth:`run_stream`.
+
+        Every chunk goes through :meth:`serve_batch`, which dispatches to the
+        vectorised array-backend implementations where available and to the
+        scalar fast loop otherwise — the streaming chunks are the batch unit.
+        """
         network = self.network
         ledger = network.ledger
-        if ledger.keep_records or network.enforce_marking:
-            for chunk in chunks:
-                for element in chunk:
-                    self.serve(element)
-        else:
-            if not self._prepared:
-                raise AlgorithmError(
-                    f"{self.name} requires prepare(sequence) before serving requests"
-                )
-            serve_fast = self._serve_fast
-            for chunk in chunks:
-                for element in chunk:
-                    serve_fast(element)
+        for chunk in chunks:
+            self.serve_batch(chunk)
         return RunResult(
             algorithm=self.name,
             n_nodes=network.tree.n_nodes,
             n_requests=ledger.n_requests,
             total_access_cost=ledger.total_access_cost,
             total_adjustment_cost=ledger.total_adjustment_cost,
-            per_request=list(ledger.records),
+            # a columnar snapshot: records materialise only if someone reads
+            # them, instead of one RequestCost object per served request here
+            per_request=ledger.records.copy(),
             metadata=dict(metadata or {}),
         )
+
+    # ------------------------------------------------------------ batch serving
+
+    def serve_batch(self, requests: Sequence[ElementId]) -> int:
+        """Serve one chunk of requests; return how many were served.
+
+        Observable behaviour (final placement, ledger totals, per-request
+        records, RNG consumption) is identical to serving the chunk one
+        request at a time through :meth:`serve` — property tests pin this for
+        every algorithm and backend.  On an array-backend network with NumPy
+        available, algorithms with a vectorised port settle most of the chunk
+        with array operations; everything else runs the scalar fast loop
+        (with the marking-enforced reference path as the checked fallback).
+        """
+        if not self._prepared:
+            raise AlgorithmError(
+                f"{self.name} requires prepare(sequence) before serving requests"
+            )
+        network = self.network
+        if not network.enforce_marking and _backend.vectorise_active(network.backend):
+            chunk = _backend.as_request_array(requests)
+            if chunk.shape[0] == 0:
+                return 0
+            served = self._serve_batch_array(chunk)
+            if served is not None:
+                return served
+            requests = chunk.tolist()
+        elif _backend.HAS_NUMPY and isinstance(requests, _backend.np.ndarray):
+            # Scalar loops iterate Python ints; boxing NumPy scalars one by
+            # one in the loop would be slower than one bulk conversion.
+            requests = requests.tolist()
+        if network.enforce_marking:
+            for element in requests:
+                self.serve(element)
+            return len(requests)
+        serve_fast = self._serve_fast
+        count = 0
+        for element in requests:
+            serve_fast(element)
+            count += 1
+        return count
+
+    def _serve_batch_array(self, chunk) -> Optional[int]:
+        """Vectorised batch serve of an ndarray chunk, or ``None`` if unported.
+
+        Called only on array-backend networks with NumPy importable and the
+        marking discipline off.  The two built-in ports cover the cheap-adjust
+        algorithms: static trees (no adjustment at all) and root-promoting
+        algorithms (see :attr:`batch_root_promote`); subclasses may override
+        for bespoke vectorisation.
+        """
+        if not self.is_self_adjusting:
+            return self._serve_batch_static(chunk)
+        if self.batch_root_promote:
+            if type(self)._adjust_fast is OnlineTreeAlgorithm._adjust_fast:
+                # The root-promote port drives _adjust_fast directly; a
+                # subclass that sets the flag without a trusted port falls
+                # back to the scalar loop (whose checked-reference fallback
+                # handles the missing port per request).
+                return None
+            return self._serve_batch_root_promote(chunk)
+        return None
+
+    @staticmethod
+    def _check_batch_bounds(chunk, n_elements: int) -> None:
+        """Validate a whole chunk against the element universe in one pass.
+
+        Batch twin of the per-request bounds check in :meth:`_serve_fast`;
+        the chunk is validated up front, so an out-of-range element rejects
+        the entire chunk instead of serving the requests before it.
+        """
+        if int(chunk.min()) < 0 or int(chunk.max()) >= n_elements:
+            bad = chunk[(chunk < 0) | (chunk >= n_elements)]
+            raise MappingError(
+                f"element {int(bad[0])} outside universe of size {n_elements}"
+            )
+
+    def _serve_batch_static(self, chunk) -> int:
+        """Vectorised batch serve for algorithms that never adjust.
+
+        The placement is constant across the chunk, so the levels of all
+        requested elements come from two fancy-indexes (element -> node ->
+        level) and the chunk is accounted with one ledger call.
+        """
+        network = self.network
+        node_of = network._node_of_np
+        n_elements = node_of.shape[0]
+        self._check_batch_bounds(chunk, n_elements)
+        levels = _backend.node_levels_view(n_elements)[node_of[chunk]]
+        count = chunk.shape[0]
+        ledger = network.ledger
+        if ledger.keep_records:
+            ledger.record_batch_columns(chunk.tolist(), levels.tolist())
+        else:
+            ledger.record_batch(count, int(levels.sum()) + count, 0)
+        return count
+
+    def _serve_batch_root_promote(self, chunk) -> int:
+        """Vectorised batch serve for root-promoting algorithms.
+
+        After any served request the requested element occupies the root, so
+        a request equal to its predecessor (or, for the first of the chunk,
+        equal to the element currently at the root) is a guaranteed root hit:
+        access cost 1, no swaps, no state change.  Those are settled for the
+        whole chunk with one vectorised comparison; only the remaining
+        requests — the ones that actually mutate the placement — run the
+        scalar :meth:`_adjust_fast`.
+        """
+        np = _backend.np
+        network = self.network
+        node_of = network._node_of
+        n_elements = len(node_of)
+        self._check_batch_bounds(chunk, n_elements)
+        hits = np.empty(chunk.shape, dtype=np.bool_)
+        hits[0] = int(chunk[0]) == network._elem_at[0]
+        np.equal(chunk[1:], chunk[:-1], out=hits[1:])
+        count = chunk.shape[0]
+        ledger = network.ledger
+        adjust_fast = self._adjust_fast
+        if ledger.keep_records:
+            elements = chunk.tolist()
+            levels = [0] * count
+            swaps = [0] * count
+            for index in np.flatnonzero(~hits).tolist():
+                element = elements[index]
+                level = (node_of[element] + 1).bit_length() - 1
+                levels[index] = level
+                swaps[index] = adjust_fast(element, level)
+            ledger.record_batch_columns(elements, levels, swaps)
+            return count
+        active = chunk[~hits]
+        access_total = count - active.shape[0]  # every root hit costs 1
+        adjustment_total = 0
+        for element in active.tolist():
+            level = (node_of[element] + 1).bit_length() - 1
+            adjustment_total += adjust_fast(element, level)
+            access_total += level + 1
+        ledger.record_batch(count, access_total, adjustment_total)
+        return count
 
     def _serve_fast(self, element: ElementId) -> "tuple[int, int]":
         """Serve one request on the non-marking fast path; return (level, swaps).

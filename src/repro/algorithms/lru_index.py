@@ -5,17 +5,34 @@ element with the *highest rank* on a given tree level - i.e. the element of
 that level that was accessed least recently (elements never accessed so far
 count as oldest).  Scanning a level is too slow for deep trees (the deepest
 level of a 65,535-node tree has 32,768 nodes), so this module maintains one
-lazy min-heap per level keyed by last-access time.
+recency-ordered intrusive doubly-linked list per level.
 
-Entries become stale when an element is accessed again or moves to another
-level; stale entries are discarded lazily when they surface at the top of a
-heap, giving amortised ``O(log n)`` updates and queries.
+The lists are intrusive: the ``next``/``prev`` links of every element live in
+two flat integer arrays indexed by element identifier, with one circular
+sentinel per level, so membership changes are pointer writes with no node
+allocation and no heap churn.  Each list is kept sorted by
+``(last_access, element)`` from oldest (head) to newest (tail):
+
+* an **access** stamps the globally newest timestamp, so the element is moved
+  to the tail of its level's list in O(1);
+* an **LRU query** reads the head of the list in O(1) — there are no stale
+  entries to skip, unlike the previous lazy-heap implementation whose
+  amortised cleanup dominated Max-Push's serve cost;
+* a **level move** re-inserts the element by scanning from the tail towards
+  the head.  The Strict-MRU demotion cascade that drives all moves demotes
+  the *oldest* element of level ``j`` into level ``j + 1``, whose inhabitants
+  are predominantly older still, so the scan almost always stops within a few
+  links; the worst case is linear but never materialises under the
+  algorithms' access patterns.
+
+The ordering (and hence every victim choice) is identical to the previous
+heap implementation: strictly by ``(last_access, element)``, with never
+accessed elements (timestamp -1) oldest and ties broken by identifier.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.core.state import TreeNetwork
 from repro.exceptions import AlgorithmError
@@ -39,22 +56,51 @@ class LevelLRUIndex:
         whenever it accesses or relocates elements.
     """
 
-    __slots__ = ("_last_access", "_level_of", "_heaps", "_clock")
+    __slots__ = ("_last_access", "_level_of", "_next", "_prev", "_clock", "_n_elements", "_depth")
 
     def __init__(self, network: TreeNetwork) -> None:
         tree = network.tree
         n_elements = network.n_elements
+        self._n_elements = n_elements
+        self._depth = tree.depth
         self._last_access: List[int] = [NEVER_ACCESSED] * n_elements
         self._level_of: List[Level] = [0] * n_elements
-        self._heaps: List[List[Tuple[int, ElementId]]] = [
-            [] for _ in range(tree.depth + 1)
-        ]
         self._clock = 0
-        for node in range(tree.n_nodes):
-            element = network.element_at(node)
-            level = tree.level(node)
-            self._level_of[element] = level
-            heapq.heappush(self._heaps[level], (NEVER_ACCESSED, element))
+        # Links for n_elements element slots plus one circular sentinel per
+        # level (sentinel of level l is id n_elements + l).
+        size = n_elements + tree.depth + 1
+        self._next: List[int] = [0] * size
+        self._prev: List[int] = [0] * size
+        for level in range(tree.depth + 1):
+            sentinel = n_elements + level
+            self._next[sentinel] = sentinel
+            self._prev[sentinel] = sentinel
+        for level in range(tree.depth + 1):
+            # All elements start never-accessed; appending in identifier
+            # order seeds each list sorted by (NEVER_ACCESSED, element).
+            for element in sorted(
+                network.element_at(node) for node in tree.nodes_at_level(level)
+            ):
+                self._level_of[element] = level
+                self._link_before(n_elements + level, element)
+
+    # -------------------------------------------------------------- link plumbing
+
+    def _link_before(self, anchor: int, element: int) -> None:
+        """Insert ``element`` immediately before ``anchor`` in its circular list."""
+        nxt, prv = self._next, self._prev
+        tail = prv[anchor]
+        nxt[tail] = element
+        prv[element] = tail
+        nxt[element] = anchor
+        prv[anchor] = element
+
+    def _unlink(self, element: int) -> None:
+        """Remove ``element`` from whichever list currently holds it."""
+        nxt, prv = self._next, self._prev
+        before, after = prv[element], nxt[element]
+        nxt[before] = after
+        prv[after] = before
 
     # ----------------------------------------------------------------- updates
 
@@ -62,22 +108,36 @@ class LevelLRUIndex:
         """Mark ``element`` as the most recently used element."""
         self._clock += 1
         self._last_access[element] = self._clock
-        heapq.heappush(
-            self._heaps[self._level_of[element]], (self._clock, element)
-        )
+        # The fresh timestamp is the global maximum, so the element belongs
+        # at the tail (newest end) of its level's list.
+        self._unlink(element)
+        self._link_before(self._n_elements + self._level_of[element], element)
 
     def move(self, element: ElementId, new_level: Level) -> None:
         """Record that ``element`` now lives at ``new_level``."""
-        if not 0 <= new_level < len(self._heaps):
+        if not 0 <= new_level <= self._depth:
             raise AlgorithmError(
-                f"level {new_level} outside tree of depth {len(self._heaps) - 1}"
+                f"level {new_level} outside tree of depth {self._depth}"
             )
         if self._level_of[element] == new_level:
             return
+        self._unlink(element)
         self._level_of[element] = new_level
-        heapq.heappush(
-            self._heaps[new_level], (self._last_access[element], element)
-        )
+        # Ordered insert: walk from the tail towards the head until the
+        # predecessor is not newer than the element.
+        sentinel = self._n_elements + new_level
+        last_access = self._last_access
+        prv = self._prev
+        stamp = last_access[element]
+        cursor = prv[sentinel]
+        while cursor != sentinel and (last_access[cursor], cursor) > (stamp, element):
+            cursor = prv[cursor]
+        nxt = self._next
+        follower = nxt[cursor]
+        nxt[cursor] = element
+        prv[element] = cursor
+        nxt[element] = follower
+        prv[follower] = element
 
     # ----------------------------------------------------------------- queries
 
@@ -96,29 +156,20 @@ class LevelLRUIndex:
 
         Elements never accessed count as oldest; ties are broken by element
         identifier for determinism.  ``exclude`` (typically the element that
-        was just accessed) is skipped.
+        was just accessed) is skipped.  The lists are kept sorted, so this is
+        a head read (or at most one hop past the excluded element).
         """
-        heap = self._heaps[level]
-        skipped: List[Tuple[int, ElementId]] = []
-        result: Optional[ElementId] = None
-        while heap:
-            timestamp, element = heap[0]
-            if (
-                self._level_of[element] != level
-                or self._last_access[element] != timestamp
-            ):
-                heapq.heappop(heap)  # stale entry
-                continue
-            if exclude is not None and element == exclude:
-                skipped.append(heapq.heappop(heap))
-                continue
-            result = element
-            break
-        for entry in skipped:
-            heapq.heappush(heap, entry)
-        if result is None:
+        if not 0 <= level <= self._depth:
+            raise AlgorithmError(
+                f"level {level} outside tree of depth {self._depth}"
+            )
+        sentinel = self._n_elements + level
+        candidate = self._next[sentinel]
+        if candidate == exclude:
+            candidate = self._next[candidate]
+        if candidate == sentinel:
             raise AlgorithmError(f"no eligible element on level {level}")
-        return result
+        return candidate
 
     def validate_against(self, network: TreeNetwork) -> None:
         """Check that tracked levels match the network placement (test helper)."""

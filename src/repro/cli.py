@@ -74,6 +74,20 @@ def build_parser() -> argparse.ArgumentParser:
         "memory/batching knob only, never changes results)"
     )
 
+    backend_help = (
+        "serve backend: 'array' = typed-array placement + vectorised batch "
+        "serving (NumPy), 'python' = canonical scalar loops, 'auto' (default) "
+        "picks per algorithm; results are bit-identical for every choice"
+    )
+
+    def add_backend_argument(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--backend",
+            choices=["auto", "array", "python"],
+            default=None,
+            help=backend_help,
+        )
+
     subparsers.add_parser("list", help="list algorithms and experiment scales")
 
     demo = subparsers.add_parser("demo", help="run a quick algorithm comparison")
@@ -84,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--repeat", type=float, default=0.5, help="repeat probability")
     demo.add_argument("--jobs", type=jobs_type, default=1, help=jobs_help)
     demo.add_argument("--chunk-size", type=chunk_type, default=None, help=chunk_help)
+    add_backend_argument(demo)
 
     experiment = subparsers.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument(
@@ -95,12 +110,14 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--csv-dir", default=None, help="directory for CSV exports")
     experiment.add_argument("--jobs", type=jobs_type, default=1, help=jobs_help)
     experiment.add_argument("--chunk-size", type=chunk_type, default=None, help=chunk_help)
+    add_backend_argument(experiment)
 
     report = subparsers.add_parser("report", help="run all experiments and write EXPERIMENTS.md")
     report.add_argument("--scale", default="tiny", choices=sorted(SCALES))
     report.add_argument("--output", default="EXPERIMENTS.md", help="output Markdown path")
     report.add_argument("--jobs", type=jobs_type, default=1, help=jobs_help)
     report.add_argument("--chunk-size", type=chunk_type, default=None, help=chunk_help)
+    add_backend_argument(report)
 
     return parser
 
@@ -140,6 +157,7 @@ def _command_demo(args: argparse.Namespace) -> int:
         n_trials=args.trials,
         n_jobs=args.jobs,
         chunk_size=args.chunk_size,
+        backend=args.backend,
     )
     table = ResultTable(
         name="demo",
@@ -158,22 +176,33 @@ def _command_demo(args: argparse.Namespace) -> int:
 
 def _command_experiment(args: argparse.Namespace) -> int:
     name, scale, csv_dir, jobs = args.name, args.scale, args.csv_dir, args.jobs
-    chunk = args.chunk_size
+    chunk, backend = args.chunk_size, args.backend
     if name in ("q1", "all"):
-        for table in run_q1(scale, n_jobs=jobs, chunk_size=chunk).values():
+        for table in run_q1(
+            scale, n_jobs=jobs, chunk_size=chunk, backend=backend
+        ).values():
             _print_table(table, csv_dir)
     if name in ("q2", "all"):
-        _print_table(run_q2(scale, n_jobs=jobs, chunk_size=chunk), csv_dir)
+        _print_table(
+            run_q2(scale, n_jobs=jobs, chunk_size=chunk, backend=backend), csv_dir
+        )
     if name in ("q3", "all"):
-        _print_table(run_q3(scale, n_jobs=jobs, chunk_size=chunk), csv_dir)
+        _print_table(
+            run_q3(scale, n_jobs=jobs, chunk_size=chunk, backend=backend), csv_dir
+        )
     if name in ("q4", "all"):
-        _print_table(run_q4_wireframe(scale, n_jobs=jobs, chunk_size=chunk), csv_dir)
-        histogram, summary = run_q4_histogram(scale, n_jobs=jobs, chunk_size=chunk)
+        _print_table(
+            run_q4_wireframe(scale, n_jobs=jobs, chunk_size=chunk, backend=backend),
+            csv_dir,
+        )
+        histogram, summary = run_q4_histogram(
+            scale, n_jobs=jobs, chunk_size=chunk, backend=backend
+        )
         print(histogram_chart("Rotor-Push minus Random-Push (access cost)", histogram))
         print(f"mean difference: {summary['mean_difference']:+.5f}")
         print()
     if name in ("q5", "all"):
-        for table in run_q5(scale, n_jobs=jobs).values():
+        for table in run_q5(scale, n_jobs=jobs, backend=backend).values():
             _print_table(table, csv_dir)
     if name in ("table1", "all"):
         _print_table(run_table1(), csv_dir)
@@ -186,6 +215,7 @@ def _command_report(args: argparse.Namespace) -> int:
         path=args.output,
         n_jobs=args.jobs,
         chunk_size=args.chunk_size,
+        backend=args.backend,
     )
     print(f"wrote {args.output} ({len(report.splitlines())} lines)")
     return 0

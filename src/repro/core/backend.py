@@ -1,0 +1,112 @@
+"""Serve-backend selection and NumPy gating.
+
+The serve hot path comes in two flavours:
+
+* the **python** backend — placement state lives in plain lists and every
+  request is served by the scalar fast loop.  This is the canonical
+  implementation: it has no optional dependencies and its results define
+  correctness for everything else.
+* the **array** backend — placement state lives in typed arrays
+  (:class:`array.array` of C ints) with zero-copy NumPy views when NumPy is
+  importable, and request chunks are served by vectorised batch loops
+  (:meth:`repro.algorithms.base.OnlineTreeAlgorithm.serve_batch`) that fall
+  back to the scalar fast path only for the requests that actually mutate the
+  placement.
+
+Both backends produce bit-identical placements, ledger totals and per-request
+cost records; the array backend is purely a throughput optimisation.  This
+module is the single source of truth for NumPy availability and for resolving
+the user-facing ``backend`` argument (``"array"``, ``"python"`` or
+``None``/``"auto"``) that the CLI, runners and engine all accept.
+
+Everything here reads :data:`HAS_NUMPY` at call time (not import time) so the
+test suite can simulate a NumPy-less environment by monkeypatching one module
+attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.exceptions import BackendError
+
+try:  # pragma: no cover - exercised via both CI matrix legs
+    import numpy as np
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+    HAS_NUMPY = False
+
+__all__ = [
+    "HAS_NUMPY",
+    "np",
+    "BACKEND_ARRAY",
+    "BACKEND_PYTHON",
+    "BACKENDS",
+    "BackendError",
+    "resolve_backend",
+    "vectorise_active",
+    "node_levels_view",
+    "as_request_array",
+]
+
+BACKEND_ARRAY = "array"
+BACKEND_PYTHON = "python"
+
+#: The explicit backend names (``None``/``"auto"`` resolve to one of these).
+BACKENDS = (BACKEND_ARRAY, BACKEND_PYTHON)
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Resolve a user-facing backend choice to ``"array"`` or ``"python"``.
+
+    ``None`` and ``"auto"`` pick the array backend when NumPy is importable
+    and the python backend otherwise, so the default is always the fastest
+    configuration the environment supports.  Explicit names are honoured as
+    given: ``"array"`` is valid without NumPy too (typed-array storage, scalar
+    batch loops), it just cannot vectorise.
+    """
+    if backend is None or backend == "auto":
+        return BACKEND_ARRAY if HAS_NUMPY else BACKEND_PYTHON
+    if backend not in BACKENDS:
+        raise BackendError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{', '.join(BACKENDS)} or 'auto'"
+        )
+    return backend
+
+
+def vectorise_active(backend: str) -> bool:
+    """Whether vectorised batch serving is available for ``backend`` right now."""
+    return backend == BACKEND_ARRAY and HAS_NUMPY
+
+
+#: Cached node-level lookup tables keyed by tree size (shared, read-only).
+_LEVEL_TABLES: Dict[int, "np.ndarray"] = {}
+
+
+def node_levels_view(n_nodes: int) -> "np.ndarray":
+    """Return the cached level-of-node lookup array for a tree of ``n_nodes``.
+
+    The NumPy mirror of :func:`repro.core.tree.node_levels_table` — built
+    from it, so the bit-length identity in ``tree.py`` stays the single
+    authoritative definition.  The table turns the per-request bit-length
+    computation into one fancy-index over the whole chunk; it is computed
+    once per tree size and shared read-only.
+    """
+    table = _LEVEL_TABLES.get(n_nodes)
+    if table is None:
+        from repro.core.tree import node_levels_table
+
+        table = np.asarray(node_levels_table(n_nodes), dtype=np.intp)
+        table.setflags(write=False)
+        _LEVEL_TABLES[n_nodes] = table
+    return table
+
+
+def as_request_array(chunk) -> "np.ndarray":
+    """Coerce a request chunk to a 1-D integer ndarray (no copy if already one)."""
+    if isinstance(chunk, np.ndarray):
+        return chunk
+    return np.asarray(chunk, dtype=np.intp)

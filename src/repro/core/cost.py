@@ -14,12 +14,12 @@ uniform cost breakdown (total / access / adjustment, per request and averaged).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterator, List, Optional, Sequence, Union
 
 from repro.exceptions import CostAccountingError
 from repro.types import ElementId
 
-__all__ = ["RequestCost", "CostLedger"]
+__all__ = ["RequestCost", "RequestRecordColumns", "CostLedger"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,6 +49,112 @@ class RequestCost:
         return self.access_cost + self.adjustment_cost
 
 
+class RequestRecordColumns:
+    """Columnar store of per-request costs, materialising records lazily.
+
+    Appending a :class:`RequestCost` object per request used to cost twice as
+    much as serving the request itself (frozen-dataclass construction in the
+    hot loop); this store keeps three parallel integer columns instead —
+    element, level at access, swap count — and builds :class:`RequestCost`
+    objects only when someone actually indexes or iterates the records.  It
+    behaves like an immutable sequence of :class:`RequestCost` to callers
+    (indexing, slicing, iteration, equality against lists), so existing code
+    reading ``ledger.records`` is unaffected.
+    """
+
+    __slots__ = ("_elements", "_levels", "_swaps")
+
+    def __init__(self) -> None:
+        self._elements: List[int] = []
+        self._levels: List[int] = []
+        self._swaps: List[int] = []
+
+    # ---------------------------------------------------------------- appends
+
+    def append(self, record: RequestCost) -> None:
+        """Append one materialised record (decomposed into the columns)."""
+        self._elements.append(record.element)
+        self._levels.append(record.level_at_access)
+        self._swaps.append(record.adjustment_cost)
+
+    def append_fields(self, element: int, level_at_access: int, swaps: int) -> None:
+        """Append one record as raw fields — the hot-loop entry point."""
+        self._elements.append(element)
+        self._levels.append(level_at_access)
+        self._swaps.append(swaps)
+
+    def extend_fields(
+        self,
+        elements: Sequence[int],
+        levels: Sequence[int],
+        swaps: Sequence[int],
+    ) -> None:
+        """Append a whole batch of records given as parallel columns."""
+        self._elements.extend(elements)
+        self._levels.extend(levels)
+        self._swaps.extend(swaps)
+
+    def clear(self) -> None:
+        """Drop all stored records."""
+        self._elements.clear()
+        self._levels.clear()
+        self._swaps.clear()
+
+    def copy(self) -> "RequestRecordColumns":
+        """Return an independent copy of the columns."""
+        clone = RequestRecordColumns()
+        clone._elements = list(self._elements)
+        clone._levels = list(self._levels)
+        clone._swaps = list(self._swaps)
+        return clone
+
+    # ----------------------------------------------------------------- access
+
+    def _materialise(self, index: int) -> RequestCost:
+        level = self._levels[index]
+        return RequestCost(
+            element=self._elements[index],
+            access_cost=level + 1,
+            adjustment_cost=self._swaps[index],
+            level_at_access=level,
+        )
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[RequestCost, List[RequestCost]]:
+        if isinstance(index, slice):
+            indices = range(*index.indices(len(self._elements)))
+            return [self._materialise(i) for i in indices]
+        if index < 0:
+            index += len(self._elements)
+        if not 0 <= index < len(self._elements):
+            raise IndexError("record index out of range")
+        return self._materialise(index)
+
+    def __iter__(self) -> Iterator[RequestCost]:
+        for index in range(len(self._elements)):
+            yield self._materialise(index)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RequestRecordColumns):
+            return (
+                self._elements == other._elements
+                and self._levels == other._levels
+                and self._swaps == other._swaps
+            )
+        if isinstance(other, (list, tuple)):
+            return len(self) == len(other) and all(
+                record == expected for record, expected in zip(self, other)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"RequestRecordColumns(n={len(self._elements)})"
+
+
 class CostLedger:
     """Accumulates per-request costs for one algorithm run.
 
@@ -65,10 +171,12 @@ class CostLedger:
     Parameters
     ----------
     keep_records:
-        When ``True`` (default) every :class:`RequestCost` is kept in
-        :attr:`records`; set to ``False`` for long runs where only the
-        aggregate totals matter (the per-request history is then dropped to
-        save memory).
+        When ``True`` (default) every request's costs are kept in
+        :attr:`records` (a :class:`RequestRecordColumns`, which stores raw
+        integer columns and materialises :class:`RequestCost` objects
+        lazily); set to ``False`` for long runs where only the aggregate
+        totals matter (the per-request history is then dropped to save
+        memory).
     """
 
     __slots__ = (
@@ -83,7 +191,7 @@ class CostLedger:
     )
 
     def __init__(self, keep_records: bool = True) -> None:
-        self.records: List[RequestCost] = []
+        self.records: RequestRecordColumns = RequestRecordColumns()
         self.keep_records = keep_records
         self._total_access = 0
         self._total_adjustment = 0
@@ -131,7 +239,9 @@ class CostLedger:
         self._total_adjustment += record.adjustment_cost
         self._closed_count += 1
         if self.keep_records:
-            self.records.append(record)
+            self.records.append_fields(
+                self._open_element, self._open_level, self._open_adjustment
+            )
         self._open_element = None
         self._open_adjustment = 0
         return record
@@ -149,13 +259,8 @@ class CostLedger:
         self._total_adjustment += self._open_adjustment
         self._closed_count += 1
         if self.keep_records:
-            self.records.append(
-                RequestCost(
-                    element=self._open_element,
-                    access_cost=self._open_level + 1,
-                    adjustment_cost=self._open_adjustment,
-                    level_at_access=self._open_level,
-                )
+            self.records.append_fields(
+                self._open_element, self._open_level, self._open_adjustment
             )
         self._open_element = None
         self._open_adjustment = 0
@@ -185,14 +290,74 @@ class CostLedger:
         self._total_adjustment += swaps
         self._closed_count += 1
         if self.keep_records:
-            self.records.append(
-                RequestCost(
-                    element=element,
-                    access_cost=level_at_access + 1,
-                    adjustment_cost=swaps,
-                    level_at_access=level_at_access,
-                )
+            self.records.append_fields(element, level_at_access, swaps)
+
+    def record_batch(
+        self, n_requests: int, access_total: int, adjustment_total: int
+    ) -> None:
+        """Account a whole batch of requests with precomputed cost totals.
+
+        Entry point of the vectorised batch serve loops when no per-request
+        history is kept: one ledger call covers an entire chunk.  A ledger
+        with ``keep_records`` enabled refuses totals-only batches (the
+        per-request history would silently go missing); batch callers that
+        keep records use :meth:`record_batch_columns` instead.
+        """
+        if self._open_element is not None:
+            raise CostAccountingError(
+                "record_batch called while a request is already open "
+                f"(element {self._open_element})"
             )
+        if self.keep_records:
+            raise CostAccountingError(
+                "record_batch drops per-request history; use "
+                "record_batch_columns on a ledger with keep_records enabled"
+            )
+        if n_requests < 0 or access_total < 0 or adjustment_total < 0:
+            raise CostAccountingError(
+                "batch counts and totals must be non-negative, got "
+                f"({n_requests}, {access_total}, {adjustment_total})"
+            )
+        self._total_access += access_total
+        self._total_adjustment += adjustment_total
+        self._closed_count += n_requests
+
+    def record_batch_columns(
+        self,
+        elements: Sequence[int],
+        levels_at_access: Sequence[int],
+        swaps: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Account a whole batch given as parallel per-request columns.
+
+        The columns play the role of ``n_requests`` individual
+        :meth:`record_request` calls: totals are derived from them and, when
+        ``keep_records`` is enabled, they are appended to :attr:`records` in
+        one extend instead of one object per request.  ``swaps=None`` means
+        "no adjustment cost anywhere in the batch" (static algorithms).
+        """
+        if self._open_element is not None:
+            raise CostAccountingError(
+                "record_batch_columns called while a request is already open "
+                f"(element {self._open_element})"
+            )
+        count = len(elements)
+        if len(levels_at_access) != count or (
+            swaps is not None and len(swaps) != count
+        ):
+            raise CostAccountingError(
+                "batch columns must have equal lengths, got "
+                f"({count}, {len(levels_at_access)}, "
+                f"{len(swaps) if swaps is not None else None})"
+            )
+        self._total_access += sum(levels_at_access) + count
+        if swaps is None:
+            swaps = [0] * count
+        else:
+            self._total_adjustment += sum(swaps)
+        self._closed_count += count
+        if self.keep_records:
+            self.records.extend_fields(elements, levels_at_access, swaps)
 
     @property
     def request_open(self) -> bool:
@@ -251,7 +416,7 @@ class CostLedger:
         if self._open_element is not None:
             raise CostAccountingError("cannot copy the ledger while a request is open")
         clone = CostLedger(keep_records=self.keep_records)
-        clone.records = list(self.records)
+        clone.records = self.records.copy()
         clone._total_access = self._total_access
         clone._total_adjustment = self._total_adjustment
         clone._closed_count = self._closed_count

@@ -26,6 +26,7 @@ __all__ = [
     "depth_for_size",
     "size_for_depth",
     "node_level",
+    "node_levels_table",
     "node_distance",
     "root_path",
 ]
@@ -42,6 +43,20 @@ def node_level(node: NodeId) -> Level:
     [0, 1, 1, 2, 2, 3]
     """
     return (node + 1).bit_length() - 1
+
+
+def node_levels_table(n_nodes: int) -> List[Level]:
+    """Return ``[node_level(k) for k in range(n_nodes)]`` as a lookup table.
+
+    The batch serve path replaces the per-request bit-length computation with
+    one indexed lookup over a whole request chunk; this function is the
+    canonical, backend-agnostic statement of that table
+    (:func:`repro.core.backend.node_levels_view` caches the NumPy mirror).
+
+    >>> node_levels_table(7)
+    [0, 1, 1, 2, 2, 2, 2]
+    """
+    return [(node + 1).bit_length() - 1 for node in range(n_nodes)]
 
 
 def node_distance(a: NodeId, b: NodeId) -> int:

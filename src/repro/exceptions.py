@@ -73,3 +73,11 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment or benchmark harness is configured incorrectly."""
+
+
+class BackendError(ReproError):
+    """Raised for unknown serve-backend names or unsatisfiable backend requests.
+
+    The serve path accepts ``backend="array"``, ``"python"`` or ``"auto"``
+    (see :mod:`repro.core.backend`); anything else raises this error.
+    """

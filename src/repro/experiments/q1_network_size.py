@@ -43,6 +43,7 @@ def _run_size_sweep(
     table_name: str,
     n_jobs: int = 1,
     chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ResultTable:
     """Shared implementation for both Q1 panels."""
     algorithms = list(SELF_ADJUSTING_ALGORITHMS) + [_BASELINE]
@@ -66,6 +67,7 @@ def _run_size_sweep(
             base_seed=scale.base_seed,
             n_jobs=n_jobs,
             chunk_size=chunk_size,
+            backend=backend,
         )
 
         if locality == "temporal":
@@ -92,7 +94,10 @@ def _run_size_sweep(
 
 
 def run_q1_temporal(
-    scale: str = "tiny", n_jobs: int = 1, chunk_size: Optional[int] = None
+    scale: str = "tiny",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ResultTable:
     """Reproduce Figure 2a (size sweep under temporal locality ``p = 0.9``)."""
     return _run_size_sweep(
@@ -101,11 +106,15 @@ def run_q1_temporal(
         "fig2a_network_size_temporal",
         n_jobs=n_jobs,
         chunk_size=chunk_size,
+        backend=backend,
     )
 
 
 def run_q1_spatial(
-    scale: str = "tiny", n_jobs: int = 1, chunk_size: Optional[int] = None
+    scale: str = "tiny",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ResultTable:
     """Reproduce Figure 2b (size sweep under Zipf spatial locality ``a = 2.2``)."""
     return _run_size_sweep(
@@ -114,16 +123,24 @@ def run_q1_spatial(
         "fig2b_network_size_spatial",
         n_jobs=n_jobs,
         chunk_size=chunk_size,
+        backend=backend,
     )
 
 
 def run_q1(
-    scale: str = "tiny", n_jobs: int = 1, chunk_size: Optional[int] = None
+    scale: str = "tiny",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, ResultTable]:
     """Run both Q1 panels and return them keyed by figure identifier."""
     return {
-        "fig2a": run_q1_temporal(scale, n_jobs=n_jobs, chunk_size=chunk_size),
-        "fig2b": run_q1_spatial(scale, n_jobs=n_jobs, chunk_size=chunk_size),
+        "fig2a": run_q1_temporal(
+            scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
+        ),
+        "fig2b": run_q1_spatial(
+            scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
+        ),
     }
 
 

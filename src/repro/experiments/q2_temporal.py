@@ -23,7 +23,10 @@ __all__ = ["run_q2", "series_for_plot", "sequence_entropies"]
 
 
 def run_q2(
-    scale: str = "tiny", n_jobs: int = 1, chunk_size: Optional[int] = None
+    scale: str = "tiny",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ResultTable:
     """Run the Figure 3 sweep and return its data table."""
     config = get_scale(scale)
@@ -39,6 +42,7 @@ def run_q2(
         base_seed=config.base_seed,
         n_jobs=n_jobs,
         chunk_size=chunk_size,
+        backend=backend,
     )
     return sweep.run(table_name="fig3_temporal_locality")
 

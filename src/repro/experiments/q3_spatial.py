@@ -24,7 +24,10 @@ __all__ = ["run_q3", "series_for_plot", "sequence_entropies"]
 
 
 def run_q3(
-    scale: str = "tiny", n_jobs: int = 1, chunk_size: Optional[int] = None
+    scale: str = "tiny",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ResultTable:
     """Run the Figure 4 sweep and return its data table."""
     config = get_scale(scale)
@@ -40,6 +43,7 @@ def run_q3(
         base_seed=config.base_seed,
         n_jobs=n_jobs,
         chunk_size=chunk_size,
+        backend=backend,
     )
     return sweep.run(table_name="fig4_spatial_locality")
 

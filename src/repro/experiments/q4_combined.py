@@ -28,7 +28,10 @@ __all__ = ["run_q4_wireframe", "run_q4_histogram", "wireframe_grid"]
 
 
 def run_q4_wireframe(
-    scale: str = "tiny", n_jobs: int = 1, chunk_size: Optional[int] = None
+    scale: str = "tiny",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ResultTable:
     """Run the Figure 5a grid and return one row per (p, a) point.
 
@@ -55,6 +58,7 @@ def run_q4_wireframe(
         n_trials=config.n_trials,
         base_seed=config.base_seed,
         chunk_size=chunk_size,
+        backend=backend,
     )
     all_payloads: List[TrialPayload] = []
     cells: List[Tuple[float, float, List[TrialPayload]]] = []
@@ -111,6 +115,7 @@ def run_q4_histogram(
     n_sequences: int = None,
     n_jobs: int = 1,
     chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[Histogram, Dict[str, float]]:
     """Run the Figure 5b comparison and return the histogram plus summary statistics.
 
@@ -146,6 +151,7 @@ def run_q4_histogram(
                 algorithm_seed=None,
                 keep_records=True,
                 trial=index,
+                backend=backend,
             )
         )
         payloads.append(
@@ -157,6 +163,7 @@ def run_q4_histogram(
                 algorithm_seed=config.base_seed + 900 + index,
                 keep_records=True,
                 trial=index,
+                backend=backend,
             )
         )
     results = execute_payloads(payloads, n_jobs)

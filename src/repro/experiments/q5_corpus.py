@@ -80,6 +80,7 @@ def run_q5_costs(
     algorithms: Optional[Sequence[str]] = None,
     max_requests: Optional[int] = None,
     n_jobs: int = 1,
+    backend: Optional[str] = None,
 ) -> ResultTable:
     """Run all algorithms on every corpus dataset (Figure 7 data).
 
@@ -117,6 +118,7 @@ def run_q5_costs(
                     keep_records=False,
                     trial=index,
                     metadata={"dataset": workload.title},
+                    backend=backend,
                 )
             )
     results = execute_payloads(payloads, n_jobs)
@@ -134,7 +136,10 @@ def run_q5_costs(
 
 
 def run_q5(
-    scale: str = "tiny", n_jobs: int = 1, chunk_size: Optional[int] = None
+    scale: str = "tiny",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, ResultTable]:
     """Run both Q5 analyses on the same corpus and return them keyed by figure.
 
@@ -145,5 +150,5 @@ def run_q5(
     workloads = corpus_for_scale(scale)
     return {
         "fig6": run_q5_complexity_map(scale, workloads),
-        "fig7": run_q5_costs(scale, workloads, n_jobs=n_jobs),
+        "fig7": run_q5_costs(scale, workloads, n_jobs=n_jobs, backend=backend),
     }

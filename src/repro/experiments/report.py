@@ -21,7 +21,10 @@ __all__ = ["run_all_experiments", "render_report", "generate_report"]
 
 
 def run_all_experiments(
-    scale: str = "tiny", n_jobs: int = 1, chunk_size: Optional[int] = None
+    scale: str = "tiny",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run every experiment of the evaluation at the given scale.
 
@@ -30,19 +33,30 @@ def run_all_experiments(
     histogram, which is a ``(histogram, summary)`` tuple.  ``n_jobs`` fans the
     independent trial runs of every experiment over a (persistent, reused)
     process pool; ``chunk_size`` tunes the streaming chunk granularity of the
-    spec-shipped workloads.
+    spec-shipped workloads; ``backend`` selects the serve backend in the
+    workers (a throughput knob — results are identical for every value).
     """
     results: Dict[str, object] = {}
-    results.update(q1_network_size.run_q1(scale, n_jobs=n_jobs, chunk_size=chunk_size))
-    results["fig3"] = q2_temporal.run_q2(scale, n_jobs=n_jobs, chunk_size=chunk_size)
-    results["fig4"] = q3_spatial.run_q3(scale, n_jobs=n_jobs, chunk_size=chunk_size)
+    results.update(
+        q1_network_size.run_q1(
+            scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
+        )
+    )
+    results["fig3"] = q2_temporal.run_q2(
+        scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
+    )
+    results["fig4"] = q3_spatial.run_q3(
+        scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
+    )
     results["fig5a"] = q4_combined.run_q4_wireframe(
-        scale, n_jobs=n_jobs, chunk_size=chunk_size
+        scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
     )
     results["fig5b"] = q4_combined.run_q4_histogram(
-        scale, n_jobs=n_jobs, chunk_size=chunk_size
+        scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
     )
-    results.update(q5_corpus.run_q5(scale, n_jobs=n_jobs, chunk_size=chunk_size))
+    results.update(
+        q5_corpus.run_q5(scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend)
+    )
     results["table1"] = run_table1()
     return results
 
@@ -161,9 +175,12 @@ def generate_report(
     path: Optional[str] = None,
     n_jobs: int = 1,
     chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> str:
     """Run all experiments and render (optionally write) the Markdown report."""
-    results = run_all_experiments(scale, n_jobs=n_jobs, chunk_size=chunk_size)
+    results = run_all_experiments(
+        scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
+    )
     report = render_report(results, scale)
     if path is not None:
         with open(path, "w") as handle:

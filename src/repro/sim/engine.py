@@ -50,13 +50,15 @@ def simulate(
     keep_records: bool = True,
     metadata: Optional[dict] = None,
     with_locality_stats: bool = False,
+    backend: Optional[str] = None,
     **algorithm_kwargs,
 ) -> RunResult:
     """Build an algorithm by name and run it over ``sequence``.
 
     This is the main entry point used by experiments and examples: it hides
     the registry/factory plumbing and attaches the algorithm parameters to the
-    result metadata.
+    result metadata.  ``backend`` selects the serve backend
+    (:mod:`repro.core.backend`); costs are identical across backends.
     """
     algorithm = make_algorithm(
         algorithm_name,
@@ -65,6 +67,7 @@ def simulate(
         placement_seed=placement_seed,
         seed=seed,
         keep_records=keep_records,
+        backend=backend,
         **algorithm_kwargs,
     )
     extra = dict(metadata or {})
@@ -84,6 +87,7 @@ def simulate_stream(
     seed: Optional[int] = None,
     keep_records: bool = True,
     metadata: Optional[dict] = None,
+    backend: Optional[str] = None,
     **algorithm_kwargs,
 ) -> RunResult:
     """Build an algorithm by name and serve a chunked request stream.
@@ -93,7 +97,10 @@ def simulate_stream(
     :meth:`repro.workloads.base.WorkloadGenerator.iter_requests`), served as
     they are produced so the full sequence is never materialised.  Pool
     workers use this to turn a shipped :class:`repro.workloads.spec.WorkloadSpec`
-    into costs without ever holding a paper-scale sequence.
+    into costs without ever holding a paper-scale sequence.  On the array
+    backend each chunk is served as one vectorised batch; chunks may be NumPy
+    arrays (see ``iter_requests(..., as_array=True)``) so Zipf draws never
+    round-trip through Python ints.
     """
     algorithm = make_algorithm(
         algorithm_name,
@@ -102,6 +109,7 @@ def simulate_stream(
         placement_seed=placement_seed,
         seed=seed,
         keep_records=keep_records,
+        backend=backend,
         **algorithm_kwargs,
     )
     extra = dict(metadata or {})
@@ -118,6 +126,7 @@ def simulate_workload(
     seed: Optional[int] = None,
     keep_records: bool = True,
     with_locality_stats: bool = False,
+    backend: Optional[str] = None,
     **algorithm_kwargs,
 ) -> RunResult:
     """Generate ``n_requests`` from ``workload`` and run ``algorithm_name`` on them.
@@ -138,5 +147,6 @@ def simulate_workload(
         keep_records=keep_records,
         metadata=metadata,
         with_locality_stats=with_locality_stats,
+        backend=backend,
         **algorithm_kwargs,
     )

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.algorithms.base import RunResult
+from repro.core import backend as _backend
 from repro.exceptions import ExperimentError
 from repro.sim.engine import simulate, simulate_stream
 from repro.sim.parallel import map_ordered
@@ -87,7 +88,14 @@ WorkloadSource = Union[SequenceSource, SpecSource]
 
 @dataclass(frozen=True)
 class TrialPayload:
-    """One (trial, algorithm) work item, picklable and order-independent."""
+    """One (trial, algorithm) work item, picklable and order-independent.
+
+    ``backend`` is the serve-backend choice shipped to the worker (``None``
+    means auto-detect there); it selects the placement storage and batch
+    serve path plus — for spec sources — whether the workload streams NumPy
+    chunks.  Results are bit-identical across backends, so payloads remain
+    order- and placement-independent.
+    """
 
     algorithm: str
     source: WorkloadSource
@@ -98,15 +106,16 @@ class TrialPayload:
     trial: int
     algorithm_kwargs: Dict[str, object] = field(default_factory=dict)
     metadata: Dict[str, object] = field(default_factory=dict)
+    backend: Optional[str] = None
 
 
 #: Single-entry per-process memo for ``shared`` spec sources (see
-#: :class:`SpecSource`).  Keyed by the source itself; cleared whenever a
+#: :class:`SpecSource`).  Keyed by ``(source, as_array)``; cleared whenever a
 #: different shared source arrives, so at most one sequence is resident.
 #: :func:`execute_payloads` clears it when a pass completes; idle pool
 #: workers hold at most one trial's sequence until their next pass (or
 #: :func:`repro.sim.parallel.shutdown_persistent_pool`).
-_shared_chunks_cache: Dict[SpecSource, List[List[ElementId]]] = {}
+_shared_chunks_cache: Dict[object, List] = {}
 
 
 def execute_payloads(
@@ -125,17 +134,29 @@ def execute_payloads(
         _shared_chunks_cache.clear()
 
 
-def _chunks_of(source: SpecSource):
-    """Return the request chunks of ``source``, memoising shared sources."""
+def _chunks_of(source: SpecSource, as_array: bool):
+    """Return the request chunks of ``source``, memoising shared sources.
+
+    ``as_array`` asks the generator for NumPy chunks (array-backend
+    transport); it is part of the memo key because the same source may be
+    streamed for payloads of different backends.
+    """
     if not source.shared:
         workload = build_workload(source.spec)
-        return workload.iter_requests(source.n_requests, source.chunk_size)
-    chunks = _shared_chunks_cache.get(source)
+        return workload.iter_requests(
+            source.n_requests, source.chunk_size, as_array=as_array
+        )
+    key = (source, as_array)
+    chunks = _shared_chunks_cache.get(key)
     if chunks is None:
         workload = build_workload(source.spec)
-        chunks = list(workload.iter_requests(source.n_requests, source.chunk_size))
+        chunks = list(
+            workload.iter_requests(
+                source.n_requests, source.chunk_size, as_array=as_array
+            )
+        )
         _shared_chunks_cache.clear()
-        _shared_chunks_cache[source] = chunks
+        _shared_chunks_cache[key] = chunks
     return chunks
 
 
@@ -145,11 +166,18 @@ def _execute_trial(payload: TrialPayload) -> RunResult:
     Module-level so it is picklable.  Spec sources are rebuilt and streamed
     chunk by chunk into the serve fast path; sequence sources are served as
     is.  Both produce identical results for the same underlying requests.
+    The payload's backend choice is passed through verbatim: ``None`` must
+    reach ``make_algorithm`` unresolved so its per-algorithm auto-detection
+    still applies in the worker.  Only the transport format is decided here —
+    array chunks when the environment could vectorise; a scalar-backend
+    algorithm handed array chunks converts them per chunk, which is cheap
+    and keeps shared sources single-format across the algorithms of a trial.
     """
     metadata: Dict[str, object] = {"trial": payload.trial, **payload.metadata}
     source = payload.source
+    as_array = _backend.vectorise_active(_backend.resolve_backend(payload.backend))
     if isinstance(source, SpecSource):
-        chunks = _chunks_of(source)
+        chunks = _chunks_of(source, as_array=as_array)
         return simulate_stream(
             payload.algorithm,
             chunks,
@@ -158,6 +186,7 @@ def _execute_trial(payload: TrialPayload) -> RunResult:
             seed=payload.algorithm_seed,
             keep_records=payload.keep_records,
             metadata=metadata,
+            backend=payload.backend,
             **payload.algorithm_kwargs,
         )
     return simulate(
@@ -168,6 +197,7 @@ def _execute_trial(payload: TrialPayload) -> RunResult:
         seed=payload.algorithm_seed,
         keep_records=payload.keep_records,
         metadata=metadata,
+        backend=payload.backend,
         **payload.algorithm_kwargs,
     )
 
@@ -235,6 +265,10 @@ class TrialRunner:
         Streaming chunk size for spec-shipped workloads (default
         :data:`repro.workloads.spec.DEFAULT_CHUNK_SIZE`); affects memory and
         batching only, never the generated stream.
+    backend:
+        Serve backend shipped inside every payload: ``"array"``, ``"python"``
+        or ``None``/``"auto"`` (resolved in the worker).  Results are
+        bit-identical across backends; the knob trades throughput only.
     """
 
     def __init__(
@@ -246,11 +280,14 @@ class TrialRunner:
         keep_records: bool = False,
         n_jobs: int = 1,
         chunk_size: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if n_trials <= 0:
             raise ExperimentError(f"n_trials must be positive, got {n_trials}")
         if n_requests < 0:
             raise ExperimentError(f"n_requests must be non-negative, got {n_requests}")
+        if backend is not None:
+            _backend.resolve_backend(backend)  # validate eagerly, ship verbatim
         self.n_nodes = n_nodes
         self.n_requests = n_requests
         self.n_trials = n_trials
@@ -260,6 +297,7 @@ class TrialRunner:
         self.chunk_size = (
             DEFAULT_CHUNK_SIZE if chunk_size is None else check_chunk_size(int(chunk_size))
         )
+        self.backend = backend
 
     def _check_universe(self, n_elements: object) -> None:
         if n_elements != self.n_nodes:
@@ -369,6 +407,7 @@ class TrialRunner:
                         keep_records=self.keep_records,
                         trial=trial,
                         algorithm_kwargs=dict(algorithm_kwargs.get(name, {})),
+                        backend=self.backend,
                     )
                 )
         return payloads
@@ -436,6 +475,7 @@ def compare_algorithms(
     algorithm_kwargs: Optional[Dict[str, dict]] = None,
     n_jobs: int = 1,
     chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, AggregatedOutcome]:
     """One-call helper: run all algorithms over seeded trials and aggregate."""
     runner = TrialRunner(
@@ -446,6 +486,7 @@ def compare_algorithms(
         keep_records=keep_records,
         n_jobs=n_jobs,
         chunk_size=chunk_size,
+        backend=backend,
     )
     outcomes = runner.run(algorithms, workload_factory, algorithm_kwargs)
     return TrialRunner.aggregate(outcomes)

@@ -53,6 +53,10 @@ class ParameterSweep:
     chunk_size:
         Streaming chunk size for spec-shipped workloads (memory/batching knob
         only; never changes the generated stream).
+    backend:
+        Serve backend shipped inside every payload (``"array"``,
+        ``"python"`` or ``None``/``"auto"``); a throughput knob only, results
+        are bit-identical across backends.
     """
 
     def __init__(
@@ -67,6 +71,7 @@ class ParameterSweep:
         algorithm_kwargs: Optional[Dict[str, dict]] = None,
         n_jobs: int = 1,
         chunk_size: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if not points:
             raise ExperimentError("a sweep needs at least one parameter point")
@@ -84,6 +89,7 @@ class ParameterSweep:
         if chunk_size is not None:
             check_chunk_size(int(chunk_size))
         self.chunk_size = chunk_size
+        self.backend = backend
 
     def _point_columns(self) -> List[str]:
         columns: List[str] = []
@@ -119,6 +125,7 @@ class ParameterSweep:
                 n_trials=self.n_trials,
                 base_seed=self.base_seed,
                 chunk_size=self.chunk_size,
+                backend=self.backend,
             )
             sources = runner.trial_sources(
                 lambda seed, _point=point: self.workload_factory(_point, seed)

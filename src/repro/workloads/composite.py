@@ -15,7 +15,7 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.exceptions import WorkloadError
 from repro.types import ElementId
-from repro.workloads.base import WorkloadGenerator, check_chunk_size
+from repro.workloads.base import WorkloadGenerator, check_as_array, check_chunk_size
 from repro.workloads.spec import (
     DEFAULT_CHUNK_SIZE,
     WorkloadSpec,
@@ -76,16 +76,23 @@ class CombinedLocalityWorkload(WorkloadGenerator):
         return apply_temporal_locality(base, self.repeat_probability, self._rng)
 
     def iter_requests(
-        self, n_requests: int, chunk_size: int = DEFAULT_CHUNK_SIZE
+        self,
+        n_requests: int,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        as_array: bool = False,
     ) -> Iterator[List[ElementId]]:
         """Stream natively: Zipf chunks post-processed with the repeat rule,
-        carrying the previous request across chunk boundaries."""
+        carrying the previous request across chunk boundaries.  With
+        ``as_array=True`` the Zipf draws stay NumPy arrays end-to-end and the
+        repeat rule is applied as a vectorised forward fill."""
         self._check_length(n_requests)
         check_chunk_size(chunk_size)
+        check_as_array(as_array)
         yield from _repeat_postprocess_chunks(
-            self._zipf.iter_requests(n_requests, chunk_size),
+            self._zipf.iter_requests(n_requests, chunk_size, as_array=as_array),
             self.repeat_probability,
             self._rng,
+            as_array=as_array,
         )
 
     def to_spec(self) -> WorkloadSpec:

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence
 
+from repro.core import backend as _backend
 from repro.exceptions import WorkloadError
 from repro.types import ElementId
-from repro.workloads.base import WorkloadGenerator, check_chunk_size
+from repro.workloads.base import WorkloadGenerator, check_as_array, check_chunk_size
 from repro.workloads.spec import (
     DEFAULT_CHUNK_SIZE,
     WorkloadSpec,
@@ -112,7 +113,10 @@ class TemporalWorkload(WorkloadGenerator):
         )
 
     def iter_requests(
-        self, n_requests: int, chunk_size: int = DEFAULT_CHUNK_SIZE
+        self,
+        n_requests: int,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        as_array: bool = False,
     ) -> Iterator[List[ElementId]]:
         """Stream natively: the repeat decisions consume ``self._rng`` once per
         position after the first, so carrying the previous request across chunk
@@ -121,16 +125,19 @@ class TemporalWorkload(WorkloadGenerator):
         them chunk-wise does not change either stream."""
         self._check_length(n_requests)
         check_chunk_size(chunk_size)
+        check_as_array(as_array)
         if n_requests == 0:
             return
         if self._base is not None:
-            base_chunks = self._base.iter_requests(n_requests, chunk_size)
+            base_chunks = self._base.iter_requests(
+                n_requests, chunk_size, as_array=as_array
+            )
         else:
             base_chunks = UniformWorkload(
                 self.n_elements, seed=self._rng.randrange(2**63)
-            ).iter_requests(n_requests, chunk_size)
+            ).iter_requests(n_requests, chunk_size, as_array=as_array)
         yield from _repeat_postprocess_chunks(
-            base_chunks, self.repeat_probability, self._rng
+            base_chunks, self.repeat_probability, self._rng, as_array=as_array
         )
 
     def to_spec(self) -> Optional[WorkloadSpec]:
@@ -159,13 +166,19 @@ def _repeat_postprocess_chunks(
     chunks: Iterator[List[ElementId]],
     repeat_probability: float,
     rng,
+    as_array: bool = False,
 ) -> Iterator[List[ElementId]]:
     """Chunk-streaming twin of :func:`apply_temporal_locality`.
 
     Consumes one ``rng.random()`` per position except the very first of the
     whole stream, in stream order — the same draws in the same order as the
-    materialised helper.
+    materialised helper.  With ``as_array=True`` the incoming chunks are
+    NumPy arrays and the repeat rule is applied as a vectorised forward fill
+    (same draws, same values, ndarray out).
     """
+    if as_array:
+        yield from _repeat_postprocess_chunks_array(chunks, repeat_probability, rng)
+        return
     previous: Optional[ElementId] = None
     for chunk in chunks:
         result = list(chunk)
@@ -173,6 +186,46 @@ def _repeat_postprocess_chunks(
             if previous is not None and rng.random() < repeat_probability:
                 result[index] = previous
             previous = result[index]
+        yield result
+
+
+def _repeat_postprocess_chunks_array(
+    chunks: Iterator["object"],
+    repeat_probability: float,
+    rng,
+) -> Iterator["object"]:
+    """NumPy twin of :func:`_repeat_postprocess_chunks`.
+
+    The repeat decisions are still drawn one ``rng.random()`` per position
+    (identical stream to the scalar rule), but applying them is vectorised: a
+    repeat run copies the last kept value, which is exactly a forward fill of
+    the kept indices via a running maximum.
+    """
+    np = _backend.np
+    previous: Optional[int] = None
+    rng_random = rng.random
+    for chunk in chunks:
+        length = len(chunk)
+        if length == 0:
+            continue
+        # The very first position of the stream consumes no draw.
+        skip = 1 if previous is None else 0
+        repeat = np.empty(length, dtype=np.bool_)
+        repeat[:skip] = False
+        repeat[skip:] = (
+            np.fromiter(
+                (rng_random() for _ in range(length - skip)),
+                dtype=np.float64,
+                count=length - skip,
+            )
+            < repeat_probability
+        )
+        kept = np.where(~repeat, np.arange(length), -1)
+        np.maximum.accumulate(kept, out=kept)
+        result = chunk[np.maximum(kept, 0)]
+        if previous is not None:
+            result = np.where(kept >= 0, result, previous)
+        previous = int(result[-1])
         yield result
 
 

@@ -11,7 +11,12 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional
 
 from repro.types import ElementId
-from repro.workloads.base import WorkloadGenerator, check_chunk_size
+from repro.workloads.base import (
+    WorkloadGenerator,
+    check_as_array,
+    check_chunk_size,
+    chunk_to_array,
+)
 from repro.workloads.spec import DEFAULT_CHUNK_SIZE, WorkloadSpec, register_workload
 
 __all__ = ["UniformWorkload"]
@@ -33,17 +38,22 @@ class UniformWorkload(WorkloadGenerator):
         return [rng.randrange(n) for _ in range(n_requests)]
 
     def iter_requests(
-        self, n_requests: int, chunk_size: int = DEFAULT_CHUNK_SIZE
+        self,
+        n_requests: int,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        as_array: bool = False,
     ) -> Iterator[List[ElementId]]:
         """Stream natively: draws are sequential, so chunking is exact."""
         self._check_length(n_requests)
         check_chunk_size(chunk_size)
+        check_as_array(as_array)
         n = self.n_elements
         rng = self._rng
         remaining = n_requests
         while remaining > 0:
             count = min(chunk_size, remaining)
-            yield [rng.randrange(n) for _ in range(count)]
+            chunk = [rng.randrange(n) for _ in range(count)]
+            yield chunk_to_array(chunk) if as_array else chunk
             remaining -= count
 
     def to_spec(self) -> WorkloadSpec:

@@ -1,0 +1,308 @@
+"""Batch-vs-scalar and array-vs-python backend equivalence property tests.
+
+The array backend (typed-array placement + vectorised ``serve_batch``) is a
+pure throughput optimisation: for every registered algorithm, every registered
+workload kind, every chunking and both record modes, it must produce exactly
+the same final placement, ledger totals and per-request cost records as the
+canonical scalar python backend.  These tests pin that contract, including the
+chunk-boundary edge cases (chunk 1, chunk larger than the stream, uneven tail)
+and the simulated NumPy-less environment (typed arrays without vectorisation,
+plus the pure-Python Zipf sampler).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.registry import available_algorithms, make_algorithm
+from repro.core import backend as backend_mod
+from repro.core.cost import CostLedger
+from repro.exceptions import BackendError, CostAccountingError, WorkloadError
+from repro.workloads.spec import WorkloadSpec, build_workload
+
+N_NODES = 63
+N_REQUESTS = 300
+PLACEMENT_SEED = 11
+ALGORITHM_SEED = 13
+
+#: One spec per registered workload kind (universe size 63 throughout).
+WORKLOAD_SPECS = {
+    "uniform": WorkloadSpec.create("uniform", seed=5, n_elements=N_NODES),
+    "zipf": WorkloadSpec.create("zipf", seed=5, n_elements=N_NODES, exponent=1.4),
+    "temporal": WorkloadSpec.create(
+        "temporal",
+        seed=5,
+        n_elements=N_NODES,
+        repeat_probability=0.6,
+        base=WorkloadSpec.create("zipf", seed=6, n_elements=N_NODES, exponent=2.0),
+    ),
+    "combined-locality": WorkloadSpec.create(
+        "combined-locality",
+        seed=5,
+        n_elements=N_NODES,
+        zipf_exponent=1.4,
+        repeat_probability=0.5,
+    ),
+    "markov": WorkloadSpec.create(
+        "markov",
+        seed=5,
+        n_elements=N_NODES,
+        n_neighbours=4,
+        self_loop=0.3,
+        neighbour_probability=0.4,
+    ),
+    "mixture": WorkloadSpec.create(
+        "mixture",
+        seed=5,
+        n_elements=N_NODES,
+        components=(
+            WorkloadSpec.create("uniform", seed=7, n_elements=N_NODES),
+            WorkloadSpec.create("zipf", seed=8, n_elements=N_NODES, exponent=1.8),
+        ),
+        weights=(1.0, 2.0),
+    ),
+    "fixed-sequence": WorkloadSpec.create(
+        "fixed-sequence",
+        n_elements=N_NODES,
+        sequence=tuple((7 * i + 3) % N_NODES for i in range(N_REQUESTS)),
+    ),
+}
+
+#: Chunkings covering the edge cases: single-request chunks, an uneven tail
+#: (300 = 42 * 7 + 6), a power-of-two mid-size, and one chunk larger than the
+#: whole stream.
+CHUNK_SIZES = (1, 7, 64, N_REQUESTS + 1)
+
+
+def serve_outcome(algorithm, kind, backend, chunk_size, keep_records):
+    """Serve the workload stream and return every observable of the run."""
+    workload = build_workload(WORKLOAD_SPECS[kind])
+    as_array = backend == "array" and backend_mod.HAS_NUMPY
+    instance = make_algorithm(
+        algorithm,
+        n_nodes=N_NODES,
+        placement_seed=PLACEMENT_SEED,
+        seed=ALGORITHM_SEED,
+        keep_records=keep_records,
+        backend=backend,
+    )
+    result = instance.run_stream(
+        workload.iter_requests(N_REQUESTS, chunk_size, as_array=as_array)
+    )
+    network = instance.network
+    return {
+        "n_requests": result.n_requests,
+        "access": result.total_access_cost,
+        "adjustment": result.total_adjustment_cost,
+        "records": list(result.per_request),
+        "placement": network.placement(),
+        "rotor": list(network.rotor._pointers) if network.rotor is not None else None,
+    }
+
+
+@pytest.fixture(scope="module")
+def scalar_baselines():
+    """Canonical python-backend outcome per (algorithm, kind, keep_records)."""
+    baselines = {}
+    for algorithm in available_algorithms():
+        for kind in WORKLOAD_SPECS:
+            for keep_records in (False, True):
+                baselines[(algorithm, kind, keep_records)] = serve_outcome(
+                    algorithm, kind, "python", N_REQUESTS, keep_records
+                )
+    return baselines
+
+
+@pytest.mark.parametrize("kind", sorted(WORKLOAD_SPECS))
+@pytest.mark.parametrize("algorithm", available_algorithms())
+def test_array_backend_matches_scalar_python(algorithm, kind, scalar_baselines):
+    """Array backend == python backend for every chunking, totals-only mode."""
+    expected = scalar_baselines[(algorithm, kind, False)]
+    for chunk_size in CHUNK_SIZES:
+        outcome = serve_outcome(algorithm, kind, "array", chunk_size, False)
+        assert outcome == expected, (algorithm, kind, chunk_size)
+
+
+@pytest.mark.parametrize("kind", ["combined-locality", "fixed-sequence"])
+@pytest.mark.parametrize("algorithm", available_algorithms())
+def test_array_backend_matches_records_too(algorithm, kind, scalar_baselines):
+    """Per-request cost records are byte-identical across backends/chunkings."""
+    expected = scalar_baselines[(algorithm, kind, True)]
+    for chunk_size in (1, 7, N_REQUESTS + 1):
+        outcome = serve_outcome(algorithm, kind, "array", chunk_size, True)
+        assert outcome == expected, (algorithm, kind, chunk_size)
+
+
+@pytest.mark.parametrize("algorithm", available_algorithms())
+def test_python_backend_chunking_is_semantics_free(algorithm, scalar_baselines):
+    """Chunk size never changes python-backend results either."""
+    expected = scalar_baselines[(algorithm, "combined-locality", False)]
+    for chunk_size in CHUNK_SIZES:
+        outcome = serve_outcome(algorithm, "combined-locality", chunk_size=chunk_size,
+                                backend="python", keep_records=False)
+        assert outcome == expected, (algorithm, chunk_size)
+
+
+class TestServeBatchDirect:
+    """Direct serve_batch calls (outside run_stream) behave like serve()."""
+
+    def _pair(self, backend):
+        return (
+            make_algorithm(
+                "rotor-push",
+                n_nodes=N_NODES,
+                placement_seed=1,
+                keep_records=True,
+                backend=backend,
+            ),
+            make_algorithm(
+                "rotor-push",
+                n_nodes=N_NODES,
+                placement_seed=1,
+                keep_records=True,
+                backend="python",
+            ),
+        )
+
+    def test_empty_chunk_serves_nothing(self):
+        batched, _ = self._pair("array")
+        assert batched.serve_batch([]) == 0
+        assert batched.network.ledger.n_requests == 0
+
+    def test_batch_equals_request_by_request(self):
+        batched, scalar = self._pair("array")
+        requests = [3, 3, 41, 7, 7, 7, 0, 62, 41]
+        assert batched.serve_batch(requests) == len(requests)
+        for element in requests:
+            scalar.serve(element)
+        assert batched.network.placement() == scalar.network.placement()
+        assert batched.network.ledger.records == scalar.network.ledger.records
+
+    def test_out_of_range_element_rejects_whole_chunk(self):
+        from repro.exceptions import MappingError
+
+        if not backend_mod.HAS_NUMPY:
+            pytest.skip("up-front chunk validation is a vectorised-path contract")
+        batched, _ = self._pair("array")
+        before = batched.network.placement()
+        with pytest.raises(MappingError):
+            batched.serve_batch([1, 2, N_NODES, 3])
+        # the batch bounds check validates up front: nothing was served
+        assert batched.network.ledger.n_requests == 0
+        assert batched.network.placement() == before
+
+    def test_ndarray_chunk_on_python_backend(self):
+        if not backend_mod.HAS_NUMPY:
+            pytest.skip("ndarray chunks need NumPy")
+        np = backend_mod.np
+        batched, scalar = self._pair("python")
+        requests = [5, 5, 17, 30]
+        batched.serve_batch(np.asarray(requests))
+        for element in requests:
+            scalar.serve(element)
+        assert batched.network.ledger.records == scalar.network.ledger.records
+
+
+class TestWithoutNumPy:
+    """Simulated NumPy-less environment via the backend module flag."""
+
+    def test_auto_resolves_to_python(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "HAS_NUMPY", False)
+        assert backend_mod.resolve_backend(None) == "python"
+        assert backend_mod.resolve_backend("auto") == "python"
+        assert backend_mod.resolve_backend("array") == "array"
+
+    def test_as_array_transport_refused(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "HAS_NUMPY", False)
+        workload = build_workload(WORKLOAD_SPECS["uniform"])
+        with pytest.raises(WorkloadError):
+            next(workload.iter_requests(10, 4, as_array=True))
+
+    def test_typed_array_backend_still_serves_correctly(self, monkeypatch):
+        expected = serve_outcome("move-to-front", "uniform", "python", 64, True)
+        monkeypatch.setattr(backend_mod, "HAS_NUMPY", False)
+        outcome = serve_outcome("move-to-front", "uniform", "array", 64, True)
+        assert outcome == expected
+
+    def test_pure_python_zipf_sampler_is_deterministic(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "HAS_NUMPY", False)
+        workload = build_workload(WORKLOAD_SPECS["zipf"])
+        first = workload.generate(200)
+        rebuilt = build_workload(WORKLOAD_SPECS["zipf"])
+        streamed = [e for chunk in rebuilt.iter_requests(200, 9) for e in chunk]
+        assert first == streamed
+        assert all(0 <= element < N_NODES for element in first)
+        # reseed restores the pristine sampler state (cumulative CDF + perm)
+        rebuilt.reseed(5)
+        assert rebuilt.generate(200) == first
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(BackendError):
+            backend_mod.resolve_backend("fortran")
+        with pytest.raises(BackendError):
+            make_algorithm("rotor-push", n_nodes=N_NODES, backend="fortran")
+
+    def test_auto_picks_array_only_for_vectorised_algorithms(self):
+        if not backend_mod.HAS_NUMPY:
+            pytest.skip("auto resolves to python without NumPy")
+        vectorised = make_algorithm("rotor-push", n_nodes=N_NODES)
+        scalar_only = make_algorithm("max-push", n_nodes=N_NODES)
+        assert vectorised.network.backend == "array"
+        assert scalar_only.network.backend == "python"
+
+    def test_explicit_backend_is_honoured(self):
+        forced = make_algorithm("max-push", n_nodes=N_NODES, backend="array")
+        assert forced.network.backend == "array"
+
+    def test_network_copy_preserves_backend(self):
+        instance = make_algorithm("rotor-push", n_nodes=N_NODES, backend="array")
+        clone = instance.network.copy()
+        assert clone.backend == "array"
+        assert clone.placement() == instance.network.placement()
+
+
+class TestLedgerBatchAccounting:
+    def test_record_batch_totals(self):
+        ledger = CostLedger(keep_records=False)
+        ledger.record_batch(10, 25, 7)
+        assert ledger.n_requests == 10
+        assert ledger.total_access_cost == 25
+        assert ledger.total_adjustment_cost == 7
+
+    def test_record_batch_refuses_to_drop_records(self):
+        ledger = CostLedger(keep_records=True)
+        with pytest.raises(CostAccountingError):
+            ledger.record_batch(3, 5, 0)
+
+    def test_record_batch_refuses_negative_totals(self):
+        ledger = CostLedger(keep_records=False)
+        with pytest.raises(CostAccountingError):
+            ledger.record_batch(3, -1, 0)
+
+    def test_record_batch_columns_matches_individual_records(self):
+        batched = CostLedger(keep_records=True)
+        batched.record_batch_columns([4, 2, 9], [1, 0, 3], [2, 0, 5])
+        scalar = CostLedger(keep_records=True)
+        for element, level, swaps in [(4, 1, 2), (2, 0, 0), (9, 3, 5)]:
+            scalar.record_request(element, level, swaps)
+        assert batched.records == scalar.records
+        assert batched.snapshot_totals() == scalar.snapshot_totals()
+
+    def test_record_batch_columns_default_swaps_are_zero(self):
+        ledger = CostLedger(keep_records=True)
+        ledger.record_batch_columns([1, 2], [2, 4])
+        assert ledger.total_adjustment_cost == 0
+        assert [record.adjustment_cost for record in ledger.records] == [0, 0]
+
+    def test_record_batch_columns_rejects_ragged_columns(self):
+        ledger = CostLedger(keep_records=False)
+        with pytest.raises(CostAccountingError):
+            ledger.record_batch_columns([1, 2], [0])
+
+    def test_record_batch_while_open_raises(self):
+        ledger = CostLedger(keep_records=False)
+        ledger.open_request(1, 0)
+        with pytest.raises(CostAccountingError):
+            ledger.record_batch(1, 1, 0)

@@ -1,0 +1,151 @@
+"""Backend knob across the runner/sweep/pool plumbing.
+
+The ``backend`` choice travels inside every :class:`TrialPayload` and is
+resolved in the worker, so a parallel run on the array backend must be
+bit-identical to a serial run on the python backend — the backend is a pure
+throughput knob at every fan-out width.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import backend as backend_mod
+from repro.sim.runner import TrialRunner, compare_algorithms
+from repro.sim.sweep import ParameterSweep
+from repro.workloads.composite import CombinedLocalityWorkload
+
+ALGORITHMS = ["rotor-push", "random-push", "max-push", "static-oblivious"]
+N_NODES = 63
+N_REQUESTS = 400
+N_TRIALS = 2
+
+
+def factory(seed: int) -> CombinedLocalityWorkload:
+    return CombinedLocalityWorkload(N_NODES, 1.4, 0.5, seed=seed)
+
+
+def aggregates(backend, n_jobs, chunk_size=None):
+    outcome = compare_algorithms(
+        ALGORITHMS,
+        factory,
+        n_nodes=N_NODES,
+        n_requests=N_REQUESTS,
+        n_trials=N_TRIALS,
+        n_jobs=n_jobs,
+        chunk_size=chunk_size,
+        backend=backend,
+    )
+    return {
+        name: (
+            outcome[name].access_cost,
+            outcome[name].adjustment_cost,
+            outcome[name].total_cost,
+        )
+        for name in ALGORITHMS
+    }
+
+
+class TestBackendAcrossJobs:
+    def test_backends_and_job_counts_are_bit_identical(self):
+        reference = aggregates("python", n_jobs=1)
+        for backend in ("python", "array", None):
+            for n_jobs in (1, 4):
+                assert aggregates(backend, n_jobs) == reference, (backend, n_jobs)
+
+    def test_chunk_size_and_backend_compose(self):
+        reference = aggregates("python", n_jobs=1)
+        assert aggregates("array", n_jobs=4, chunk_size=37) == reference
+
+    def test_payloads_carry_the_backend(self):
+        runner = TrialRunner(
+            n_nodes=N_NODES,
+            n_requests=N_REQUESTS,
+            n_trials=N_TRIALS,
+            backend="array",
+        )
+        sources = runner.trial_sources(factory)
+        payloads = runner.build_payloads(ALGORITHMS, sources)
+        assert all(payload.backend == "array" for payload in payloads)
+
+    def test_runner_rejects_unknown_backend_eagerly(self):
+        from repro.exceptions import BackendError
+
+        with pytest.raises(BackendError):
+            TrialRunner(
+                n_nodes=N_NODES, n_requests=10, n_trials=1, backend="fortran"
+            )
+
+    def test_worker_passes_auto_through_unresolved(self, monkeypatch):
+        """A None backend must reach make_algorithm unresolved so its
+        per-algorithm auto-detection (python for max-push, array for
+        rotor-push) still applies inside pool workers."""
+        import repro.sim.runner as runner_mod
+        from repro.sim.runner import SpecSource, TrialPayload, _execute_trial
+        from repro.workloads.spec import WorkloadSpec
+
+        seen = {}
+        original = runner_mod.simulate_stream
+
+        def spy(name, chunks, **kwargs):
+            seen[name] = kwargs.get("backend")
+            return original(name, chunks, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "simulate_stream", spy)
+        spec = WorkloadSpec.create("uniform", seed=1, n_elements=N_NODES)
+        for algorithm in ("max-push", "rotor-push"):
+            _execute_trial(
+                TrialPayload(
+                    algorithm=algorithm,
+                    source=SpecSource(spec, 50),
+                    n_nodes=N_NODES,
+                    placement_seed=1,
+                    algorithm_seed=2,
+                    keep_records=False,
+                    trial=0,
+                )
+            )
+        assert seen == {"max-push": None, "rotor-push": None}
+
+
+class TestSweepBackend:
+    def test_sweep_results_identical_across_backends(self):
+        def sweep_table(backend, n_jobs):
+            sweep = ParameterSweep(
+                points=[{"p": 0.2}, {"p": 0.8}],
+                workload_factory=lambda point, seed: CombinedLocalityWorkload(
+                    N_NODES, 1.4, float(point["p"]), seed=seed
+                ),
+                algorithms=["rotor-push", "move-to-front"],
+                n_nodes=N_NODES,
+                n_requests=N_REQUESTS,
+                n_trials=N_TRIALS,
+                n_jobs=n_jobs,
+                backend=backend,
+            )
+            return sweep.run().rows
+
+        # sweeps flatten to the same payload list; only the backend differs
+        reference = sweep_table("python", 1)
+        assert sweep_table("array", 1) == reference
+        assert sweep_table("array", 4) == reference
+
+
+class TestSharedSourceMemo:
+    def test_shared_chunks_memo_keys_on_transport(self):
+        """List-chunk and array-chunk variants of one source must not collide."""
+        if not backend_mod.HAS_NUMPY:
+            pytest.skip("array transport needs NumPy")
+        from repro.sim.runner import SpecSource, _chunks_of, _shared_chunks_cache
+
+        spec = factory(3).to_spec()
+        source = SpecSource(spec, 50, 16, shared=True)
+        try:
+            as_lists = _chunks_of(source, as_array=False)
+            as_arrays = _chunks_of(source, as_array=True)
+            assert all(isinstance(chunk, list) for chunk in as_lists)
+            assert all(
+                isinstance(chunk, backend_mod.np.ndarray) for chunk in as_arrays
+            )
+        finally:
+            _shared_chunks_cache.clear()

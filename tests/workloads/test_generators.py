@@ -116,8 +116,9 @@ class TestZipf:
             ZipfWorkload(10, 0.0)
 
     def test_probabilities_sum_to_one(self):
+        # plain sum() works for both the NumPy vector and the list fallback
         probabilities = zipf_probabilities(100, 1.5)
-        assert probabilities.sum() == pytest.approx(1.0)
+        assert sum(probabilities) == pytest.approx(1.0)
 
     def test_probabilities_are_decreasing(self):
         probabilities = zipf_probabilities(50, 1.2)
