@@ -40,6 +40,7 @@ import pickle
 
 from repro.algorithms.registry import make_algorithm
 from repro.core import backend as backend_mod
+from repro.plans import RunConfig
 from repro.sim.runner import TrialRunner, compare_algorithms, execute_payloads
 from repro.workloads.composite import CombinedLocalityWorkload
 
@@ -194,9 +195,9 @@ def bench_parallel(n_nodes: int, n_requests: int, n_trials: int) -> dict:
             algorithms,
             factory,
             n_nodes=n_nodes,
-            n_requests=n_requests,
-            n_trials=n_trials,
-            n_jobs=n_jobs,
+            config=RunConfig(
+                n_requests=n_requests, n_trials=n_trials, n_jobs=n_jobs
+            ),
         )
         return time.perf_counter() - start, aggregated
 

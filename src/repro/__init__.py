@@ -18,7 +18,10 @@ Salem, Sama, Schmid and Schmidt.  The library provides:
 * a reconfigurable-datacenter substrate composing per-source trees into a
   bounded-degree multi-source network (:mod:`repro.network`);
 * experiment harnesses reproducing every figure and table of the paper's
-  evaluation (:mod:`repro.experiments`) and a command line (``repro``).
+  evaluation (:mod:`repro.experiments`) and a command line (``repro``);
+* a declarative plan layer (:mod:`repro.plans`): immutable, JSON
+  round-trippable descriptions of whole experiments, executed through the
+  single entrypoint :func:`repro.run`.
 
 Quickstart::
 
@@ -29,12 +32,27 @@ Quickstart::
     algorithm = make_algorithm("rotor-push", n_nodes=255, placement_seed=1)
     result = algorithm.run(workload.generate(10_000))
     print(result.average_total_cost)
+
+Declarative quickstart::
+
+    import repro
+    from repro import RunConfig, TrialPlan, WorkloadSpec
+
+    plan = TrialPlan(
+        n_nodes=255,
+        workload=WorkloadSpec.create("zipf", n_elements=255, exponent=1.6),
+        algorithms=("rotor-push", "static-oblivious"),
+        config=RunConfig(n_requests=10_000, n_trials=3),
+    )
+    table = repro.run(plan)          # == repro.run(repro.plans.loads(json))
+    print(table.format_text())
 """
 
 from repro.algorithms import (
     ALGORITHMS,
     PAPER_ALGORITHMS,
     SELF_ADJUSTING_ALGORITHMS,
+    AlgorithmSpec,
     MaxPush,
     MoveHalf,
     MoveToFrontTree,
@@ -70,17 +88,22 @@ from repro.workloads import (
     MarkovWorkload,
     TemporalWorkload,
     UniformWorkload,
+    WorkloadSpec,
     ZipfWorkload,
 )
+from repro import plans
+from repro.plans import ExperimentPlan, RunConfig, SweepPlan, TrialPlan, run
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "AlgorithmSpec",
     "CombinedLocalityWorkload",
     "CompleteBinaryTree",
     "CorpusWorkload",
     "CostLedger",
+    "ExperimentPlan",
     "MarkovWorkload",
     "MaxPush",
     "MoveHalf",
@@ -94,16 +117,20 @@ __all__ = [
     "ResultTable",
     "RotorPush",
     "RotorState",
+    "RunConfig",
     "RunResult",
     "SELF_ADJUSTING_ALGORITHMS",
     "SingleSourceTreeNetwork",
     "StaticOblivious",
     "StaticOpt",
+    "SweepPlan",
     "TemporalWorkload",
     "TrafficTrace",
     "TreeNetwork",
+    "TrialPlan",
     "TrialRunner",
     "UniformWorkload",
+    "WorkloadSpec",
     "ZipfWorkload",
     "__version__",
     "available_algorithms",
@@ -111,7 +138,9 @@ __all__ = [
     "empirical_competitive_ratio",
     "empirical_entropy",
     "make_algorithm",
+    "plans",
     "ranks_of_sequence",
+    "run",
     "simulate",
     "trace_complexity",
     "working_set_bound",

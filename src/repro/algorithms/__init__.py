@@ -26,6 +26,7 @@ from repro.algorithms.registry import (
     ALGORITHMS,
     PAPER_ALGORITHMS,
     SELF_ADJUSTING_ALGORITHMS,
+    AlgorithmSpec,
     available_algorithms,
     get_algorithm_class,
     make_algorithm,
@@ -36,6 +37,7 @@ from repro.algorithms.static_opt import StaticOpt, frequency_placement
 
 __all__ = [
     "ALGORITHMS",
+    "AlgorithmSpec",
     "LevelLRUIndex",
     "MaxPush",
     "MoveHalf",

@@ -1,4 +1,4 @@
-"""Algorithm registry and factory.
+"""Algorithm registry, declarative algorithm specs and the factory.
 
 Experiments refer to algorithms by their registry name (the short labels used
 in the paper's figures): ``rotor-push``, ``random-push``, ``move-half``,
@@ -6,11 +6,18 @@ in the paper's figures): ``rotor-push``, ``random-push``, ``move-half``,
 ``move-to-front``.  This module maps those names to classes and offers a
 one-call factory that builds an algorithm instance on a fresh tree with the
 paper's random initial placement.
+
+:class:`AlgorithmSpec` is the algorithm half of the declarative plan layer
+(:mod:`repro.plans`): an immutable, hashable ``{name, params}`` pair that is
+validated against this registry at construction, mirrors
+:class:`repro.workloads.spec.WorkloadSpec` on the workload side, and is what
+:class:`repro.sim.runner.TrialPayload` ships across process boundaries.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Type
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Type, Union
 
 from repro.algorithms.base import OnlineTreeAlgorithm
 from repro.algorithms.max_push import MaxPush
@@ -26,6 +33,7 @@ __all__ = [
     "ALGORITHMS",
     "PAPER_ALGORITHMS",
     "SELF_ADJUSTING_ALGORITHMS",
+    "AlgorithmSpec",
     "available_algorithms",
     "get_algorithm_class",
     "make_algorithm",
@@ -76,8 +84,93 @@ def get_algorithm_class(name: str) -> Type[OnlineTreeAlgorithm]:
         ) from None
 
 
+def _freeze(value: object) -> object:
+    """Recursively convert ``value`` into an immutable, hashable equivalent.
+
+    A verbatim copy of the canonical ``_freeze`` in
+    :mod:`repro.workloads.spec` (lists/tuples become tuples, dictionaries
+    become sorted ``(key, value)`` tuples, scalars pass through), kept local
+    because the algorithms package must not import workloads —
+    :mod:`repro.workloads.adversarial` imports algorithm modules, so the
+    reverse import would create a package cycle.  Any change must land in
+    both places; the plan round-trip tests pin the shared behaviour.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    return value
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Immutable description of an algorithm choice: ``{name, params}``.
+
+    ``name`` must be a registered algorithm name — unknown names raise
+    :class:`~repro.exceptions.AlgorithmError` *at construction*, naming the
+    bad key and listing every registered algorithm.  ``params`` holds extra
+    constructor keyword arguments (e.g. ``exact_swaps``) as a sorted tuple of
+    ``(name, value)`` pairs so that equal specs compare and hash equal.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        get_algorithm_class(self.name)  # validates eagerly, error lists names
+        frozen = _freeze(dict(self.params))
+        if frozen != self.params:
+            object.__setattr__(self, "params", frozen)
+
+    @classmethod
+    def create(cls, name: str, **params: object) -> "AlgorithmSpec":
+        """Build a spec from keyword parameters, freezing mutable values."""
+        return cls(name=name, params=_freeze(params))
+
+    @classmethod
+    def coerce(cls, value: Union[str, "AlgorithmSpec"]) -> "AlgorithmSpec":
+        """Return ``value`` as a spec (bare registry names are wrapped)."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(name=value)
+        raise AlgorithmError(
+            f"expected an algorithm name or AlgorithmSpec, got {value!r}"
+        )
+
+    def param_dict(self) -> Dict[str, object]:
+        """Return the parameters as a plain dictionary."""
+        return dict(self.params)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-friendly representation."""
+
+        def thaw(value: object) -> object:
+            if isinstance(value, tuple):
+                return [thaw(item) for item in value]
+            return value
+
+        return {"name": self.name, "params": {k: thaw(v) for k, v in self.params}}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "AlgorithmSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or equivalent JSON)."""
+        if not isinstance(data, dict) or not isinstance(data.get("name"), str):
+            raise AlgorithmError(f"not an algorithm-spec document: {data!r}")
+        params = data.get("params") or {}
+        if not isinstance(params, dict):
+            raise AlgorithmError(
+                f"algorithm spec params must be an object, got {params!r}"
+            )
+        return cls.create(data["name"], **params)
+
+    def build(self, **factory_kwargs) -> OnlineTreeAlgorithm:
+        """Construct the described algorithm (shorthand for :func:`make_algorithm`)."""
+        return make_algorithm(self, **factory_kwargs)
+
+
 def make_algorithm(
-    name: str,
+    name: Union[str, AlgorithmSpec],
     n_nodes: Optional[int] = None,
     depth: Optional[int] = None,
     placement_seed: Optional[int] = None,
@@ -92,7 +185,9 @@ def make_algorithm(
     Parameters
     ----------
     name:
-        Registry name (see :data:`ALGORITHMS`).
+        Registry name (see :data:`ALGORITHMS`) or an :class:`AlgorithmSpec`,
+        whose params become constructor keyword arguments (explicit ``kwargs``
+        win over spec params on a clash).
     n_nodes, depth:
         Tree size; give exactly one of the two.
     placement_seed:
@@ -110,6 +205,9 @@ def make_algorithm(
     kwargs:
         Forwarded to the algorithm constructor (e.g. ``exact_swaps``).
     """
+    if isinstance(name, AlgorithmSpec):
+        kwargs = {**name.param_dict(), **kwargs}
+        name = name.name
     cls = get_algorithm_class(name)
     if seed is not None and cls is RandomPush:
         kwargs = dict(kwargs, seed=seed)

@@ -4,10 +4,14 @@ Installed as the ``repro`` console script (also runnable via
 ``python -m repro``).  Subcommands:
 
 ``list``
-    List the registered algorithms and experiment scales.
+    List the registered algorithms, experiment scales and golden plans.
 ``demo``
     Run a small comparison of all algorithms on a combined-locality workload
-    and print the cost table.
+    and print the cost table (internally: a :class:`repro.plans.TrialPlan`).
+``run``
+    Execute a declarative experiment plan — a JSON file or a shipped golden
+    plan name (``q1`` … ``q5``, ``smoke``).  The ``--jobs``/``--chunk-size``/
+    ``--backend`` flags override the plan document's run shape (CLI wins).
 ``experiment``
     Run one named experiment (``q1`` ... ``q5``, ``table1`` or ``all``) at a
     chosen scale, print the resulting tables and optionally write CSV files.
@@ -23,6 +27,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.algorithms.registry import PAPER_ALGORITHMS, available_algorithms
+from repro.exceptions import ReproError
 from repro.experiments import (
     SCALES,
     generate_report,
@@ -35,11 +40,19 @@ from repro.experiments import (
     run_table1,
 )
 from repro.experiments.plotting import histogram_chart
+from repro.plans import (
+    RunConfig,
+    TrialPlan,
+    golden_plan_names,
+    load,
+    load_golden_plan,
+    plan_with_overrides,
+)
+from repro.plans.execute import run as run_plan
 from repro.sim.results import ResultTable
-from repro.sim.runner import compare_algorithms
-from repro.workloads.composite import CombinedLocalityWorkload
+from repro.workloads.spec import WorkloadSpec
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "resolve_run_plan"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,7 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
             help=backend_help,
         )
 
-    subparsers.add_parser("list", help="list algorithms and experiment scales")
+    subparsers.add_parser("list", help="list algorithms, scales and golden plans")
 
     demo = subparsers.add_parser("demo", help="run a quick algorithm comparison")
     demo.add_argument("--nodes", type=int, default=255, help="tree size (2**k - 1)")
@@ -99,6 +112,22 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--jobs", type=jobs_type, default=1, help=jobs_help)
     demo.add_argument("--chunk-size", type=chunk_type, default=None, help=chunk_help)
     add_backend_argument(demo)
+
+    run = subparsers.add_parser(
+        "run",
+        help="execute a declarative experiment plan (JSON file or golden name)",
+    )
+    run.add_argument(
+        "plan",
+        help=(
+            "path to a plan JSON file, or the name of a shipped golden plan "
+            "(see 'repro list')"
+        ),
+    )
+    run.add_argument("--csv-dir", default=None, help="directory for CSV exports")
+    run.add_argument("--jobs", type=jobs_type, default=None, help=jobs_help)
+    run.add_argument("--chunk-size", type=chunk_type, default=None, help=chunk_help)
+    add_backend_argument(run)
 
     experiment = subparsers.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument(
@@ -132,6 +161,25 @@ def _print_table(table: ResultTable, csv_dir: Optional[str]) -> None:
         print()
 
 
+def _print_result(result: object, csv_dir: Optional[str]) -> None:
+    """Print any plan result: tables, stage dicts, the Q4 histogram pair."""
+    if isinstance(result, ResultTable):
+        _print_table(result, csv_dir)
+        return
+    if isinstance(result, dict):
+        for value in result.values():
+            _print_result(value, csv_dir)
+        return
+    if isinstance(result, tuple) and len(result) == 2 and isinstance(result[1], dict):
+        histogram, summary = result
+        print(histogram_chart("per-request cost difference", histogram))
+        if "mean_difference" in summary:
+            print(f"mean difference: {summary['mean_difference']:+.5f}")
+        print()
+        return
+    print(result)
+
+
 def _command_list() -> int:
     print("Algorithms:")
     for name in available_algorithms():
@@ -145,32 +193,67 @@ def _command_list() -> int:
             f"  {name:8s} nodes={scale.n_nodes:6d} requests={scale.n_requests:8d} "
             f"trials={scale.n_trials}"
         )
+    print()
+    print("Golden plans (repro run <name>):")
+    for name in golden_plan_names():
+        print(f"  {name}")
     return 0
 
 
 def _command_demo(args: argparse.Namespace) -> int:
-    aggregated = compare_algorithms(
-        PAPER_ALGORITHMS,
-        lambda seed: CombinedLocalityWorkload(args.nodes, args.zipf, args.repeat, seed=seed),
+    plan = TrialPlan(
+        name="demo",
         n_nodes=args.nodes,
-        n_requests=args.requests,
-        n_trials=args.trials,
+        workload=WorkloadSpec.create(
+            "combined-locality",
+            n_elements=args.nodes,
+            zipf_exponent=args.zipf,
+            repeat_probability=args.repeat,
+        ),
+        algorithms=tuple(PAPER_ALGORITHMS),
+        config=RunConfig(
+            n_requests=args.requests,
+            n_trials=args.trials,
+            n_jobs=args.jobs,
+            chunk_size=args.chunk_size,
+            backend=args.backend,
+        ),
+    )
+    print(run_plan(plan).format_text())
+    return 0
+
+
+def resolve_run_plan(args: argparse.Namespace):
+    """Resolve the ``run`` subcommand's plan with CLI overrides applied.
+
+    The positional argument names either a JSON file (when the path exists)
+    or a shipped golden plan.  Flags given on the command line override the
+    plan document's run shape, recursively over nested stages — the override
+    precedence is "CLI wins", pinned by the CLI tests.
+    """
+    path = Path(args.plan)
+    if path.is_file():
+        plan = load(path)
+    else:
+        plan = load_golden_plan(args.plan)
+    return plan_with_overrides(
+        plan,
         n_jobs=args.jobs,
         chunk_size=args.chunk_size,
         backend=args.backend,
     )
-    table = ResultTable(
-        name="demo",
-        columns=["algorithm", "mean_access_cost", "mean_adjustment_cost", "mean_total_cost"],
-    )
-    for name, outcome in aggregated.items():
-        table.add_row(
-            algorithm=name,
-            mean_access_cost=outcome.mean_access_cost,
-            mean_adjustment_cost=outcome.mean_adjustment_cost,
-            mean_total_cost=outcome.mean_total_cost,
-        )
-    print(table.format_text())
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    try:
+        plan = resolve_run_plan(args)
+        result = run_plan(plan)
+    except ReproError as error:
+        # malformed documents, unknown registry names, unsatisfiable
+        # backends, bad run shapes — all surface as one clean message
+        print(f"repro run: {error}", file=sys.stderr)
+        return 2
+    _print_result(result, args.csv_dir)
     return 0
 
 
@@ -229,6 +312,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_list()
     if args.command == "demo":
         return _command_demo(args)
+    if args.command == "run":
+        return _command_run(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "report":

@@ -46,6 +46,7 @@ __all__ = [
     "BACKENDS",
     "BackendError",
     "resolve_backend",
+    "require_backend_available",
     "vectorise_active",
     "node_levels_view",
     "as_request_array",
@@ -75,6 +76,28 @@ def resolve_backend(backend: Optional[str]) -> str:
             f"{', '.join(BACKENDS)} or 'auto'"
         )
     return backend
+
+
+def require_backend_available(backend: Optional[str]) -> str:
+    """Resolve ``backend`` and require that its fast path can actually run.
+
+    The declarative plan layer uses this instead of :func:`resolve_backend`:
+    a plan that pins ``backend="array"`` is asking for the vectorised serve
+    path, and silently running it on the scalar loops (which is what bare
+    ``"array"`` without NumPy means for low-level callers) would make the
+    plan's recorded configuration a lie.  Raises :class:`BackendError` up
+    front — before any payload is built or served — when the request cannot
+    be satisfied in this environment.  ``None``/``"auto"`` never raise; they
+    adapt to whatever is available.
+    """
+    resolved = resolve_backend(backend)
+    if backend == BACKEND_ARRAY and not HAS_NUMPY:
+        raise BackendError(
+            "backend 'array' was requested but NumPy is not importable, so the "
+            "vectorised batch-serve path is unavailable; use backend='python' "
+            "or 'auto' (auto falls back to the scalar loops automatically)"
+        )
+    return resolved
 
 
 def vectorise_active(backend: str) -> bool:

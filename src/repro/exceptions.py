@@ -75,6 +75,15 @@ class ExperimentError(ReproError):
     """Raised when an experiment or benchmark harness is configured incorrectly."""
 
 
+class PlanError(ReproError):
+    """Raised for invalid experiment plans (see :mod:`repro.plans`).
+
+    Covers malformed plan documents (missing keys, wrong types), plans that
+    reference unknown algorithm or workload registry names, and plan-level
+    configuration conflicts.  Environment-level problems (e.g. a backend that
+    cannot run here) keep their dedicated exception types."""
+
+
 class BackendError(ReproError):
     """Raised for unknown serve-backend names or unsatisfiable backend requests.
 

@@ -10,16 +10,46 @@ One module per research question / figure:
 * :mod:`repro.experiments.table1_properties` - Table 1 and the analytical
   results (Lemma 8, Theorem 7) checked empirically;
 * :mod:`repro.experiments.report` - runs everything and writes EXPERIMENTS.md.
+
+Every experiment is a declarative plan: the ``build_*_plan`` functions return
+:class:`repro.plans.ExperimentPlan` / :class:`repro.plans.SweepPlan` objects
+(pure data, JSON round-trippable — the shipped golden copies live under
+``src/repro/experiments/plans/``), and the ``run_*`` functions execute those
+plans through :func:`repro.run`.  Importing this package also registers the
+experiment-specific plan assemblers (``q1_panel``, ``q4_wireframe``,
+``q4_histogram``, ``q5_complexity_map``, ``q5_costs``, ``table1``).
 """
 
 from repro.experiments.config import SCALES, ExperimentScale, get_scale
-from repro.experiments.q1_network_size import run_q1, run_q1_spatial, run_q1_temporal
-from repro.experiments.q2_temporal import run_q2
-from repro.experiments.q3_spatial import run_q3
-from repro.experiments.q4_combined import run_q4_histogram, run_q4_wireframe
-from repro.experiments.q5_corpus import run_q5, run_q5_complexity_map, run_q5_costs
+from repro.experiments.q1_network_size import (
+    build_q1_plan,
+    build_q1_spatial_plan,
+    build_q1_temporal_plan,
+    run_q1,
+    run_q1_spatial,
+    run_q1_temporal,
+)
+from repro.experiments.q2_temporal import build_q2_plan, run_q2
+from repro.experiments.q3_spatial import build_q3_plan, run_q3
+from repro.experiments.q4_combined import (
+    build_q4_histogram_plan,
+    build_q4_plan,
+    build_q4_wireframe_plan,
+    run_q4,
+    run_q4_histogram,
+    run_q4_wireframe,
+)
+from repro.experiments.q5_corpus import (
+    build_q5_complexity_plan,
+    build_q5_costs_plan,
+    build_q5_plan,
+    run_q5,
+    run_q5_complexity_map,
+    run_q5_costs,
+)
 from repro.experiments.report import generate_report, render_report, run_all_experiments
 from repro.experiments.table1_properties import (
+    build_table1_plan,
     run_mtf_lower_bound,
     run_potential_check,
     run_table1,
@@ -30,6 +60,18 @@ from repro.experiments.table1_properties import (
 __all__ = [
     "ExperimentScale",
     "SCALES",
+    "build_q1_plan",
+    "build_q1_spatial_plan",
+    "build_q1_temporal_plan",
+    "build_q2_plan",
+    "build_q3_plan",
+    "build_q4_histogram_plan",
+    "build_q4_plan",
+    "build_q4_wireframe_plan",
+    "build_q5_complexity_plan",
+    "build_q5_costs_plan",
+    "build_q5_plan",
+    "build_table1_plan",
     "generate_report",
     "get_scale",
     "render_report",
@@ -41,6 +83,7 @@ __all__ = [
     "run_q1_temporal",
     "run_q2",
     "run_q3",
+    "run_q4",
     "run_q4_histogram",
     "run_q4_wireframe",
     "run_q5",

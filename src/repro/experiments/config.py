@@ -22,9 +22,10 @@ which is itself one of the paper's Q1 findings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.exceptions import ExperimentError
+from repro.plans.model import RunConfig
 
 __all__ = ["ExperimentScale", "SCALES", "get_scale"]
 
@@ -76,6 +77,32 @@ class ExperimentScale:
     )
     corpus_scale: float = 1.0
     base_seed: int = 42
+
+    def run_config(
+        self,
+        n_requests: Optional[int] = None,
+        n_trials: Optional[int] = None,
+        keep_records: bool = False,
+        n_jobs: int = 1,
+        chunk_size: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> RunConfig:
+        """Return this scale's run shape as a :class:`repro.plans.RunConfig`.
+
+        The bridge between the scale table and the plan layer: every q1–q5
+        plan builder derives its stage configs from here, overriding only
+        what the experiment itself varies (e.g. the per-size request count
+        of the Q1 sweep).
+        """
+        return RunConfig(
+            n_requests=self.n_requests if n_requests is None else n_requests,
+            n_trials=self.n_trials if n_trials is None else n_trials,
+            base_seed=self.base_seed,
+            keep_records=keep_records,
+            n_jobs=n_jobs,
+            chunk_size=chunk_size,
+            backend=backend,
+        )
 
 
 SCALES: Dict[str, ExperimentScale] = {

@@ -7,6 +7,13 @@ demand-oblivious static tree on high-locality sequences - temporal locality
 *difference* of each self-adjusting algorithm's average total cost minus
 Static-Oblivious's average total cost.  Negative values mean self-adjustment
 pays off; the paper's finding is that the benefit grows with the tree size.
+
+The experiment is a declarative plan: :func:`build_q1_plan` (and the
+per-panel builders) return :class:`repro.plans.ExperimentPlan` objects — one
+:class:`repro.plans.TrialPlan` stage per tree size plus the ``q1_panel``
+assembler registered here, which turns the per-size aggregates into the
+difference table.  ``run_q1*`` are thin wrappers executing those plans via
+:func:`repro.run`.
 """
 
 from __future__ import annotations
@@ -14,15 +21,19 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.algorithms.registry import SELF_ADJUSTING_ALGORITHMS, StaticOblivious
-from repro.experiments.config import ExperimentScale, get_scale
+from repro.exceptions import PlanError
+from repro.experiments.config import get_scale
+from repro.plans import ExperimentPlan, TrialPlan
+from repro.plans.execute import StageResult, register_assembler, run as run_plan
 from repro.sim.results import ResultTable
-from repro.sim.runner import TrialRunner
-from repro.workloads.temporal import TemporalWorkload
-from repro.workloads.zipf import ZipfWorkload
+from repro.workloads.spec import WorkloadSpec
 
 __all__ = [
     "Q1_TEMPORAL_P",
     "Q1_ZIPF_A",
+    "build_q1_plan",
+    "build_q1_temporal_plan",
+    "build_q1_spatial_plan",
     "run_q1",
     "run_q1_temporal",
     "run_q1_spatial",
@@ -36,54 +47,85 @@ Q1_ZIPF_A = 2.2
 
 _BASELINE = StaticOblivious.name
 
+_Q1_COLUMNS = [
+    "tree_size",
+    "locality",
+    "algorithm",
+    "mean_total_cost",
+    "baseline_total_cost",
+    "difference",
+]
 
-def _run_size_sweep(
-    scale: ExperimentScale,
+
+def _size_sweep_plan(
+    scale: str,
     locality: str,
     table_name: str,
-    n_jobs: int = 1,
-    chunk_size: Optional[int] = None,
-    backend: Optional[str] = None,
-) -> ResultTable:
-    """Shared implementation for both Q1 panels."""
-    algorithms = list(SELF_ADJUSTING_ALGORITHMS) + [_BASELINE]
-    table = ResultTable(
-        name=table_name,
-        columns=[
-            "tree_size",
-            "locality",
-            "algorithm",
-            "mean_total_cost",
-            "baseline_total_cost",
-            "difference",
-        ],
-    )
-    for tree_size in scale.q1_sizes:
-        n_requests = min(scale.n_requests, max(1_000, tree_size * 20))
-        runner = TrialRunner(
-            n_nodes=tree_size,
-            n_requests=n_requests,
-            n_trials=scale.n_trials,
-            base_seed=scale.base_seed,
-            n_jobs=n_jobs,
-            chunk_size=chunk_size,
-            backend=backend,
-        )
-
+    n_jobs: int,
+    chunk_size: Optional[int],
+    backend: Optional[str],
+) -> ExperimentPlan:
+    """Build one Q1 panel: a TrialPlan per tree size + the panel assembler."""
+    config = get_scale(scale)
+    algorithms = tuple(SELF_ADJUSTING_ALGORITHMS) + (_BASELINE,)
+    stages = []
+    for tree_size in config.q1_sizes:
+        n_requests = min(config.n_requests, max(1_000, tree_size * 20))
         if locality == "temporal":
-            def factory(seed: int, _size: int = tree_size) -> TemporalWorkload:
-                return TemporalWorkload(_size, Q1_TEMPORAL_P, seed=seed)
-
+            workload = WorkloadSpec.create(
+                "temporal", n_elements=tree_size, repeat_probability=Q1_TEMPORAL_P
+            )
         else:
-            def factory(seed: int, _size: int = tree_size) -> ZipfWorkload:
-                return ZipfWorkload(_size, Q1_ZIPF_A, seed=seed)
+            workload = WorkloadSpec.create(
+                "zipf", n_elements=tree_size, exponent=Q1_ZIPF_A
+            )
+        stages.append(
+            (
+                str(tree_size),
+                TrialPlan(
+                    n_nodes=tree_size,
+                    workload=workload,
+                    algorithms=algorithms,
+                    config=config.run_config(
+                        n_requests=n_requests,
+                        n_jobs=n_jobs,
+                        chunk_size=chunk_size,
+                        backend=backend,
+                    ),
+                    name=f"{table_name}_size_{tree_size}",
+                ),
+            )
+        )
+    return ExperimentPlan.create(
+        name=table_name,
+        stages=tuple(stages),
+        assembler="q1_panel",
+        params={
+            "locality": locality,
+            "baseline": _BASELINE,
+            "algorithms": tuple(SELF_ADJUSTING_ALGORITHMS),
+        },
+    )
 
-        aggregated = TrialRunner.aggregate(runner.run(algorithms, factory))
-        baseline_cost = aggregated[_BASELINE].mean_total_cost
-        for algorithm in SELF_ADJUSTING_ALGORITHMS:
-            cost = aggregated[algorithm].mean_total_cost
+
+@register_assembler("q1_panel")
+def _assemble_q1_panel(plan: ExperimentPlan, stages: List[StageResult]) -> ResultTable:
+    """Turn per-size trial aggregates into the Figure 2 difference table."""
+    params = plan.param_dict()
+    baseline = str(params["baseline"])
+    algorithms = [str(name) for name in params["algorithms"]]
+    locality = params["locality"]
+    table = ResultTable(name=plan.name, columns=list(_Q1_COLUMNS))
+    for stage in stages:
+        if stage.aggregated is None:
+            raise PlanError(
+                f"assembler 'q1_panel' needs trial stages, got {stage.plan!r}"
+            )
+        baseline_cost = stage.aggregated[baseline].mean_total_cost
+        for algorithm in algorithms:
+            cost = stage.aggregated[algorithm].mean_total_cost
             table.add_row(
-                tree_size=tree_size,
+                tree_size=stage.plan.n_nodes,
                 locality=locality,
                 algorithm=algorithm,
                 mean_total_cost=cost,
@@ -93,6 +135,57 @@ def _run_size_sweep(
     return table
 
 
+def build_q1_temporal_plan(
+    scale: str = "tiny",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> ExperimentPlan:
+    """Build the Figure 2a plan (size sweep under temporal locality ``p = 0.9``)."""
+    return _size_sweep_plan(
+        scale,
+        "temporal",
+        "fig2a_network_size_temporal",
+        n_jobs=n_jobs,
+        chunk_size=chunk_size,
+        backend=backend,
+    )
+
+
+def build_q1_spatial_plan(
+    scale: str = "tiny",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> ExperimentPlan:
+    """Build the Figure 2b plan (size sweep under Zipf spatial locality ``a = 2.2``)."""
+    return _size_sweep_plan(
+        scale,
+        "spatial",
+        "fig2b_network_size_spatial",
+        n_jobs=n_jobs,
+        chunk_size=chunk_size,
+        backend=backend,
+    )
+
+
+def build_q1_plan(
+    scale: str = "tiny",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> ExperimentPlan:
+    """Build the full Q1 plan: both panels keyed by figure identifier."""
+    return ExperimentPlan.create(
+        name="q1_network_size",
+        stages=(
+            ("fig2a", build_q1_temporal_plan(scale, n_jobs, chunk_size, backend)),
+            ("fig2b", build_q1_spatial_plan(scale, n_jobs, chunk_size, backend)),
+        ),
+        assembler="tables",
+    )
+
+
 def run_q1_temporal(
     scale: str = "tiny",
     n_jobs: int = 1,
@@ -100,14 +193,7 @@ def run_q1_temporal(
     backend: Optional[str] = None,
 ) -> ResultTable:
     """Reproduce Figure 2a (size sweep under temporal locality ``p = 0.9``)."""
-    return _run_size_sweep(
-        get_scale(scale),
-        "temporal",
-        "fig2a_network_size_temporal",
-        n_jobs=n_jobs,
-        chunk_size=chunk_size,
-        backend=backend,
-    )
+    return run_plan(build_q1_temporal_plan(scale, n_jobs, chunk_size, backend))
 
 
 def run_q1_spatial(
@@ -117,14 +203,7 @@ def run_q1_spatial(
     backend: Optional[str] = None,
 ) -> ResultTable:
     """Reproduce Figure 2b (size sweep under Zipf spatial locality ``a = 2.2``)."""
-    return _run_size_sweep(
-        get_scale(scale),
-        "spatial",
-        "fig2b_network_size_spatial",
-        n_jobs=n_jobs,
-        chunk_size=chunk_size,
-        backend=backend,
-    )
+    return run_plan(build_q1_spatial_plan(scale, n_jobs, chunk_size, backend))
 
 
 def run_q1(
@@ -134,14 +213,7 @@ def run_q1(
     backend: Optional[str] = None,
 ) -> Dict[str, ResultTable]:
     """Run both Q1 panels and return them keyed by figure identifier."""
-    return {
-        "fig2a": run_q1_temporal(
-            scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
-        ),
-        "fig2b": run_q1_spatial(
-            scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
-        ),
-    }
+    return run_plan(build_q1_plan(scale, n_jobs, chunk_size, backend))
 
 
 def benefit_by_size(table: ResultTable, algorithm: str) -> List[float]:

@@ -15,11 +15,34 @@ from typing import Dict, List, Optional
 from repro.algorithms.registry import PAPER_ALGORITHMS
 from repro.analysis.entropy import empirical_entropy
 from repro.experiments.config import get_scale
+from repro.plans import SweepPlan
+from repro.plans.execute import run as run_plan
 from repro.sim.results import ResultTable
-from repro.sim.sweep import ParameterSweep
+from repro.workloads.spec import WorkloadSpec
 from repro.workloads.temporal import TemporalWorkload
 
-__all__ = ["run_q2", "series_for_plot", "sequence_entropies"]
+__all__ = ["build_q2_plan", "run_q2", "series_for_plot", "sequence_entropies"]
+
+
+def build_q2_plan(
+    scale: str = "tiny",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> SweepPlan:
+    """Build the Figure 3 plan: a ``p`` sweep of a temporal workload template."""
+    config = get_scale(scale)
+    return SweepPlan(
+        name="fig3_temporal_locality",
+        workload=WorkloadSpec.create("temporal", n_elements=config.n_nodes),
+        algorithms=tuple(PAPER_ALGORITHMS),
+        points=tuple({"p": float(p)} for p in config.temporal_probabilities),
+        bind={"p": "repeat_probability"},
+        n_nodes=config.n_nodes,
+        config=config.run_config(
+            n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
+        ),
+    )
 
 
 def run_q2(
@@ -29,22 +52,7 @@ def run_q2(
     backend: Optional[str] = None,
 ) -> ResultTable:
     """Run the Figure 3 sweep and return its data table."""
-    config = get_scale(scale)
-    sweep = ParameterSweep(
-        points=[{"p": probability} for probability in config.temporal_probabilities],
-        workload_factory=lambda point, seed: TemporalWorkload(
-            config.n_nodes, float(point["p"]), seed=seed
-        ),
-        algorithms=list(PAPER_ALGORITHMS),
-        n_nodes=config.n_nodes,
-        n_requests=config.n_requests,
-        n_trials=config.n_trials,
-        base_seed=config.base_seed,
-        n_jobs=n_jobs,
-        chunk_size=chunk_size,
-        backend=backend,
-    )
-    return sweep.run(table_name="fig3_temporal_locality")
+    return run_plan(build_q2_plan(scale, n_jobs, chunk_size, backend))
 
 
 def series_for_plot(table: ResultTable, metric: str = "mean_total_cost") -> Dict[str, List[float]]:

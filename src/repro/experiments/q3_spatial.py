@@ -16,11 +16,34 @@ from typing import Dict, List, Optional
 from repro.algorithms.registry import PAPER_ALGORITHMS
 from repro.analysis.entropy import empirical_entropy
 from repro.experiments.config import get_scale
+from repro.plans import SweepPlan
+from repro.plans.execute import run as run_plan
 from repro.sim.results import ResultTable
-from repro.sim.sweep import ParameterSweep
+from repro.workloads.spec import WorkloadSpec
 from repro.workloads.zipf import ZipfWorkload
 
-__all__ = ["run_q3", "series_for_plot", "sequence_entropies"]
+__all__ = ["build_q3_plan", "run_q3", "series_for_plot", "sequence_entropies"]
+
+
+def build_q3_plan(
+    scale: str = "tiny",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> SweepPlan:
+    """Build the Figure 4 plan: an ``a`` sweep of a Zipf workload template."""
+    config = get_scale(scale)
+    return SweepPlan(
+        name="fig4_spatial_locality",
+        workload=WorkloadSpec.create("zipf", n_elements=config.n_nodes),
+        algorithms=tuple(PAPER_ALGORITHMS),
+        points=tuple({"a": float(a)} for a in config.zipf_exponents),
+        bind={"a": "exponent"},
+        n_nodes=config.n_nodes,
+        config=config.run_config(
+            n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
+        ),
+    )
 
 
 def run_q3(
@@ -30,22 +53,7 @@ def run_q3(
     backend: Optional[str] = None,
 ) -> ResultTable:
     """Run the Figure 4 sweep and return its data table."""
-    config = get_scale(scale)
-    sweep = ParameterSweep(
-        points=[{"a": exponent} for exponent in config.zipf_exponents],
-        workload_factory=lambda point, seed: ZipfWorkload(
-            config.n_nodes, float(point["a"]), seed=seed
-        ),
-        algorithms=list(PAPER_ALGORITHMS),
-        n_nodes=config.n_nodes,
-        n_requests=config.n_requests,
-        n_trials=config.n_trials,
-        base_seed=config.base_seed,
-        n_jobs=n_jobs,
-        chunk_size=chunk_size,
-        backend=backend,
-    )
-    return sweep.run(table_name="fig4_spatial_locality")
+    return run_plan(build_q3_plan(scale, n_jobs, chunk_size, backend))
 
 
 def series_for_plot(table: ResultTable, metric: str = "mean_total_cost") -> Dict[str, List[float]]:

@@ -10,6 +10,16 @@ Reproduces the two panels of Figure 5:
   sequences.  The distribution concentrates sharply around zero with a mean of
   roughly ``-0.0003`` in the paper; the reproduction checks the same
   concentration and near-zero mean.
+
+Both panels are declarative plans.  The wireframe is a
+:class:`repro.plans.SweepPlan` over the ``(p, a)`` grid whose generic sweep
+table the ``q4_wireframe`` assembler reshapes into the difference table.  The
+histogram's payload structure is bespoke (paired Rotor/Random payloads
+serving the *same* uniform stream from the *same* initial placement, with
+their own seed derivation), so it ships as an assembler-only
+:class:`repro.plans.ExperimentPlan` whose ``q4_histogram`` assembler builds
+those payloads from the plan's config — through the same
+:func:`repro.sim.runner.execute_payloads` machinery as always.
 """
 
 from __future__ import annotations
@@ -17,14 +27,98 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.algorithms.registry import RotorPush, RandomPush, StaticOblivious
+from repro.exceptions import PlanError
 from repro.experiments.config import get_scale
+from repro.plans import ExperimentPlan, SweepPlan
+from repro.plans.execute import StageResult, register_assembler, run as run_plan
 from repro.sim.metrics import Histogram, histogram_of_differences, per_request_cost_difference
 from repro.sim.results import ResultTable
-from repro.sim.runner import SpecSource, TrialPayload, TrialRunner, execute_payloads
-from repro.workloads.composite import CombinedLocalityWorkload
+from repro.sim.runner import SpecSource, TrialPayload, execute_payloads
 from repro.workloads.spec import DEFAULT_CHUNK_SIZE, WorkloadSpec
 
-__all__ = ["run_q4_wireframe", "run_q4_histogram", "wireframe_grid"]
+__all__ = [
+    "build_q4_plan",
+    "build_q4_wireframe_plan",
+    "build_q4_histogram_plan",
+    "run_q4",
+    "run_q4_wireframe",
+    "run_q4_histogram",
+    "wireframe_grid",
+]
+
+
+def build_q4_wireframe_plan(
+    scale: str = "tiny",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> ExperimentPlan:
+    """Build the Figure 5a plan: a ``(p, a)`` grid sweep plus the reshaper."""
+    config = get_scale(scale)
+    algorithms = (RotorPush.name, StaticOblivious.name)
+    points = tuple(
+        {"p": float(p), "a": float(a)}
+        for p in config.q4_probabilities
+        for a in config.q4_exponents
+    )
+    sweep = SweepPlan(
+        name="fig5a_combined_locality_grid",
+        workload=WorkloadSpec.create("combined-locality", n_elements=config.n_nodes),
+        algorithms=algorithms,
+        points=points,
+        bind={"p": "repeat_probability", "a": "zipf_exponent"},
+        n_nodes=config.n_nodes,
+        config=config.run_config(
+            n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
+        ),
+    )
+    return ExperimentPlan.create(
+        name="fig5a_combined_locality",
+        stages=(("grid", sweep),),
+        assembler="q4_wireframe",
+        params={"rotor": RotorPush.name, "baseline": StaticOblivious.name},
+    )
+
+
+@register_assembler("q4_wireframe")
+def _assemble_q4_wireframe(
+    plan: ExperimentPlan, stages: List[StageResult]
+) -> ResultTable:
+    """Reshape the grid sweep's table into the Figure 5a difference table."""
+    if len(stages) != 1 or stages[0].table is None:
+        raise PlanError("assembler 'q4_wireframe' expects one sweep stage")
+    params = plan.param_dict()
+    rotor, baseline = str(params["rotor"]), str(params["baseline"])
+    costs: Dict[Tuple[float, float], Dict[str, float]] = {}
+    order: List[Tuple[float, float]] = []
+    for row in stages[0].table.rows:
+        point = (float(row["p"]), float(row["a"]))
+        if point not in costs:
+            costs[point] = {}
+            order.append(point)
+        costs[point][str(row["algorithm"])] = float(row["mean_total_cost"])
+    table = ResultTable(
+        name=plan.name,
+        columns=[
+            "p",
+            "a",
+            "rotor_total_cost",
+            "static_oblivious_total_cost",
+            "difference",
+        ],
+    )
+    for probability, exponent in order:
+        cell = costs[(probability, exponent)]
+        rotor_cost = cell[rotor]
+        static_cost = cell[baseline]
+        table.add_row(
+            p=probability,
+            a=exponent,
+            rotor_total_cost=rotor_cost,
+            static_oblivious_total_cost=static_cost,
+            difference=rotor_cost - static_cost,
+        )
+    return table
 
 
 def run_q4_wireframe(
@@ -40,56 +134,7 @@ def run_q4_wireframe(
     as specs and are streamed in the workers.  Results are bit-identical for
     every ``n_jobs``.
     """
-    config = get_scale(scale)
-    algorithms = [RotorPush.name, StaticOblivious.name]
-    table = ResultTable(
-        name="fig5a_combined_locality",
-        columns=[
-            "p",
-            "a",
-            "rotor_total_cost",
-            "static_oblivious_total_cost",
-            "difference",
-        ],
-    )
-    runner = TrialRunner(
-        n_nodes=config.n_nodes,
-        n_requests=config.n_requests,
-        n_trials=config.n_trials,
-        base_seed=config.base_seed,
-        chunk_size=chunk_size,
-        backend=backend,
-    )
-    all_payloads: List[TrialPayload] = []
-    cells: List[Tuple[float, float, List[TrialPayload]]] = []
-    for probability in config.q4_probabilities:
-        for exponent in config.q4_exponents:
-            sources = runner.trial_sources(
-                lambda seed, _p=probability, _a=exponent: CombinedLocalityWorkload(
-                    config.n_nodes, _a, _p, seed=seed
-                )
-            )
-            payloads = runner.build_payloads(algorithms, sources)
-            all_payloads.extend(payloads)
-            cells.append((probability, exponent, payloads))
-    all_results = execute_payloads(all_payloads, n_jobs)
-    cursor = 0
-    for probability, exponent, payloads in cells:
-        results = all_results[cursor : cursor + len(payloads)]
-        cursor += len(payloads)
-        aggregated = TrialRunner.aggregate(
-            TrialRunner.collect(algorithms, payloads, results)
-        )
-        rotor_cost = aggregated[RotorPush.name].mean_total_cost
-        static_cost = aggregated[StaticOblivious.name].mean_total_cost
-        table.add_row(
-            p=probability,
-            a=exponent,
-            rotor_total_cost=rotor_cost,
-            static_oblivious_total_cost=static_cost,
-            difference=rotor_cost - static_cost,
-        )
-    return table
+    return run_plan(build_q4_wireframe_plan(scale, n_jobs, chunk_size, backend))
 
 
 def wireframe_grid(table: ResultTable) -> Tuple[List[float], List[float], List[List[float]]]:
@@ -110,63 +155,83 @@ def wireframe_grid(table: ResultTable) -> Tuple[List[float], List[float], List[L
     return probabilities, exponents, grid
 
 
-def run_q4_histogram(
+def build_q4_histogram_plan(
     scale: str = "tiny",
-    n_sequences: int = None,
+    n_sequences: Optional[int] = None,
     n_jobs: int = 1,
     chunk_size: Optional[int] = None,
     backend: Optional[str] = None,
-) -> Tuple[Histogram, Dict[str, float]]:
-    """Run the Figure 5b comparison and return the histogram plus summary statistics.
-
-    Rotor-Push and Random-Push serve the *same* uniform sequences from the
-    *same* initial placements: both payloads of a pair carry the same
-    uniform-workload spec, so the workers regenerate identical streams.  With
-    ``n_jobs > 1`` the per-sequence simulations run on a process pool; the
-    histogram is identical for every ``n_jobs``.
-    """
+) -> ExperimentPlan:
+    """Build the Figure 5b plan (assembler-only: bespoke paired payloads)."""
     config = get_scale(scale)
+    return ExperimentPlan.create(
+        name="fig5b_rotor_vs_random",
+        assembler="q4_histogram",
+        params={
+            "n_nodes": config.n_nodes,
+            "n_sequences": n_sequences,
+            "rotor": RotorPush.name,
+            "random": RandomPush.name,
+        },
+        config=config.run_config(
+            keep_records=True, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
+        ),
+    )
+
+
+@register_assembler("q4_histogram")
+def _assemble_q4_histogram(
+    plan: ExperimentPlan, stages: List[StageResult]
+) -> Tuple[Histogram, Dict[str, float]]:
+    """Build, execute and fold the paired Rotor/Random payloads of Figure 5b."""
+    if stages:
+        raise PlanError("assembler 'q4_histogram' is assembler-only (no stages)")
+    if plan.config is None:
+        raise PlanError("assembler 'q4_histogram' needs the plan's config")
+    params = plan.param_dict()
+    config = plan.config
+    n_nodes = int(params["n_nodes"])
+    n_sequences = params.get("n_sequences")
     if n_sequences is None:
         n_sequences = max(2, config.n_trials)
+    n_sequences = int(n_sequences)
+    rotor, random_push = str(params["rotor"]), str(params["random"])
+    base_seed = config.base_seed
+    chunk = DEFAULT_CHUNK_SIZE if config.chunk_size is None else config.chunk_size
     payloads: List[TrialPayload] = []
     for index in range(n_sequences):
         spec = WorkloadSpec.create(
-            "uniform", seed=config.base_seed + index, n_elements=config.n_nodes
+            "uniform", seed=base_seed + index, n_elements=n_nodes
         )
         # both algorithms of the pair serve this stream: shared lets the
         # worker generate it once
-        source = SpecSource(
-            spec,
-            config.n_requests,
-            DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size,
-            shared=True,
-        )
-        placement_seed = config.base_seed + 500 + index
+        source = SpecSource(spec, config.n_requests, chunk, shared=True)
+        placement_seed = base_seed + 500 + index
         payloads.append(
             TrialPayload(
-                algorithm=RotorPush.name,
+                algorithm=rotor,
                 source=source,
-                n_nodes=config.n_nodes,
+                n_nodes=n_nodes,
                 placement_seed=placement_seed,
                 algorithm_seed=None,
                 keep_records=True,
                 trial=index,
-                backend=backend,
+                backend=config.backend,
             )
         )
         payloads.append(
             TrialPayload(
-                algorithm=RandomPush.name,
+                algorithm=random_push,
                 source=source,
-                n_nodes=config.n_nodes,
+                n_nodes=n_nodes,
                 placement_seed=placement_seed,
-                algorithm_seed=config.base_seed + 900 + index,
+                algorithm_seed=base_seed + 900 + index,
                 keep_records=True,
                 trial=index,
-                backend=backend,
+                backend=config.backend,
             )
         )
-    results = execute_payloads(payloads, n_jobs)
+    results = execute_payloads(payloads, config.n_jobs)
     differences: List[int] = []
     for pair_start in range(0, len(results), 2):
         rotor_result = results[pair_start]
@@ -182,3 +247,50 @@ def run_q4_histogram(
         "n_sequences": float(n_sequences),
     }
     return histogram, summary
+
+
+def run_q4_histogram(
+    scale: str = "tiny",
+    n_sequences: int = None,
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> Tuple[Histogram, Dict[str, float]]:
+    """Run the Figure 5b comparison and return the histogram plus summary statistics.
+
+    Rotor-Push and Random-Push serve the *same* uniform sequences from the
+    *same* initial placements: both payloads of a pair carry the same
+    uniform-workload spec, so the workers regenerate identical streams.  With
+    ``n_jobs > 1`` the per-sequence simulations run on a process pool; the
+    histogram is identical for every ``n_jobs``.
+    """
+    return run_plan(
+        build_q4_histogram_plan(scale, n_sequences, n_jobs, chunk_size, backend)
+    )
+
+
+def build_q4_plan(
+    scale: str = "tiny",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> ExperimentPlan:
+    """Build the full Q4 plan: wireframe and histogram keyed by figure."""
+    return ExperimentPlan.create(
+        name="q4_combined_locality",
+        stages=(
+            ("fig5a", build_q4_wireframe_plan(scale, n_jobs, chunk_size, backend)),
+            ("fig5b", build_q4_histogram_plan(scale, None, n_jobs, chunk_size, backend)),
+        ),
+        assembler="tables",
+    )
+
+
+def run_q4(
+    scale: str = "tiny",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run both Q4 panels and return them keyed by figure identifier."""
+    return run_plan(build_q4_plan(scale, n_jobs, chunk_size, backend))

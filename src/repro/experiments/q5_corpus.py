@@ -15,21 +15,43 @@ the deterministic synthetic five-book corpus
 (:mod:`repro.workloads.synthetic_text`); pass explicit
 :class:`repro.workloads.corpus.CorpusWorkload` objects (e.g. built from real
 files) to reproduce the original datasets exactly.
+
+The default (synthetic-corpus) experiments are declarative plans: the corpus
+is itself deterministic data derived from ``(n_books, corpus_scale)``, so the
+plans are assembler-only :class:`repro.plans.ExperimentPlan` objects carrying
+those parameters — corpus *traces* are data, not specs, and are rebuilt
+inside the assemblers.  Explicitly passed workloads keep the imperative path
+(they cannot be described by a plan document).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.registry import PAPER_ALGORITHMS
 from repro.analysis.complexity_map import trace_complexity
 from repro.analysis.entropy import locality_summary
+from repro.exceptions import PlanError
 from repro.experiments.config import get_scale
+from repro.plans import ExperimentPlan
+from repro.plans.execute import StageResult, register_assembler, run as run_plan
 from repro.sim.results import ResultTable
 from repro.sim.runner import SequenceSource, TrialPayload, execute_payloads
 from repro.workloads.corpus import CorpusWorkload, synthetic_corpus_workloads
 
-__all__ = ["corpus_for_scale", "run_q5_complexity_map", "run_q5_costs", "run_q5"]
+__all__ = [
+    "build_q5_plan",
+    "build_q5_complexity_plan",
+    "build_q5_costs_plan",
+    "corpus_for_scale",
+    "run_q5_complexity_map",
+    "run_q5_costs",
+    "run_q5",
+]
+
+#: Number of synthetic books in the default corpus.
+_N_BOOKS = 5
 
 
 def corpus_for_scale(
@@ -40,14 +62,32 @@ def corpus_for_scale(
     if workloads is not None:
         return list(workloads)
     config = get_scale(scale)
-    return synthetic_corpus_workloads(n_books=5, scale=config.corpus_scale)
+    return synthetic_corpus_workloads(n_books=_N_BOOKS, scale=config.corpus_scale)
 
 
-def run_q5_complexity_map(
-    scale: str = "tiny",
-    workloads: Optional[Sequence[CorpusWorkload]] = None,
-) -> ResultTable:
-    """Compute the Figure 6 complexity-map coordinates for every corpus dataset."""
+@lru_cache(maxsize=2)
+def _corpus_cache(n_books: int, corpus_scale: float) -> Tuple[CorpusWorkload, ...]:
+    """Build (once) the deterministic synthetic corpus for these parameters.
+
+    Memoised so the fig6 and fig7 assemblers of one ``run_q5`` pass share a
+    single corpus build, as the pre-plan implementation did.  Safe to share:
+    both consumers only read ``full_sequence()`` (pure trace data).
+    """
+    return tuple(synthetic_corpus_workloads(n_books=n_books, scale=corpus_scale))
+
+
+def _rebuild_corpus(params: Dict[str, object]) -> List[CorpusWorkload]:
+    """Return the deterministic synthetic corpus named by plan parameters."""
+    return list(
+        _corpus_cache(
+            int(params.get("n_books", _N_BOOKS)),
+            float(params.get("corpus_scale", 1.0)),
+        )
+    )
+
+
+def _complexity_table(workloads: Sequence[CorpusWorkload]) -> ResultTable:
+    """Compute the Figure 6 complexity-map coordinates for ``workloads``."""
     table = ResultTable(
         name="fig6_complexity_map",
         columns=[
@@ -59,7 +99,7 @@ def run_q5_complexity_map(
             "entropy_bits",
         ],
     )
-    for workload in corpus_for_scale(scale, workloads):
+    for workload in workloads:
         sequence = workload.full_sequence()
         point = trace_complexity(sequence, universe_size=workload.n_distinct)
         stats = locality_summary(sequence)
@@ -72,6 +112,128 @@ def run_q5_complexity_map(
             entropy_bits=stats["entropy_bits"],
         )
     return table
+
+
+def _costs_table(
+    workloads: Sequence[CorpusWorkload],
+    algorithms: Sequence[str],
+    limit: int,
+    base_seed: int,
+    n_jobs: int,
+    backend: Optional[str],
+) -> ResultTable:
+    """Run ``algorithms`` on every corpus dataset (Figure 7 data)."""
+    table = ResultTable(
+        name="fig7_corpus_costs",
+        columns=[
+            "dataset",
+            "algorithm",
+            "n_requests",
+            "tree_size",
+            "mean_access_cost",
+            "mean_adjustment_cost",
+            "mean_total_cost",
+        ],
+    )
+    payloads: List[TrialPayload] = []
+    for index, workload in enumerate(workloads):
+        # Corpus traces are data, not a recipe: ship the (truncated) sequence
+        # itself.  All algorithms on a dataset share one source object.
+        source = SequenceSource(tuple(workload.full_sequence()[:limit]))
+        for algorithm in algorithms:
+            payloads.append(
+                TrialPayload(
+                    algorithm=algorithm,
+                    source=source,
+                    n_nodes=workload.n_elements,
+                    placement_seed=base_seed,
+                    algorithm_seed=base_seed + 1,
+                    keep_records=False,
+                    trial=index,
+                    metadata={"dataset": workload.title},
+                    backend=backend,
+                )
+            )
+    results = execute_payloads(payloads, n_jobs)
+    for payload, result in zip(payloads, results):
+        table.add_row(
+            dataset=payload.metadata["dataset"],
+            algorithm=payload.algorithm_name,
+            n_requests=result.n_requests,
+            tree_size=payload.n_nodes,
+            mean_access_cost=result.average_access_cost,
+            mean_adjustment_cost=result.average_adjustment_cost,
+            mean_total_cost=result.average_total_cost,
+        )
+    return table
+
+
+def build_q5_complexity_plan(scale: str = "tiny") -> ExperimentPlan:
+    """Build the Figure 6 plan (assembler-only: pure trace analysis)."""
+    config = get_scale(scale)
+    return ExperimentPlan.create(
+        name="fig6_complexity_map",
+        assembler="q5_complexity_map",
+        params={"n_books": _N_BOOKS, "corpus_scale": config.corpus_scale},
+    )
+
+
+@register_assembler("q5_complexity_map")
+def _assemble_q5_complexity(
+    plan: ExperimentPlan, stages: List[StageResult]
+) -> ResultTable:
+    if stages:
+        raise PlanError("assembler 'q5_complexity_map' is assembler-only")
+    return _complexity_table(_rebuild_corpus(plan.param_dict()))
+
+
+def build_q5_costs_plan(
+    scale: str = "tiny",
+    algorithms: Optional[Sequence[str]] = None,
+    max_requests: Optional[int] = None,
+    n_jobs: int = 1,
+    backend: Optional[str] = None,
+) -> ExperimentPlan:
+    """Build the Figure 7 plan (assembler-only: trace-backed payloads)."""
+    config = get_scale(scale)
+    limit = max_requests if max_requests is not None else config.n_requests
+    return ExperimentPlan.create(
+        name="fig7_corpus_costs",
+        assembler="q5_costs",
+        params={
+            "n_books": _N_BOOKS,
+            "corpus_scale": config.corpus_scale,
+            "algorithms": tuple(algorithms or PAPER_ALGORITHMS),
+        },
+        config=config.run_config(n_requests=limit, n_jobs=n_jobs, backend=backend),
+    )
+
+
+@register_assembler("q5_costs")
+def _assemble_q5_costs(plan: ExperimentPlan, stages: List[StageResult]) -> ResultTable:
+    if stages:
+        raise PlanError("assembler 'q5_costs' is assembler-only")
+    if plan.config is None:
+        raise PlanError("assembler 'q5_costs' needs the plan's config")
+    params = plan.param_dict()
+    return _costs_table(
+        _rebuild_corpus(params),
+        [str(name) for name in params["algorithms"]],
+        limit=plan.config.n_requests,
+        base_seed=plan.config.base_seed,
+        n_jobs=plan.config.n_jobs,
+        backend=plan.config.backend,
+    )
+
+
+def run_q5_complexity_map(
+    scale: str = "tiny",
+    workloads: Optional[Sequence[CorpusWorkload]] = None,
+) -> ResultTable:
+    """Compute the Figure 6 complexity-map coordinates for every corpus dataset."""
+    if workloads is not None:
+        return _complexity_table(list(workloads))
+    return run_plan(build_q5_complexity_plan(scale))
 
 
 def run_q5_costs(
@@ -87,52 +249,43 @@ def run_q5_costs(
     The (dataset, algorithm) runs are independent; with ``n_jobs > 1`` they
     are fanned out over a process pool with bit-identical results.
     """
-    config = get_scale(scale)
-    algorithm_names = list(algorithms or PAPER_ALGORITHMS)
-    table = ResultTable(
-        name="fig7_corpus_costs",
-        columns=[
-            "dataset",
-            "algorithm",
-            "n_requests",
-            "tree_size",
-            "mean_access_cost",
-            "mean_adjustment_cost",
-            "mean_total_cost",
-        ],
-    )
-    limit = max_requests if max_requests is not None else config.n_requests
-    payloads: List[TrialPayload] = []
-    for index, workload in enumerate(corpus_for_scale(scale, workloads)):
-        # Corpus traces are data, not a recipe: ship the (truncated) sequence
-        # itself.  All algorithms on a dataset share one source object.
-        source = SequenceSource(tuple(workload.full_sequence()[:limit]))
-        for algorithm in algorithm_names:
-            payloads.append(
-                TrialPayload(
-                    algorithm=algorithm,
-                    source=source,
-                    n_nodes=workload.n_elements,
-                    placement_seed=config.base_seed,
-                    algorithm_seed=config.base_seed + 1,
-                    keep_records=False,
-                    trial=index,
-                    metadata={"dataset": workload.title},
-                    backend=backend,
-                )
-            )
-    results = execute_payloads(payloads, n_jobs)
-    for payload, result in zip(payloads, results):
-        table.add_row(
-            dataset=payload.metadata["dataset"],
-            algorithm=payload.algorithm,
-            n_requests=result.n_requests,
-            tree_size=payload.n_nodes,
-            mean_access_cost=result.average_access_cost,
-            mean_adjustment_cost=result.average_adjustment_cost,
-            mean_total_cost=result.average_total_cost,
+    if workloads is not None:
+        config = get_scale(scale)
+        limit = max_requests if max_requests is not None else config.n_requests
+        return _costs_table(
+            list(workloads),
+            list(algorithms or PAPER_ALGORITHMS),
+            limit=limit,
+            base_seed=config.base_seed,
+            n_jobs=n_jobs,
+            backend=backend,
         )
-    return table
+    return run_plan(
+        build_q5_costs_plan(scale, algorithms, max_requests, n_jobs, backend)
+    )
+
+
+def build_q5_plan(
+    scale: str = "tiny",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> ExperimentPlan:
+    """Build the full Q5 plan: complexity map and per-book costs.
+
+    ``chunk_size`` is accepted for interface uniformity with the other plan
+    builders; corpus traces cross the process boundary as data
+    (:class:`repro.sim.runner.SequenceSource`), so it has no effect here.
+    """
+    del chunk_size  # corpus traces ship as sequences; nothing streams
+    return ExperimentPlan.create(
+        name="q5_corpus",
+        stages=(
+            ("fig6", build_q5_complexity_plan(scale)),
+            ("fig7", build_q5_costs_plan(scale, n_jobs=n_jobs, backend=backend)),
+        ),
+        assembler="tables",
+    )
 
 
 def run_q5(
@@ -141,14 +294,5 @@ def run_q5(
     chunk_size: Optional[int] = None,
     backend: Optional[str] = None,
 ) -> Dict[str, ResultTable]:
-    """Run both Q5 analyses on the same corpus and return them keyed by figure.
-
-    ``chunk_size`` is accepted for interface uniformity with the other
-    experiment drivers; corpus traces cross the process boundary as data
-    (:class:`repro.sim.runner.SequenceSource`), so it has no effect here.
-    """
-    workloads = corpus_for_scale(scale)
-    return {
-        "fig6": run_q5_complexity_map(scale, workloads),
-        "fig7": run_q5_costs(scale, workloads, n_jobs=n_jobs, backend=backend),
-    }
+    """Run both Q5 analyses on the same corpus and return them keyed by figure."""
+    return run_plan(build_q5_plan(scale, n_jobs, chunk_size, backend))

@@ -14,10 +14,53 @@ from typing import Dict, Optional
 from repro.experiments import q1_network_size, q2_temporal, q3_spatial, q4_combined, q5_corpus
 from repro.experiments.config import get_scale
 from repro.experiments.plotting import heatmap, histogram_chart
-from repro.experiments.table1_properties import run_table1
+from repro.experiments.table1_properties import build_table1_plan
+from repro.plans.execute import run as run_plan
 from repro.sim.results import ResultTable
 
-__all__ = ["run_all_experiments", "render_report", "generate_report"]
+__all__ = [
+    "build_report_plans",
+    "run_all_experiments",
+    "render_report",
+    "generate_report",
+]
+
+
+def build_report_plans(
+    scale: str = "tiny",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> Dict[str, object]:
+    """Build the full evaluation as plans, keyed by figure/table identifier.
+
+    One declarative plan per report section — the exact objects
+    :func:`run_all_experiments` executes, exposed so callers can dump, diff
+    or reshape the whole evaluation as data.
+    """
+    return {
+        "fig2a": q1_network_size.build_q1_temporal_plan(
+            scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
+        ),
+        "fig2b": q1_network_size.build_q1_spatial_plan(
+            scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
+        ),
+        "fig3": q2_temporal.build_q2_plan(
+            scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
+        ),
+        "fig4": q3_spatial.build_q3_plan(
+            scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
+        ),
+        "fig5a": q4_combined.build_q4_wireframe_plan(
+            scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
+        ),
+        "fig5b": q4_combined.build_q4_histogram_plan(
+            scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
+        ),
+        "fig6": q5_corpus.build_q5_complexity_plan(scale),
+        "fig7": q5_corpus.build_q5_costs_plan(scale, n_jobs=n_jobs, backend=backend),
+        "table1": build_table1_plan(),
+    }
 
 
 def run_all_experiments(
@@ -30,35 +73,16 @@ def run_all_experiments(
 
     Returns a dictionary keyed by figure/table identifier; values are
     :class:`repro.sim.results.ResultTable` objects except for the Figure 5b
-    histogram, which is a ``(histogram, summary)`` tuple.  ``n_jobs`` fans the
-    independent trial runs of every experiment over a (persistent, reused)
-    process pool; ``chunk_size`` tunes the streaming chunk granularity of the
-    spec-shipped workloads; ``backend`` selects the serve backend in the
-    workers (a throughput knob — results are identical for every value).
+    histogram, which is a ``(histogram, summary)`` tuple.  Each entry is a
+    declarative plan (:func:`build_report_plans`) executed through
+    :func:`repro.run`; ``n_jobs``/``chunk_size``/``backend`` land in every
+    plan's :class:`repro.plans.RunConfig` (throughput/memory knobs only —
+    results are identical for every value).
     """
-    results: Dict[str, object] = {}
-    results.update(
-        q1_network_size.run_q1(
-            scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
-        )
-    )
-    results["fig3"] = q2_temporal.run_q2(
+    plans = build_report_plans(
         scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
     )
-    results["fig4"] = q3_spatial.run_q3(
-        scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
-    )
-    results["fig5a"] = q4_combined.run_q4_wireframe(
-        scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
-    )
-    results["fig5b"] = q4_combined.run_q4_histogram(
-        scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend
-    )
-    results.update(
-        q5_corpus.run_q5(scale, n_jobs=n_jobs, chunk_size=chunk_size, backend=backend)
-    )
-    results["table1"] = run_table1()
-    return results
+    return {key: run_plan(plan) for key, plan in plans.items()}
 
 
 def _table_markdown(table: ResultTable, float_digits: int = 3) -> str:

@@ -33,6 +33,8 @@ from repro.analysis.potential import (
     PotentialTracker,
 )
 from repro.analysis.working_set import max_working_set_violation, working_set_property_ratios
+from repro.plans import ExperimentPlan
+from repro.plans.execute import register_assembler
 from repro.sim.engine import simulate
 from repro.sim.results import ResultTable
 from repro.workloads.adversarial import (
@@ -45,6 +47,7 @@ from repro.workloads.uniform import UniformWorkload
 __all__ = [
     "KNOWN_COMPETITIVE_RATIOS",
     "WorkingSetViolationResult",
+    "build_table1_plan",
     "run_working_set_violation",
     "run_mtf_lower_bound",
     "run_ws_bound_ratios",
@@ -251,3 +254,30 @@ def run_table1(
             known_competitive_ratio=ratio if ratio is not None else "open",
         )
     return table
+
+
+def build_table1_plan(
+    adversary_depths: Optional[List[int]] = None,
+    n_nodes: int = 255,
+    n_requests: int = 5_000,
+) -> ExperimentPlan:
+    """Build the Table 1 plan (assembler-only: analytical checks, no sweeps)."""
+    return ExperimentPlan.create(
+        name="table1_properties",
+        assembler="table1",
+        params={
+            "adversary_depths": tuple(adversary_depths or (4, 6, 8)),
+            "n_nodes": n_nodes,
+            "n_requests": n_requests,
+        },
+    )
+
+
+@register_assembler("table1")
+def _assemble_table1(plan: ExperimentPlan, stages) -> ResultTable:
+    params = plan.param_dict()
+    return run_table1(
+        adversary_depths=[int(d) for d in params["adversary_depths"]],
+        n_nodes=int(params["n_nodes"]),
+        n_requests=int(params["n_requests"]),
+    )

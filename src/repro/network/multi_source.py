@@ -20,10 +20,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.core import backend as _backend
 from repro.core.cost import RequestCost
-from repro.exceptions import AlgorithmError
+from repro.exceptions import AlgorithmError, BackendError
 from repro.network.single_source import SingleSourceTreeNetwork
 from repro.network.traffic import TrafficTrace
+from repro.workloads.base import check_chunk_size
+from repro.workloads.spec import DEFAULT_CHUNK_SIZE
 
 __all__ = ["MultiSourceNetwork"]
 
@@ -45,6 +48,10 @@ class MultiSourceNetwork:
         and its algorithm randomness, so the network is fully reproducible.
     keep_records:
         Whether per-request cost records are retained inside each source tree.
+    backend:
+        Serve backend of every source tree (``"array"``, ``"python"`` or
+        ``None``/``"auto"``).  A throughput knob only — per-request costs,
+        placements and summaries are identical across backends.
     """
 
     def __init__(
@@ -54,27 +61,46 @@ class MultiSourceNetwork:
         algorithm: str = "rotor-push",
         base_seed: int = 0,
         keep_records: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         if n_nodes < 2:
             raise AlgorithmError("a multi-source network needs at least two nodes")
+        if backend is not None:
+            _backend.resolve_backend(backend)  # validate the name eagerly
         self.n_nodes = n_nodes
         self.algorithm_name = algorithm
+        self.base_seed = base_seed
+        self.keep_records = keep_records
+        self.backend = backend
         source_list = list(sources) if sources is not None else list(range(n_nodes))
         if not source_list:
             raise AlgorithmError("a multi-source network needs at least one source")
-        self._trees: Dict[int, SingleSourceTreeNetwork] = {}
         for source in source_list:
             if not 0 <= source < n_nodes:
                 raise AlgorithmError(f"source {source} outside [0, {n_nodes})")
-            destinations = [node for node in range(n_nodes) if node != source]
-            self._trees[source] = SingleSourceTreeNetwork(
+        self._source_list = source_list
+        self._trees: Dict[int, SingleSourceTreeNetwork] = {}
+        self._build_trees()
+
+    def _build_trees(self) -> None:
+        """(Re)build every source tree from the stored seeds and backend.
+
+        The initial placement depends only on the per-source seeds — never on
+        the backend, which selects storage and serve loops — so rebuilding
+        with a different backend reproduces bit-identical initial state.
+        """
+        self._trees = {
+            source: SingleSourceTreeNetwork(
                 source=source,
-                destinations=destinations,
-                algorithm=algorithm,
-                placement_seed=base_seed + source,
-                algorithm_seed=base_seed + 100_000 + source,
-                keep_records=keep_records,
+                destinations=[node for node in range(self.n_nodes) if node != source],
+                algorithm=self.algorithm_name,
+                placement_seed=self.base_seed + source,
+                algorithm_seed=self.base_seed + 100_000 + source,
+                keep_records=self.keep_records,
+                backend=self.backend,
             )
+            for source in self._source_list
+        }
 
     # -------------------------------------------------------------- properties
 
@@ -96,19 +122,56 @@ class MultiSourceNetwork:
         """Serve one communication request on the owning source tree."""
         return self.tree_of(source).serve(destination)
 
-    def serve_trace(self, trace: TrafficTrace) -> Dict[str, float]:
+    def serve_trace(
+        self,
+        trace: TrafficTrace,
+        backend: Optional[str] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Dict[str, float]:
         """Route a whole traffic trace and return network-wide cost statistics.
 
-        Requests are served strictly in trace order (each on its source's
-        tree); offline per-source preparation is not used here because the
-        trace is consumed online, mirroring the reconfigurable-network setting.
+        The trace is split into its per-source destination streams (each
+        source's requests keep their relative order) and every stream flows
+        through the owning tree's ``serve_batch`` dispatch in ``chunk_size``
+        chunks — the PR-3 serve fast path lifted to the multi-source
+        substrate.  Because the per-source trees are independent, this is
+        cost-identical to serving the interleaved trace request by request
+        through :meth:`serve`; per-tree record order, placements and all
+        summaries match exactly.
+
+        ``backend`` (``"array"``, ``"python"`` or ``None`` = keep the
+        network's) selects the serve backend for this pass.  A different
+        backend than the network was constructed with is honoured only while
+        the network is still pristine — the source trees are then rebuilt
+        from their seeds with bit-identical initial placements; once any
+        request has been served the tree state cannot be migrated and a
+        :class:`~repro.exceptions.BackendError` is raised.
         """
         if trace.n_nodes != self.n_nodes:
             raise AlgorithmError(
                 f"trace has {trace.n_nodes} nodes but the network has {self.n_nodes}"
             )
-        for request in trace:
-            self.serve(request.source, request.destination)
+        if backend is not None:
+            requested = _backend.resolve_backend(backend)
+            current = _backend.resolve_backend(self.backend)
+            if requested != current:
+                if any(tree.n_served for tree in self._trees.values()):
+                    raise BackendError(
+                        f"cannot switch serve backend to {backend!r} after "
+                        "requests were served; construct the MultiSourceNetwork "
+                        f"with backend={backend!r} instead"
+                    )
+                self.backend = backend
+                self._build_trees()
+        chunk = (
+            DEFAULT_CHUNK_SIZE
+            if chunk_size is None
+            else check_chunk_size(int(chunk_size))
+        )
+        for source, destinations in trace.per_source_sequences().items():
+            tree = self.tree_of(source)
+            for start in range(0, len(destinations), chunk):
+                tree.serve_batch(destinations[start : start + chunk])
         return self.cost_summary()
 
     # --------------------------------------------------------------- reporting

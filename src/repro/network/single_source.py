@@ -45,6 +45,10 @@ class SingleSourceTreeNetwork:
         randomness (Random-Push).
     keep_records:
         Whether to keep per-request cost records.
+    backend:
+        Serve backend of the underlying tree (``"array"``, ``"python"`` or
+        ``None``/``"auto"``, see :mod:`repro.core.backend`).  A throughput
+        knob only; costs are identical across backends.
     """
 
     def __init__(
@@ -55,6 +59,7 @@ class SingleSourceTreeNetwork:
         placement_seed: Optional[int] = None,
         algorithm_seed: Optional[int] = None,
         keep_records: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         if not destinations:
             raise AlgorithmError(f"source {source} has no destinations")
@@ -63,6 +68,7 @@ class SingleSourceTreeNetwork:
             raise AlgorithmError(f"source {source} cannot be its own destination")
         self.source = source
         self.algorithm_name = algorithm
+        self.backend = backend
         self._element_of: Dict[int, ElementId] = {
             destination: index for index, destination in enumerate(unique)
         }
@@ -76,6 +82,7 @@ class SingleSourceTreeNetwork:
             placement_seed=placement_seed,
             seed=algorithm_seed,
             keep_records=keep_records,
+            backend=backend,
         )
         self._served = 0
 
@@ -125,6 +132,21 @@ class SingleSourceTreeNetwork:
         record = self._tree_algorithm.serve(self.element_of(destination))
         self._served += 1
         return record
+
+    def serve_batch(self, destinations: Sequence[int]) -> int:
+        """Serve a destination chunk through the tree's batch dispatch.
+
+        The multi-source fast path: destinations are translated to elements
+        in bulk and handed to
+        :meth:`repro.algorithms.base.OnlineTreeAlgorithm.serve_batch`, which
+        vectorises on the array backend and runs the scalar fast loop
+        otherwise.  Costs, placements and records are identical to serving
+        the chunk one :meth:`serve` call at a time.
+        """
+        elements = [self.element_of(destination) for destination in destinations]
+        served = self._tree_algorithm.serve_batch(elements)
+        self._served += served
+        return served
 
     def serve_sequence(self, destinations: Sequence[int]) -> RunResult:
         """Serve a whole destination sequence and return the aggregated result.

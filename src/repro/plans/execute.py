@@ -1,0 +1,226 @@
+"""Plan execution: one entrypoint dispatching to the existing machinery.
+
+:func:`run` is the public face (re-exported as ``repro.run``): it takes any
+plan object — :class:`~repro.plans.model.TrialPlan`,
+:class:`~repro.plans.model.SweepPlan` or
+:class:`~repro.plans.model.ExperimentPlan` — validates that the environment
+can satisfy it (backend availability), and dispatches to the runner/sweep
+infrastructure that the imperative API has always used.  Nothing about the
+execution semantics is new: a plan run is bit-identical to the equivalent
+hand-written ``TrialRunner``/``ParameterSweep`` code, pinned by the
+golden-plan equivalence tests.
+
+Experiment plans additionally go through an *assembler*: a registered
+function that turns the executed stages into the experiment's output (the
+generic ``"table"``/``"tables"`` assemblers live here; the figure-specific
+ones are registered by the :mod:`repro.experiments` modules at import time
+and resolved lazily, mirroring the workload-kind registry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import PlanError
+from repro.plans.model import ExperimentPlan, Plan, SweepPlan, TrialPlan
+from repro.sim.results import ResultTable
+from repro.sim.runner import AggregatedOutcome, TrialRunner
+from repro.sim.sweep import ParameterSweep
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    "StageResult",
+    "register_assembler",
+    "registered_assemblers",
+    "run",
+]
+
+#: Columns of the table a bare :class:`TrialPlan` produces.
+TRIAL_TABLE_COLUMNS = [
+    "algorithm",
+    "mean_access_cost",
+    "mean_adjustment_cost",
+    "mean_total_cost",
+    "n_trials",
+]
+
+
+@dataclass
+class StageResult:
+    """What one executed stage hands to the enclosing assembler.
+
+    ``result`` is the stage's public output (what :func:`run` would have
+    returned for the stage's plan alone); ``table`` is that output when it is
+    a :class:`~repro.sim.results.ResultTable`; ``aggregated`` carries the
+    per-algorithm :class:`~repro.sim.runner.AggregatedOutcome` map for trial
+    stages, so assemblers (e.g. the Q1 difference table) work from the exact
+    aggregates instead of re-parsing rendered rows.
+    """
+
+    key: str
+    plan: Plan
+    result: object
+    table: Optional[ResultTable] = None
+    aggregated: Optional[Dict[str, AggregatedOutcome]] = None
+
+
+#: Registered experiment assemblers: name -> fn(plan, stages) -> result.
+_ASSEMBLERS: Dict[str, Callable[[ExperimentPlan, List[StageResult]], object]] = {}
+
+
+def register_assembler(name: str):
+    """Decorator registering an experiment assembler under ``name``."""
+
+    def decorate(fn):
+        _ASSEMBLERS[name] = fn
+        return fn
+
+    return decorate
+
+
+def registered_assemblers() -> List[str]:
+    """Return the sorted names of all registered assemblers."""
+    _ensure_experiment_assemblers()
+    return sorted(_ASSEMBLERS)
+
+
+def _ensure_experiment_assemblers() -> None:
+    """Import the experiment package once so its assemblers are registered."""
+    import repro.experiments  # noqa: F401  (imports register the assemblers)
+
+
+def _assembler(name: str):
+    fn = _ASSEMBLERS.get(name)
+    if fn is None:
+        _ensure_experiment_assemblers()
+        fn = _ASSEMBLERS.get(name)
+    if fn is None:
+        raise PlanError(
+            f"unknown assembler {name!r}; registered assemblers: "
+            f"{sorted(_ASSEMBLERS)}"
+        )
+    return fn
+
+
+@register_assembler("table")
+def _assemble_single_table(plan: ExperimentPlan, stages: List[StageResult]) -> object:
+    """Pass through the single stage's result."""
+    if len(stages) != 1:
+        raise PlanError(
+            f"assembler 'table' expects exactly one stage, plan {plan.name!r} "
+            f"has {len(stages)}"
+        )
+    return stages[0].result
+
+
+@register_assembler("tables")
+def _assemble_tables(plan: ExperimentPlan, stages: List[StageResult]) -> object:
+    """Return the stage results keyed by stage name (the q1/q4/q5 shape)."""
+    return {stage.key: stage.result for stage in stages}
+
+
+def _check_runnable(plan: Plan) -> None:
+    """Validate environment-dependent plan choices before any payload exists."""
+    if isinstance(plan, (TrialPlan, SweepPlan)):
+        plan.config.check_runnable()
+        return
+    if plan.config is not None:
+        plan.config.check_runnable()
+    for _key, sub in plan.stages:
+        _check_runnable(sub)
+
+
+def _execute_trial_plan(plan: TrialPlan, key: str = "") -> StageResult:
+    runner = TrialRunner(n_nodes=plan.n_nodes, config=plan.config)
+    names = plan.algorithm_names()
+    algorithm_kwargs = {
+        spec.name: spec.param_dict() for spec in plan.algorithms if spec.params
+    }
+    workload: WorkloadSpec = plan.workload
+
+    def factory(seed: int) -> WorkloadSpec:
+        return workload.with_seed(seed)
+
+    outcomes = runner.run(names, factory, algorithm_kwargs or None)
+    aggregated = TrialRunner.aggregate(outcomes)
+    table = ResultTable(name=plan.name, columns=list(TRIAL_TABLE_COLUMNS))
+    for name in names:
+        summary = aggregated[name]
+        table.add_row(
+            algorithm=name,
+            mean_access_cost=summary.mean_access_cost,
+            mean_adjustment_cost=summary.mean_adjustment_cost,
+            mean_total_cost=summary.mean_total_cost,
+            n_trials=summary.n_trials,
+        )
+    return StageResult(
+        key=key, plan=plan, result=table, table=table, aggregated=aggregated
+    )
+
+
+def _execute_sweep_plan(plan: SweepPlan, key: str = "") -> StageResult:
+    config = plan.config
+    bind = plan.bind_dict()
+    template = plan.workload
+    base_params = template.param_dict()
+
+    def factory(point: Dict[str, object], seed: int) -> WorkloadSpec:
+        params = dict(base_params)
+        for point_key, value in point.items():
+            target = bind.get(point_key)
+            if target is not None:
+                params[target] = value
+        return WorkloadSpec.create(template.kind, seed=seed, **params)
+
+    algorithm_kwargs = {
+        spec.name: spec.param_dict() for spec in plan.algorithms if spec.params
+    }
+    sweep = ParameterSweep(
+        points=plan.point_dicts(),
+        workload_factory=factory,
+        algorithms=plan.algorithm_names(),
+        n_nodes=plan.n_nodes,
+        algorithm_kwargs=algorithm_kwargs or None,
+        config=config,
+    )
+    table = sweep.run(table_name=plan.name)
+    return StageResult(key=key, plan=plan, result=table, table=table)
+
+
+def _execute_experiment_plan(plan: ExperimentPlan, key: str = "") -> StageResult:
+    stages = [_execute(sub, stage_key) for stage_key, sub in plan.stages]
+    result = _assembler(plan.assembler)(plan, stages)
+    table = result if isinstance(result, ResultTable) else None
+    return StageResult(key=key, plan=plan, result=result, table=table)
+
+
+def _execute(plan: Plan, key: str = "") -> StageResult:
+    if isinstance(plan, TrialPlan):
+        return _execute_trial_plan(plan, key)
+    if isinstance(plan, SweepPlan):
+        return _execute_sweep_plan(plan, key)
+    if isinstance(plan, ExperimentPlan):
+        return _execute_experiment_plan(plan, key)
+    raise PlanError(f"not a plan object: {plan!r}")
+
+
+def run(plan: Plan) -> object:
+    """Execute ``plan`` and return its result.
+
+    The one public entrypoint of the declarative layer (``repro.run``):
+
+    * a :class:`TrialPlan` returns a :class:`~repro.sim.results.ResultTable`
+      with one row per algorithm (mean per-request costs over the trials);
+    * a :class:`SweepPlan` returns the sweep's table (one row per point ×
+      algorithm), exactly as :class:`~repro.sim.sweep.ParameterSweep` built
+      it;
+    * an :class:`ExperimentPlan` returns whatever its assembler produces —
+      a table, a ``{stage key: result}`` dict (q1/q4/q5), or the Q4
+      ``(histogram, summary)`` pair.
+
+    Environment checks (backend availability) run first, so an unsatisfiable
+    plan fails with the dedicated error before anything is served.
+    """
+    _check_runnable(plan)
+    return _execute(plan).result

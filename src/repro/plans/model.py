@@ -1,0 +1,442 @@
+"""Immutable experiment-plan objects: specs all the way down.
+
+This module completes the declarative layer started by
+:class:`repro.workloads.spec.WorkloadSpec` (PR 2) and
+:class:`repro.algorithms.registry.AlgorithmSpec`: every knob of an experiment
+run — what to serve, on what tree, how many trials, how to parallelise —
+lives in a frozen, JSON round-trippable plan object, validated against the
+algorithm and workload registries *at construction*.  Experiments become
+shareable artifacts instead of imperative code:
+
+* :class:`RunConfig` — the run-shape half (trials, requests per trial, seed
+  policy, worker processes, streaming chunk size, serve backend, record
+  mode); the bundle that used to be threaded keyword-by-keyword through
+  ``TrialRunner`` → ``ParameterSweep`` → q1–q5 → CLI.
+* :class:`TrialPlan` — one multi-trial comparison: a workload template, a
+  tuple of algorithm specs, a tree size and a config.
+* :class:`SweepPlan` — a parameter sweep: a list of points, a binding from
+  point keys to workload-template parameters, algorithms and a config.
+* :class:`ExperimentPlan` — a named composition: sub-plans (trial, sweep or
+  nested experiment) plus a registered *assembler* that turns stage results
+  into the figure-specific output (difference tables, histograms, ...).
+
+Plans never hold RNG state or request data; executing one
+(:func:`repro.plans.run`) derives all seeds from ``config.base_seed`` exactly
+as the imperative runners always did, so a plan re-run — today, on another
+machine, after a JSON round-trip — reproduces results bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.algorithms.registry import AlgorithmSpec
+from repro.core import backend as _backend
+from repro.exceptions import ExperimentError, PlanError, WorkloadError
+from repro.sim.parallel import check_n_jobs
+from repro.workloads.base import check_chunk_size
+from repro.workloads.spec import WorkloadSpec, check_kind, freeze_params
+
+__all__ = [
+    "RunConfig",
+    "TrialPlan",
+    "SweepPlan",
+    "ExperimentPlan",
+    "Plan",
+    "plan_with_overrides",
+]
+
+
+# plan params freeze through the spec layer's canonical convention, so spec
+# and plan equality/hashing stay bit-compatible
+_freeze_params = freeze_params
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """The run-shape of an experiment: everything that is not *what* to run.
+
+    Attributes
+    ----------
+    n_requests:
+        Requests per trial.
+    n_trials:
+        Number of independent trials.
+    base_seed:
+        Root of the seed policy.  Trial ``i`` derives its workload seed as
+        ``base_seed + i``, its placement seed as ``base_seed + 10_000 + i``
+        and its algorithm seed as ``base_seed + 20_000 + i`` — the exact
+        derivation :class:`repro.sim.runner.TrialRunner` has always used, so
+        a plan pins results by pinning one integer.
+    keep_records:
+        Record mode: whether per-request cost records are retained
+        (memory-heavy at paper scale).
+    n_jobs:
+        Worker processes for the (trial, algorithm) fan-out; ``1`` = serial,
+        negative = all CPUs.  A throughput knob only — results are
+        bit-identical for every value.
+    chunk_size:
+        Streaming chunk size for spec-shipped workloads (``None`` = default);
+        a memory/batching knob only, never a semantics knob.
+    backend:
+        Serve backend: ``"array"``, ``"python"`` or ``None``/``"auto"``.
+        Validated as a *name* here; availability (``"array"`` needs NumPy for
+        its vectorised path) is checked when the plan runs, so plans authored
+        on one machine still load on another.
+    """
+
+    n_requests: int = 10_000
+    n_trials: int = 3
+    base_seed: int = 0
+    keep_records: bool = False
+    n_jobs: int = 1
+    chunk_size: Optional[int] = None
+    backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.n_trials <= 0:
+            raise PlanError(f"n_trials must be positive, got {self.n_trials}")
+        if self.n_requests < 0:
+            raise PlanError(
+                f"n_requests must be non-negative, got {self.n_requests}"
+            )
+        try:
+            check_n_jobs(self.n_jobs)
+            if self.chunk_size is not None:
+                check_chunk_size(int(self.chunk_size))
+        except (ExperimentError, WorkloadError) as error:
+            # plan documents fail with plan-level errors, whatever layer the
+            # delegated validator lives in
+            raise PlanError(str(error)) from None
+        _backend.resolve_backend(self.backend)  # name check only
+
+    def check_runnable(self) -> "RunConfig":
+        """Validate environment-dependent choices right before execution."""
+        _backend.require_backend_available(self.backend)
+        return self
+
+    def with_overrides(
+        self,
+        n_jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> "RunConfig":
+        """Return a copy with the given (non-``None``) knobs replaced."""
+        updates: Dict[str, object] = {}
+        if n_jobs is not None:
+            updates["n_jobs"] = n_jobs
+        if chunk_size is not None:
+            updates["chunk_size"] = chunk_size
+        if backend is not None:
+            updates["backend"] = backend
+        return replace(self, **updates) if updates else self
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-friendly representation."""
+        return {
+            "n_requests": self.n_requests,
+            "n_trials": self.n_trials,
+            "base_seed": self.base_seed,
+            "keep_records": self.keep_records,
+            "n_jobs": self.n_jobs,
+            "chunk_size": self.chunk_size,
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunConfig":
+        """Rebuild a config from :meth:`to_dict` output (or equivalent JSON)."""
+        if not isinstance(data, dict):
+            raise PlanError(f"not a run-config document: {data!r}")
+        known = {
+            "n_requests",
+            "n_trials",
+            "base_seed",
+            "keep_records",
+            "n_jobs",
+            "chunk_size",
+            "backend",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise PlanError(f"unknown run-config keys: {unknown}")
+        return cls(**data)
+
+
+def _coerce_algorithms(
+    algorithms: object, owner: str
+) -> Tuple[AlgorithmSpec, ...]:
+    """Normalise an algorithms field to a tuple of validated specs."""
+    if isinstance(algorithms, (str, AlgorithmSpec)):
+        algorithms = (algorithms,)
+    try:
+        specs = tuple(AlgorithmSpec.coerce(item) for item in algorithms)
+    except TypeError:
+        raise PlanError(
+            f"{owner}: algorithms must be an iterable of names/specs, "
+            f"got {algorithms!r}"
+        ) from None
+    if not specs:
+        raise PlanError(f"{owner}: a plan needs at least one algorithm")
+    seen: Dict[str, AlgorithmSpec] = {}
+    for spec in specs:
+        if spec.name in seen:
+            raise PlanError(
+                f"{owner}: duplicate algorithm {spec.name!r}; registry names "
+                "must be unique within one plan"
+            )
+        seen[spec.name] = spec
+    return specs
+
+
+def _check_workload_template(
+    workload: object, n_nodes: Optional[int], owner: str
+) -> WorkloadSpec:
+    """Validate a workload template against the registry and the tree size."""
+    if not isinstance(workload, WorkloadSpec):
+        raise PlanError(
+            f"{owner}: workload must be a WorkloadSpec, got {workload!r}"
+        )
+    check_kind(workload.kind)  # names the bad key and lists registered kinds
+    universe = workload.get("n_elements")
+    if n_nodes is not None and universe is not None and universe != n_nodes:
+        raise PlanError(
+            f"{owner}: workload universe {universe} does not match the plan "
+            f"tree size {n_nodes}"
+        )
+    return workload
+
+
+@dataclass(frozen=True)
+class TrialPlan:
+    """One multi-trial (workload × algorithms) comparison, as data.
+
+    ``workload`` is a seedless *template*: trial ``i`` runs on
+    ``workload.with_seed(config.base_seed + i)``, so all algorithms of a
+    trial see the same stream and the whole plan is reproducible from
+    ``config.base_seed`` alone.
+    """
+
+    n_nodes: int
+    workload: WorkloadSpec
+    algorithms: Tuple[AlgorithmSpec, ...]
+    config: RunConfig = RunConfig()
+    name: str = "trial"
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise PlanError(f"n_nodes must be positive, got {self.n_nodes}")
+        object.__setattr__(
+            self, "algorithms", _coerce_algorithms(self.algorithms, self._owner)
+        )
+        _check_workload_template(self.workload, self.n_nodes, self._owner)
+        if not isinstance(self.config, RunConfig):
+            raise PlanError(f"{self._owner}: config must be a RunConfig")
+
+    @property
+    def _owner(self) -> str:
+        return f"trial plan {self.name!r}"
+
+    def algorithm_names(self) -> List[str]:
+        """Return the registry names of the planned algorithms, in order."""
+        return [spec.name for spec in self.algorithms]
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """A parameter sweep over points, as data.
+
+    ``points`` is a tuple of frozen parameter points; ``bind`` maps point
+    keys onto workload-template parameter names (e.g. ``p ->
+    repeat_probability``), so the sweep stays declarative: the workload for a
+    point is the template with the bound parameters replaced and the
+    per-trial seed stamped on.  Unbound point keys (like ``n_nodes``, which
+    overrides the tree size per point) are structural and never reach the
+    workload constructor.
+    """
+
+    workload: WorkloadSpec
+    algorithms: Tuple[AlgorithmSpec, ...]
+    points: Tuple[Tuple[Tuple[str, object], ...], ...]
+    bind: Tuple[Tuple[str, str], ...] = ()
+    n_nodes: Optional[int] = None
+    config: RunConfig = RunConfig()
+    name: str = "sweep"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "algorithms", _coerce_algorithms(self.algorithms, self._owner)
+        )
+        points = self.points
+        try:
+            frozen_points = tuple(
+                point if isinstance(point, tuple) else _freeze_params(dict(point))
+                for point in points
+            )
+        except (TypeError, ValueError):
+            raise PlanError(
+                f"{self._owner}: points must be mappings of parameter values, "
+                f"got {points!r}"
+            ) from None
+        if not frozen_points:
+            raise PlanError(f"{self._owner}: a sweep needs at least one point")
+        object.__setattr__(self, "points", frozen_points)
+        bind = self.bind
+        if isinstance(bind, dict):
+            bind = tuple(sorted(bind.items()))
+        object.__setattr__(self, "bind", tuple(tuple(pair) for pair in bind))
+        for point_key, param in self.bind:
+            if not isinstance(point_key, str) or not isinstance(param, str):
+                raise PlanError(
+                    f"{self._owner}: bind entries must map point keys to "
+                    f"workload parameter names, got {(point_key, param)!r}"
+                )
+        # Cross-validate bind against points *at construction*, so a typo'd
+        # binding cannot pass eager validation and then fail (or silently
+        # sweep nothing) mid-run.  ``n_nodes`` is the one structural point
+        # key (it overrides the tree size per point, never a workload param).
+        point_keys = {key for point in self.points for key, _value in point}
+        bound_keys = {key for key, _param in self.bind}
+        dangling = sorted(bound_keys - point_keys)
+        if dangling:
+            raise PlanError(
+                f"{self._owner}: bind keys {dangling} appear in no sweep "
+                f"point; point keys are {sorted(point_keys)}"
+            )
+        unbound = sorted(point_keys - bound_keys - {"n_nodes"})
+        if unbound:
+            raise PlanError(
+                f"{self._owner}: point keys {unbound} are not bound to any "
+                "workload parameter — add them to bind (the structural "
+                "'n_nodes' key is the only exception)"
+            )
+        _check_workload_template(self.workload, None, self._owner)
+        if self.n_nodes is not None and self.n_nodes <= 0:
+            raise PlanError(f"n_nodes must be positive, got {self.n_nodes}")
+        if not isinstance(self.config, RunConfig):
+            raise PlanError(f"{self._owner}: config must be a RunConfig")
+
+    @property
+    def _owner(self) -> str:
+        return f"sweep plan {self.name!r}"
+
+    def point_dicts(self) -> List[Dict[str, object]]:
+        """Return the sweep points as plain dictionaries, in order."""
+        return [dict(point) for point in self.points]
+
+    def bind_dict(self) -> Dict[str, str]:
+        """Return the point-key → workload-parameter binding as a dict."""
+        return dict(self.bind)
+
+    def algorithm_names(self) -> List[str]:
+        """Return the registry names of the planned algorithms, in order."""
+        return [spec.name for spec in self.algorithms]
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """A named composition of sub-plans plus a result assembler.
+
+    ``stages`` is an ordered tuple of ``(key, plan)`` pairs — each plan a
+    :class:`TrialPlan`, :class:`SweepPlan` or nested :class:`ExperimentPlan`.
+    After all stages ran, the registered ``assembler`` (see
+    :func:`repro.plans.execute.register_assembler`) combines their results
+    into the experiment's output: the built-in ``"table"``/``"tables"``
+    assemblers pass results through; the q1–q5 modules register the
+    figure-specific ones (difference tables, wireframe grids, histograms).
+    Assembler-only experiments (no stages) describe runs whose payload
+    structure is bespoke — e.g. the Q4 histogram's paired payloads — through
+    ``params`` and ``config`` alone.
+    """
+
+    name: str
+    stages: Tuple[Tuple[str, "Plan"], ...] = ()
+    assembler: str = "tables"
+    params: Tuple[Tuple[str, object], ...] = ()
+    config: Optional[RunConfig] = None
+
+    def __post_init__(self) -> None:
+        stages = self.stages
+        if isinstance(stages, dict):
+            stages = tuple(stages.items())
+        try:
+            stages = tuple((str(key), plan) for key, plan in stages)
+        except (TypeError, ValueError):
+            raise PlanError(
+                f"{self._owner}: stages must be (key, plan) pairs, got {stages!r}"
+            ) from None
+        keys = [key for key, _ in stages]
+        if len(set(keys)) != len(keys):
+            raise PlanError(f"{self._owner}: duplicate stage keys in {keys}")
+        for key, plan in stages:
+            if not isinstance(plan, (TrialPlan, SweepPlan, ExperimentPlan)):
+                raise PlanError(
+                    f"{self._owner}: stage {key!r} is not a plan object: {plan!r}"
+                )
+        object.__setattr__(self, "stages", stages)
+        params = self.params
+        if isinstance(params, dict):
+            params = _freeze_params(params)
+        object.__setattr__(self, "params", tuple(params))
+        if not isinstance(self.assembler, str) or not self.assembler:
+            raise PlanError(f"{self._owner}: assembler must be a non-empty name")
+        if self.config is not None and not isinstance(self.config, RunConfig):
+            raise PlanError(f"{self._owner}: config must be a RunConfig or None")
+
+    @property
+    def _owner(self) -> str:
+        return f"experiment plan {self.name!r}"
+
+    def param_dict(self) -> Dict[str, object]:
+        """Return the assembler parameters as a plain dictionary."""
+        return dict(self.params)
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        stages: object = (),
+        assembler: str = "tables",
+        params: Optional[Dict[str, object]] = None,
+        config: Optional[RunConfig] = None,
+    ) -> "ExperimentPlan":
+        """Build an experiment plan from plain mappings (frozen on entry)."""
+        return cls(
+            name=name,
+            stages=stages,
+            assembler=assembler,
+            params=_freeze_params(params or {}),
+            config=config,
+        )
+
+
+Plan = Union[TrialPlan, SweepPlan, ExperimentPlan]
+
+
+def plan_with_overrides(
+    plan: Plan,
+    n_jobs: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> Plan:
+    """Return ``plan`` with run-shape knobs overridden throughout the tree.
+
+    The CLI's override semantics: a flag given on the command line wins over
+    whatever the plan document says, recursively — every ``RunConfig`` of
+    every nested stage is replaced.  ``None`` means "keep the plan's value".
+    """
+    if n_jobs is None and chunk_size is None and backend is None:
+        return plan
+    if isinstance(plan, (TrialPlan, SweepPlan)):
+        return replace(
+            plan, config=plan.config.with_overrides(n_jobs, chunk_size, backend)
+        )
+    stages = tuple(
+        (key, plan_with_overrides(sub, n_jobs, chunk_size, backend))
+        for key, sub in plan.stages
+    )
+    config = plan.config
+    if config is not None:
+        config = config.with_overrides(n_jobs, chunk_size, backend)
+    return replace(plan, stages=stages, config=config)

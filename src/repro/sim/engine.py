@@ -9,10 +9,10 @@ to recompute them.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
 from repro.algorithms.base import OnlineTreeAlgorithm, RunResult
-from repro.algorithms.registry import make_algorithm
+from repro.algorithms.registry import AlgorithmSpec, make_algorithm
 from repro.analysis.entropy import locality_summary
 from repro.exceptions import ExperimentError
 from repro.types import ElementId
@@ -41,7 +41,7 @@ def simulate_algorithm_on_sequence(
 
 
 def simulate(
-    algorithm_name: str,
+    algorithm_name: Union[str, AlgorithmSpec],
     sequence: Iterable[ElementId],
     n_nodes: Optional[int] = None,
     depth: Optional[int] = None,
@@ -53,11 +53,14 @@ def simulate(
     backend: Optional[str] = None,
     **algorithm_kwargs,
 ) -> RunResult:
-    """Build an algorithm by name and run it over ``sequence``.
+    """Build an algorithm by name (or spec) and run it over ``sequence``.
 
     This is the main entry point used by experiments and examples: it hides
     the registry/factory plumbing and attaches the algorithm parameters to the
-    result metadata.  ``backend`` selects the serve backend
+    result metadata.  ``algorithm_name`` may be a registry name or an
+    :class:`~repro.algorithms.registry.AlgorithmSpec` — the form
+    :class:`~repro.sim.runner.TrialPayload` ships, whose params become
+    constructor keyword arguments.  ``backend`` selects the serve backend
     (:mod:`repro.core.backend`); costs are identical across backends.
     """
     algorithm = make_algorithm(
@@ -79,7 +82,7 @@ def simulate(
 
 
 def simulate_stream(
-    algorithm_name: str,
+    algorithm_name: Union[str, AlgorithmSpec],
     chunks: Iterable[Iterable[ElementId]],
     n_nodes: Optional[int] = None,
     depth: Optional[int] = None,
@@ -90,7 +93,7 @@ def simulate_stream(
     backend: Optional[str] = None,
     **algorithm_kwargs,
 ) -> RunResult:
-    """Build an algorithm by name and serve a chunked request stream.
+    """Build an algorithm by name (or spec) and serve a chunked request stream.
 
     The streaming twin of :func:`simulate`: ``chunks`` is an iterable of
     request chunks (typically

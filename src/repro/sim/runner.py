@@ -29,10 +29,12 @@ same outcomes as a serial run.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.algorithms.base import RunResult
+from repro.algorithms.registry import AlgorithmSpec
 from repro.core import backend as _backend
 from repro.exceptions import ExperimentError
 from repro.sim.engine import simulate, simulate_stream
@@ -90,23 +92,37 @@ WorkloadSource = Union[SequenceSource, SpecSource]
 class TrialPayload:
     """One (trial, algorithm) work item, picklable and order-independent.
 
-    ``backend`` is the serve-backend choice shipped to the worker (``None``
-    means auto-detect there); it selects the placement storage and batch
-    serve path plus — for spec sources — whether the workload streams NumPy
+    Payloads carry *specs only*: the algorithm half is an
+    :class:`~repro.algorithms.registry.AlgorithmSpec` (bare registry names
+    are coerced on construction) and the workload half a
+    :class:`WorkloadSource` whose preferred form is a spec.  ``backend`` is
+    the serve-backend choice shipped to the worker (``None`` means
+    auto-detect there); it selects the placement storage and batch serve
+    path plus — for spec sources — whether the workload streams NumPy
     chunks.  Results are bit-identical across backends, so payloads remain
     order- and placement-independent.
     """
 
-    algorithm: str
+    algorithm: AlgorithmSpec
     source: WorkloadSource
     n_nodes: int
     placement_seed: Optional[int]
     algorithm_seed: Optional[int]
     keep_records: bool
     trial: int
-    algorithm_kwargs: Dict[str, object] = field(default_factory=dict)
     metadata: Dict[str, object] = field(default_factory=dict)
     backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.algorithm, AlgorithmSpec):
+            object.__setattr__(
+                self, "algorithm", AlgorithmSpec.coerce(self.algorithm)
+            )
+
+    @property
+    def algorithm_name(self) -> str:
+        """Registry name of the planned algorithm."""
+        return self.algorithm.name
 
 
 #: Single-entry per-process memo for ``shared`` spec sources (see
@@ -187,7 +203,6 @@ def _execute_trial(payload: TrialPayload) -> RunResult:
             keep_records=payload.keep_records,
             metadata=metadata,
             backend=payload.backend,
-            **payload.algorithm_kwargs,
         )
     return simulate(
         payload.algorithm,
@@ -198,7 +213,6 @@ def _execute_trial(payload: TrialPayload) -> RunResult:
         keep_records=payload.keep_records,
         metadata=metadata,
         backend=payload.backend,
-        **payload.algorithm_kwargs,
     )
 
 
@@ -241,13 +255,106 @@ class AggregatedOutcome:
         return self.total_cost.get("mean", 0.0)
 
 
+#: Sentinel distinguishing "not passed" from an explicit value in the legacy
+#: keyword-threaded signatures (so the deprecation shim only fires for
+#: callers actually using them).
+_UNSET: object = object()
+
+
+def _resolve_legacy_run_shape(
+    owner: str,
+    config,
+    n_requests,
+    n_trials,
+    base_seed,
+    keep_records,
+    n_jobs,
+    chunk_size,
+    backend,
+) -> Tuple[int, int, int, bool, int, Optional[int], Optional[str]]:
+    """Shared shim: fold a ``RunConfig`` or legacy keywords into run shape.
+
+    ``config`` (any object with the :class:`repro.plans.RunConfig` fields —
+    duck-typed so this low-level module never imports the plan layer) is the
+    preferred way to describe the run shape.  The legacy keyword-threaded
+    perf knobs (``n_jobs``/``chunk_size``/``backend``) still work but emit a
+    :class:`DeprecationWarning` pointing at configs/plans.
+    """
+    if config is not None:
+        explicit = [
+            name
+            for name, value in (
+                ("n_requests", n_requests),
+                ("n_trials", n_trials),
+                ("base_seed", base_seed),
+                ("keep_records", keep_records),
+                ("n_jobs", n_jobs),
+                ("chunk_size", chunk_size),
+                ("backend", backend),
+            )
+            if value is not _UNSET and value is not None
+        ]
+        if explicit:
+            raise ExperimentError(
+                f"{owner}: pass either config= or the loose keyword arguments "
+                f"{explicit}, not both"
+            )
+        return (
+            config.n_requests,
+            config.n_trials,
+            config.base_seed,
+            config.keep_records,
+            config.n_jobs,
+            config.chunk_size,
+            config.backend,
+        )
+    if n_requests is _UNSET or n_requests is None:
+        raise ExperimentError(f"{owner}: n_requests is required (or pass config=)")
+    legacy_knobs = [
+        name
+        for name, value in (
+            ("n_jobs", n_jobs),
+            ("chunk_size", chunk_size),
+            ("backend", backend),
+        )
+        if value is not _UNSET
+    ]
+    if legacy_knobs:
+        warnings.warn(
+            f"threading {', '.join(legacy_knobs)} through {owner} keyword "
+            "arguments is deprecated; bundle the run shape in a "
+            "repro.plans.RunConfig (config=...) or run a declarative plan "
+            "via repro.run(...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return (
+        n_requests,
+        3 if n_trials is _UNSET else n_trials,
+        0 if base_seed is _UNSET else base_seed,
+        False if keep_records is _UNSET else keep_records,
+        1 if n_jobs is _UNSET else n_jobs,
+        None if chunk_size is _UNSET else chunk_size,
+        None if backend is _UNSET else backend,
+    )
+
+
 class TrialRunner:
     """Runs algorithms over repeated, seeded workload trials.
+
+    The run shape is best given as one ``config`` object
+    (:class:`repro.plans.RunConfig` — trials, requests, seed policy, worker
+    processes, chunk size, backend, record mode); the loose keyword
+    arguments remain as a deprecated shim for the knob-threading style the
+    plan API replaced.
 
     Parameters
     ----------
     n_nodes:
         Tree size (must be a complete-binary-tree size).
+    config:
+        The run shape as a :class:`repro.plans.RunConfig` (preferred).
+        Mutually exclusive with the keyword arguments below.
     n_requests:
         Number of requests per trial.
     n_trials:
@@ -258,30 +365,53 @@ class TrialRunner:
     keep_records:
         Whether to retain per-request cost records (memory-heavy for long runs).
     n_jobs:
-        Worker processes for the (trial, algorithm) fan-out; ``1`` (default)
-        runs serially, negative uses every CPU.  Parallel runs are
-        bit-identical to serial ones (see :mod:`repro.sim.parallel`).
+        .. deprecated:: use ``config``.  Worker processes for the (trial,
+        algorithm) fan-out; ``1`` (default) runs serially, negative uses
+        every CPU.  Parallel runs are bit-identical to serial ones (see
+        :mod:`repro.sim.parallel`).
     chunk_size:
-        Streaming chunk size for spec-shipped workloads (default
+        .. deprecated:: use ``config``.  Streaming chunk size for
+        spec-shipped workloads (default
         :data:`repro.workloads.spec.DEFAULT_CHUNK_SIZE`); affects memory and
         batching only, never the generated stream.
     backend:
-        Serve backend shipped inside every payload: ``"array"``, ``"python"``
-        or ``None``/``"auto"`` (resolved in the worker).  Results are
-        bit-identical across backends; the knob trades throughput only.
+        .. deprecated:: use ``config``.  Serve backend shipped inside every
+        payload: ``"array"``, ``"python"`` or ``None``/``"auto"`` (resolved
+        in the worker).  Results are bit-identical across backends; the knob
+        trades throughput only.
     """
 
     def __init__(
         self,
         n_nodes: int,
-        n_requests: int,
-        n_trials: int = 3,
-        base_seed: int = 0,
-        keep_records: bool = False,
-        n_jobs: int = 1,
-        chunk_size: Optional[int] = None,
-        backend: Optional[str] = None,
+        n_requests: Optional[int] = _UNSET,
+        n_trials: int = _UNSET,
+        base_seed: int = _UNSET,
+        keep_records: bool = _UNSET,
+        n_jobs: int = _UNSET,
+        chunk_size: Optional[int] = _UNSET,
+        backend: Optional[str] = _UNSET,
+        config=None,
     ) -> None:
+        (
+            n_requests,
+            n_trials,
+            base_seed,
+            keep_records,
+            n_jobs,
+            chunk_size,
+            backend,
+        ) = _resolve_legacy_run_shape(
+            "TrialRunner",
+            config,
+            n_requests,
+            n_trials,
+            base_seed,
+            keep_records,
+            n_jobs,
+            chunk_size,
+            backend,
+        )
         if n_trials <= 0:
             raise ExperimentError(f"n_trials must be positive, got {n_trials}")
         if n_requests < 0:
@@ -386,27 +516,32 @@ class TrialRunner:
         they are executed.
         """
         algorithm_kwargs = algorithm_kwargs or {}
+        specs = [
+            AlgorithmSpec.create(
+                spec.name, **{**spec.param_dict(), **algorithm_kwargs.get(spec.name, {})}
+            )
+            for spec in (AlgorithmSpec.coerce(algorithm) for algorithm in algorithms)
+        ]
         payloads: List[TrialPayload] = []
         for trial, source in enumerate(sources):
             if not isinstance(source, (SpecSource, SequenceSource)):
                 source = SequenceSource(tuple(source))
-            if isinstance(source, SpecSource) and len(algorithms) > 1:
+            if isinstance(source, SpecSource) and len(specs) > 1:
                 # every algorithm of this trial serves the same stream; let
                 # workers generate it once, not once per algorithm
                 source = replace(source, shared=True)
             placement_seed = self.base_seed + 10_000 + trial
             algorithm_seed = self.base_seed + 20_000 + trial
-            for name in algorithms:
+            for spec in specs:
                 payloads.append(
                     TrialPayload(
-                        algorithm=name,
+                        algorithm=spec,
                         source=source,
                         n_nodes=self.n_nodes,
                         placement_seed=placement_seed,
                         algorithm_seed=algorithm_seed,
                         keep_records=self.keep_records,
                         trial=trial,
-                        algorithm_kwargs=dict(algorithm_kwargs.get(name, {})),
                         backend=self.backend,
                     )
                 )
@@ -419,11 +554,15 @@ class TrialRunner:
         results: Sequence[RunResult],
     ) -> Dict[str, List[TrialOutcome]]:
         """Reassemble ordered worker results into the per-algorithm outcome map."""
-        outcomes: Dict[str, List[TrialOutcome]] = {name: [] for name in algorithms}
+        outcomes: Dict[str, List[TrialOutcome]] = {
+            AlgorithmSpec.coerce(algorithm).name: [] for algorithm in algorithms
+        }
         for payload, result in zip(payloads, results):
-            outcomes[payload.algorithm].append(
+            outcomes[payload.algorithm_name].append(
                 TrialOutcome(
-                    algorithm=payload.algorithm, trial=payload.trial, result=result
+                    algorithm=payload.algorithm_name,
+                    trial=payload.trial,
+                    result=result,
                 )
             )
         return outcomes
@@ -468,25 +607,56 @@ def compare_algorithms(
     algorithms: Sequence[str],
     workload_factory: WorkloadFactory,
     n_nodes: int,
-    n_requests: int,
-    n_trials: int = 3,
-    base_seed: int = 0,
-    keep_records: bool = False,
+    n_requests: Optional[int] = _UNSET,
+    n_trials: int = _UNSET,
+    base_seed: int = _UNSET,
+    keep_records: bool = _UNSET,
     algorithm_kwargs: Optional[Dict[str, dict]] = None,
-    n_jobs: int = 1,
-    chunk_size: Optional[int] = None,
-    backend: Optional[str] = None,
+    n_jobs: int = _UNSET,
+    chunk_size: Optional[int] = _UNSET,
+    backend: Optional[str] = _UNSET,
+    config=None,
 ) -> Dict[str, AggregatedOutcome]:
-    """One-call helper: run all algorithms over seeded trials and aggregate."""
-    runner = TrialRunner(
-        n_nodes=n_nodes,
-        n_requests=n_requests,
-        n_trials=n_trials,
-        base_seed=base_seed,
-        keep_records=keep_records,
-        n_jobs=n_jobs,
-        chunk_size=chunk_size,
-        backend=backend,
+    """One-call helper: run all algorithms over seeded trials and aggregate.
+
+    Prefer passing the run shape as one ``config``
+    (:class:`repro.plans.RunConfig`) — or, for spec-able workloads, building
+    a :class:`repro.plans.TrialPlan` and calling ``repro.run(plan)``.  The
+    loose ``n_jobs``/``chunk_size``/``backend`` keywords are a deprecated
+    shim kept for the pre-plan call sites.
+    """
+    (
+        n_requests,
+        n_trials,
+        base_seed,
+        keep_records,
+        n_jobs,
+        chunk_size,
+        backend,
+    ) = _resolve_legacy_run_shape(
+        "compare_algorithms",
+        config,
+        n_requests,
+        n_trials,
+        base_seed,
+        keep_records,
+        n_jobs,
+        chunk_size,
+        backend,
     )
+    with warnings.catch_warnings():
+        # the shim above already warned once if legacy knobs were used; do
+        # not warn a second time from the internal TrialRunner construction
+        warnings.simplefilter("ignore", DeprecationWarning)
+        runner = TrialRunner(
+            n_nodes=n_nodes,
+            n_requests=n_requests,
+            n_trials=n_trials,
+            base_seed=base_seed,
+            keep_records=keep_records,
+            n_jobs=n_jobs,
+            chunk_size=chunk_size,
+            backend=backend,
+        )
     outcomes = runner.run(algorithms, workload_factory, algorithm_kwargs)
     return TrialRunner.aggregate(outcomes)

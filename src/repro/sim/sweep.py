@@ -10,11 +10,12 @@ factory parameterised by the point, the algorithms to compare, and produces a
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ExperimentError
 from repro.sim.results import ResultTable
-from repro.sim.runner import TrialPayload, TrialRunner, execute_payloads
+from repro.sim.runner import _UNSET, TrialPayload, TrialRunner, execute_payloads
 from repro.workloads.base import WorkloadGenerator, check_chunk_size
 from repro.workloads.spec import WorkloadSpec
 
@@ -43,6 +44,11 @@ class ParameterSweep:
         Registry names of the algorithms to run.
     n_nodes:
         Default tree size for points that do not carry their own.
+    config:
+        The run shape as a :class:`repro.plans.RunConfig` (preferred);
+        mutually exclusive with the loose keyword arguments below.  The
+        declarative :class:`repro.plans.SweepPlan` executes through this
+        path.
     n_requests, n_trials, base_seed:
         Passed to the underlying :class:`repro.sim.runner.TrialRunner`.
     n_jobs:
@@ -65,18 +71,52 @@ class ParameterSweep:
         workload_factory: PointWorkloadFactory,
         algorithms: Sequence[str],
         n_nodes: Optional[int] = None,
-        n_requests: int = 10_000,
-        n_trials: int = 3,
-        base_seed: int = 0,
+        n_requests: int = _UNSET,
+        n_trials: int = _UNSET,
+        base_seed: int = _UNSET,
         algorithm_kwargs: Optional[Dict[str, dict]] = None,
-        n_jobs: int = 1,
-        chunk_size: Optional[int] = None,
-        backend: Optional[str] = None,
+        n_jobs: int = _UNSET,
+        chunk_size: Optional[int] = _UNSET,
+        backend: Optional[str] = _UNSET,
+        config=None,
     ) -> None:
         if not points:
             raise ExperimentError("a sweep needs at least one parameter point")
         if not algorithms:
             raise ExperimentError("a sweep needs at least one algorithm")
+        if config is not None:
+            explicit = [
+                name
+                for name, value in (
+                    ("n_requests", n_requests),
+                    ("n_trials", n_trials),
+                    ("base_seed", base_seed),
+                    ("n_jobs", n_jobs),
+                    ("chunk_size", chunk_size),
+                    ("backend", backend),
+                )
+                if value is not _UNSET
+            ]
+            if explicit:
+                raise ExperimentError(
+                    "ParameterSweep: pass either config= or the loose keyword "
+                    f"arguments {explicit}, not both"
+                )
+            n_requests = config.n_requests
+            n_trials = config.n_trials
+            base_seed = config.base_seed
+            n_jobs = config.n_jobs
+            chunk_size = config.chunk_size
+            backend = config.backend
+            self.keep_records = config.keep_records
+        else:
+            n_requests = 10_000 if n_requests is _UNSET else n_requests
+            n_trials = 3 if n_trials is _UNSET else n_trials
+            base_seed = 0 if base_seed is _UNSET else base_seed
+            n_jobs = 1 if n_jobs is _UNSET else n_jobs
+            chunk_size = None if chunk_size is _UNSET else chunk_size
+            backend = None if backend is _UNSET else backend
+            self.keep_records = False
         self.points = [dict(point) for point in points]
         self.workload_factory = workload_factory
         self.algorithms = list(algorithms)
@@ -90,6 +130,20 @@ class ParameterSweep:
             check_chunk_size(int(chunk_size))
         self.chunk_size = chunk_size
         self.backend = backend
+
+    def _point_runner(self, n_nodes: int) -> TrialRunner:
+        """Build the per-point runner without tripping the legacy-knob shim."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            return TrialRunner(
+                n_nodes=n_nodes,
+                n_requests=self.n_requests,
+                n_trials=self.n_trials,
+                base_seed=self.base_seed,
+                keep_records=self.keep_records,
+                chunk_size=self.chunk_size,
+                backend=self.backend,
+            )
 
     def _point_columns(self) -> List[str]:
         columns: List[str] = []
@@ -119,14 +173,7 @@ class ParameterSweep:
                 raise ExperimentError(
                     f"sweep point {point} has no tree size and no default was given"
                 )
-            runner = TrialRunner(
-                n_nodes=n_nodes,
-                n_requests=self.n_requests,
-                n_trials=self.n_trials,
-                base_seed=self.base_seed,
-                chunk_size=self.chunk_size,
-                backend=self.backend,
-            )
+            runner = self._point_runner(n_nodes)
             sources = runner.trial_sources(
                 lambda seed, _point=point: self.workload_factory(_point, seed)
             )

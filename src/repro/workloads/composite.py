@@ -67,7 +67,7 @@ class CombinedLocalityWorkload(WorkloadGenerator):
         # Re-derive the inner Zipf seed from the fresh base RNG, exactly as
         # the constructor does, and push it all the way down (NumPy stream
         # and identifier permutation included).
-        self._zipf.reseed(self._rng.randrange(2**63))
+        self._zipf._reseed(self._rng.randrange(2**63))
 
     def generate(self, n_requests: int) -> List[ElementId]:
         """Return a sequence with the requested combination of localities."""
@@ -164,7 +164,7 @@ class MixtureWorkload(WorkloadGenerator):
         # Component generators are seed state of the mixture: restore each to
         # its own pristine seeded state.
         for component in self._components:
-            component.reseed(component.seed)
+            component._reseed(component.seed)
 
     def generate(self, n_requests: int) -> List[ElementId]:
         """Return a sequence where each request comes from a weighted random component.

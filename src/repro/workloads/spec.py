@@ -32,9 +32,12 @@ from repro.exceptions import WorkloadError
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "WorkloadSpec",
+    "check_kind",
+    "freeze_params",
     "register_workload",
     "build_workload",
     "registered_kinds",
+    "thaw_value",
 ]
 
 #: Default number of requests generated per streaming chunk.  Large enough to
@@ -44,11 +47,38 @@ DEFAULT_CHUNK_SIZE = 65_536
 
 
 def _freeze(value: object) -> object:
-    """Recursively convert ``value`` into an immutable, hashable equivalent."""
+    """Recursively convert ``value`` into an immutable, hashable equivalent.
+
+    The canonical freezing convention of the whole spec/plan layer:
+    :class:`WorkloadSpec`, :class:`repro.plans.RunConfig` and the plan
+    objects all freeze through here (via :func:`freeze_params`), so equality
+    and hashing stay bit-compatible across layers.
+    (:class:`repro.algorithms.registry.AlgorithmSpec` keeps a verbatim local
+    copy because the algorithms package must not import workloads —
+    ``workloads.adversarial`` imports algorithm modules.)
+    """
     if isinstance(value, (list, tuple)):
         return tuple(_freeze(item) for item in value)
     if isinstance(value, dict):
         return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    return value
+
+
+def freeze_params(params: Dict[str, object]) -> Tuple[Tuple[str, object], ...]:
+    """Freeze a parameter mapping into the canonical sorted pair tuple."""
+    return tuple(sorted((str(name), _freeze(value)) for name, value in params.items()))
+
+
+def thaw_value(value: object) -> object:
+    """Inverse of :func:`_freeze` for serialisation: tuples become lists.
+
+    Nested :class:`WorkloadSpec` values recurse through their own
+    :meth:`WorkloadSpec.to_dict`.
+    """
+    if isinstance(value, WorkloadSpec):
+        return value.to_dict()
+    if isinstance(value, tuple):
+        return [thaw_value(item) for item in value]
     return value
 
 
@@ -69,8 +99,7 @@ class WorkloadSpec:
     @classmethod
     def create(cls, kind: str, seed: Optional[int] = None, **params: object) -> "WorkloadSpec":
         """Build a spec from keyword parameters, freezing mutable values."""
-        frozen = tuple(sorted((name, _freeze(value)) for name, value in params.items()))
-        return cls(kind=kind, params=frozen, seed=seed)
+        return cls(kind=kind, params=freeze_params(params), seed=seed)
 
     def param_dict(self) -> Dict[str, object]:
         """Return the parameters as a plain dictionary."""
@@ -86,19 +115,48 @@ class WorkloadSpec:
 
     def to_dict(self) -> Dict[str, object]:
         """Return a JSON-friendly representation (nested specs recurse)."""
-
-        def thaw(value: object) -> object:
-            if isinstance(value, WorkloadSpec):
-                return value.to_dict()
-            if isinstance(value, tuple):
-                return [thaw(item) for item in value]
-            return value
-
         return {
             "kind": self.kind,
             "seed": self.seed,
-            "params": {name: thaw(value) for name, value in self.params},
+            "params": {name: thaw_value(value) for name, value in self.params},
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "WorkloadSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or equivalent JSON).
+
+        The inverse of :meth:`to_dict`: JSON lists refreeze to tuples and
+        parameter values shaped like spec documents (mappings with ``kind``
+        and ``params`` keys, e.g. mixture components or a temporal base)
+        revive as nested :class:`WorkloadSpec` objects, so a spec survives a
+        JSON round-trip *equal* to the original.
+        """
+        if not isinstance(data, dict) or not isinstance(data.get("kind"), str):
+            raise WorkloadError(f"not a workload-spec document: {data!r}")
+        params = data.get("params") or {}
+        if not isinstance(params, dict):
+            raise WorkloadError(f"workload spec params must be an object, got {params!r}")
+
+        def revive(value: object) -> object:
+            if isinstance(value, dict) and "kind" in value and "params" in value:
+                return cls.from_dict(value)
+            if isinstance(value, list):
+                return [revive(item) for item in value]
+            return value
+
+        return cls.create(
+            data["kind"],
+            seed=data.get("seed"),
+            **{name: revive(value) for name, value in params.items()},
+        )
+
+    def with_seed(self, seed: Optional[int]) -> "WorkloadSpec":
+        """Return a copy of this spec carrying ``seed`` (params unchanged).
+
+        The one-liner the plan layer leans on: a plan stores a seedless
+        workload *template* and stamps the per-trial seed onto it here.
+        """
+        return WorkloadSpec(kind=self.kind, params=self.params, seed=seed)
 
 
 #: A builder turns ``(params, seed)`` back into a generator instance.
@@ -150,16 +208,26 @@ def _ensure_registry() -> None:
         import repro.workloads  # noqa: F401  (imports register the builders)
 
 
+def check_kind(kind: str) -> str:
+    """Validate that ``kind`` is registered, without building anything.
+
+    Raises :class:`~repro.exceptions.WorkloadError` naming the bad key and
+    listing every registered kind — the eager-validation hook used by the
+    plan layer so an unresolvable plan fails at construction, not mid-run.
+    """
+    _ensure_registry()
+    if kind not in _REGISTRY:
+        raise WorkloadError(
+            f"unknown workload kind {kind!r}; registered kinds: {registered_kinds()}"
+        )
+    return kind
+
+
 def build_workload(spec: WorkloadSpec):
     """Construct a pristine generator from ``spec``.
 
     The returned generator is exactly what the spec's original constructor
     call produced: same parameters, same seed, untouched RNG streams.
     """
-    _ensure_registry()
-    builder = _REGISTRY.get(spec.kind)
-    if builder is None:
-        raise WorkloadError(
-            f"unknown workload kind {spec.kind!r}; registered kinds: {registered_kinds()}"
-        )
-    return builder(spec.param_dict(), spec.seed)
+    check_kind(spec.kind)
+    return _REGISTRY[spec.kind](spec.param_dict(), spec.seed)

@@ -97,7 +97,7 @@ class TemporalWorkload(WorkloadGenerator):
         # The nested base generator carries its own RNG state; restore it to
         # its pristine seeded state so the composite equals a fresh instance.
         if self._base is not None:
-            self._base.reseed(self._base.seed)
+            self._base._reseed(self._base.seed)
 
     def generate(self, n_requests: int) -> List[ElementId]:
         """Return a sequence with temporal locality ``p`` over the base workload."""

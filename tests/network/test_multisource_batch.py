@@ -1,0 +1,99 @@
+"""Batch serve-trace dispatch on the multi-source substrate (PR-3 knobs lifted)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import backend as backend_mod
+from repro.exceptions import BackendError
+from repro.network import MultiSourceNetwork
+from repro.network.traffic import uniform_trace
+
+N_NODES = 24
+N_SOURCES = 6
+
+
+def fresh_network(**kwargs) -> MultiSourceNetwork:
+    return MultiSourceNetwork(
+        N_NODES, sources=range(N_SOURCES), base_seed=11, **kwargs
+    )
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return uniform_trace(N_NODES, 600, n_sources=N_SOURCES, seed=2)
+
+
+@pytest.fixture(scope="module")
+def legacy_summary(trace):
+    """Request-by-request serving, the pre-batch reference semantics."""
+    network = fresh_network()
+    for request in trace:
+        network.serve(request.source, request.destination)
+    return network.cost_summary(), network.per_source_summary()
+
+
+class TestServeTraceBatch:
+    def test_batched_equals_request_by_request(self, trace, legacy_summary):
+        network = fresh_network()
+        summary = network.serve_trace(trace)
+        assert summary == legacy_summary[0]
+        assert network.per_source_summary() == legacy_summary[1]
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 1_000_000])
+    def test_chunk_size_never_changes_results(self, trace, legacy_summary, chunk_size):
+        network = fresh_network()
+        assert network.serve_trace(trace, chunk_size=chunk_size) == legacy_summary[0]
+
+    @pytest.mark.parametrize("backend", ["python", "array", "auto"])
+    def test_backends_bit_identical(self, trace, legacy_summary, backend):
+        network = fresh_network(backend=backend)
+        assert network.serve_trace(trace) == legacy_summary[0]
+
+    def test_serve_trace_backend_knob_on_pristine_network(self, trace, legacy_summary):
+        # a pristine network honours a backend override by rebuilding its
+        # trees from the seeds (bit-identical initial placements)
+        network = fresh_network(backend="python")
+        summary = network.serve_trace(trace, backend="array")
+        assert summary == legacy_summary[0]
+        assert network.backend == "array"
+
+    def test_backend_switch_after_serving_raises(self, trace):
+        network = fresh_network(backend="python")
+        network.serve(0, 3)
+        with pytest.raises(BackendError, match="cannot switch"):
+            network.serve_trace(trace, backend="array")
+
+    def test_same_backend_after_serving_is_fine(self, trace):
+        network = fresh_network(backend="python")
+        network.serve(0, 3)
+        summary = network.serve_trace(trace, backend="python")
+        assert summary["n_requests"] == len(trace) + 1
+
+    def test_unknown_backend_name_rejected(self, trace):
+        network = fresh_network()
+        with pytest.raises(BackendError):
+            network.serve_trace(trace, backend="fortran")
+
+    def test_constructor_rejects_unknown_backend(self):
+        with pytest.raises(BackendError):
+            fresh_network(backend="fortran")
+
+
+class TestSingleSourceBatch:
+    def test_serve_batch_counts_and_matches_serial(self):
+        from repro.network import SingleSourceTreeNetwork
+
+        destinations = [3, 9, 9, 14, 3, 20, 7]
+        serial = SingleSourceTreeNetwork(
+            source=0, destinations=range(1, N_NODES), placement_seed=4, algorithm_seed=5
+        )
+        for destination in destinations:
+            serial.serve(destination)
+        batched = SingleSourceTreeNetwork(
+            source=0, destinations=range(1, N_NODES), placement_seed=4, algorithm_seed=5
+        )
+        served = batched.serve_batch(destinations)
+        assert served == len(destinations)
+        assert batched.n_served == serial.n_served
+        assert batched.cost_summary() == serial.cost_summary()

@@ -1,0 +1,126 @@
+"""Tests for the CLI ``run`` subcommand and its override precedence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main, resolve_run_plan
+from repro.exceptions import PlanError
+from repro.plans import RunConfig, TrialPlan, dump
+from repro.workloads.spec import WorkloadSpec
+
+
+def small_plan(**config_kwargs) -> TrialPlan:
+    return TrialPlan(
+        name="cli-test",
+        n_nodes=31,
+        workload=WorkloadSpec.create("uniform", n_elements=31),
+        algorithms=("rotor-push", "static-oblivious"),
+        config=RunConfig(n_requests=200, n_trials=2, **config_kwargs),
+    )
+
+
+class TestParser:
+    def test_parser_knows_run(self):
+        args = build_parser().parse_args(["run", "smoke", "--jobs", "2"])
+        assert args.command == "run" and args.plan == "smoke" and args.jobs == 2
+
+    def test_run_rejects_zero_jobs(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "smoke", "--jobs", "0"])
+
+
+class TestResolution:
+    def test_resolves_plan_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        dump(small_plan(), path)
+        args = build_parser().parse_args(["run", str(path)])
+        plan = resolve_run_plan(args)
+        assert plan == small_plan()
+
+    def test_resolves_golden_name(self):
+        args = build_parser().parse_args(["run", "smoke"])
+        plan = resolve_run_plan(args)
+        assert plan.name == "smoke"
+
+    def test_unknown_plan_errors_with_golden_listing(self):
+        args = build_parser().parse_args(["run", "no-such-plan.json"])
+        with pytest.raises(PlanError) as excinfo:
+            resolve_run_plan(args)
+        assert "smoke" in str(excinfo.value)
+
+    def test_main_turns_any_repro_error_into_clean_exit(self, tmp_path, capsys):
+        """Unknown names, bad kinds etc. must print one message, not a
+        traceback — whatever exception family they raise."""
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            '{"plan": "trial", "name": "x", "n_nodes": 31,'
+            ' "workload": {"kind": "zipff", "seed": null, "params": {"n_elements": 31}},'
+            ' "algorithms": [{"name": "rotor-push", "params": {}}],'
+            ' "config": {"n_requests": 10, "n_trials": 1}}'
+        )
+        assert main(["run", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "repro run:" in err and "zipff" in err
+
+
+class TestOverridePrecedence:
+    def test_cli_flags_override_plan_document(self, tmp_path):
+        path = tmp_path / "plan.json"
+        dump(small_plan(n_jobs=1, backend="python", chunk_size=64), path)
+        args = build_parser().parse_args(
+            ["run", str(path), "--jobs", "3", "--backend", "auto", "--chunk-size", "16"]
+        )
+        plan = resolve_run_plan(args)
+        assert plan.config.n_jobs == 3
+        assert plan.config.backend == "auto"
+        assert plan.config.chunk_size == 16
+
+    def test_absent_flags_keep_plan_values(self, tmp_path):
+        path = tmp_path / "plan.json"
+        dump(small_plan(n_jobs=2, backend="python", chunk_size=64), path)
+        args = build_parser().parse_args(["run", str(path)])
+        plan = resolve_run_plan(args)
+        assert plan.config.n_jobs == 2
+        assert plan.config.backend == "python"
+        assert plan.config.chunk_size == 64
+
+    def test_partial_override(self, tmp_path):
+        path = tmp_path / "plan.json"
+        dump(small_plan(n_jobs=2, backend="python"), path)
+        args = build_parser().parse_args(["run", str(path), "--jobs", "5"])
+        plan = resolve_run_plan(args)
+        assert plan.config.n_jobs == 5
+        assert plan.config.backend == "python"  # untouched
+
+
+class TestExecution:
+    def test_run_plan_file_end_to_end(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        dump(small_plan(), path)
+        assert main(["run", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "cli-test" in output
+        assert "rotor-push" in output and "static-oblivious" in output
+
+    def test_run_with_csv_export(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        dump(small_plan(), path)
+        csv_dir = tmp_path / "csv"
+        assert main(["run", str(path), "--csv-dir", str(csv_dir)]) == 0
+        assert (csv_dir / "cli-test.csv").is_file()
+
+    def test_run_golden_smoke(self, capsys):
+        assert main(["run", "smoke", "--backend", "python"]) == 0
+        output = capsys.readouterr().out
+        assert "smoke" in output
+
+    def test_list_shows_golden_plans(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "Golden plans" in output and "smoke" in output
+
+    def test_demo_runs_through_a_plan(self, capsys):
+        assert main(["demo", "--nodes", "31", "--requests", "200", "--trials", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "rotor-push" in output

@@ -1,0 +1,300 @@
+"""Tests for the plan model: validation, errors, overrides, deprecations."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro.core import backend as backend_mod
+from repro.exceptions import BackendError, ExperimentError, PlanError, WorkloadError
+from repro.plans import (
+    ExperimentPlan,
+    RunConfig,
+    SweepPlan,
+    TrialPlan,
+    plan_with_overrides,
+)
+from repro.plans.execute import run as run_plan
+from repro.sim.runner import TrialRunner, compare_algorithms
+from repro.workloads.spec import WorkloadSpec, registered_kinds
+from repro.workloads.uniform import UniformWorkload
+
+
+def tiny_trial_plan(**config_kwargs) -> TrialPlan:
+    return TrialPlan(
+        n_nodes=31,
+        workload=WorkloadSpec.create("uniform", n_elements=31),
+        algorithms=("rotor-push",),
+        config=RunConfig(n_requests=50, n_trials=1, **config_kwargs),
+    )
+
+
+class TestRunConfig:
+    def test_defaults_are_valid(self):
+        config = RunConfig()
+        assert config.n_jobs == 1 and config.backend is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_trials": 0},
+            {"n_trials": -1},
+            {"n_requests": -5},
+            {"n_jobs": 0},
+            {"chunk_size": 0},
+        ],
+    )
+    def test_invalid_values_raise_plan_errors_at_construction(self, kwargs):
+        # one exception family for plan-document validation, whatever layer
+        # the delegated validator lives in
+        with pytest.raises(PlanError):
+            RunConfig(**kwargs)
+
+    def test_unknown_backend_name_keeps_dedicated_error(self):
+        with pytest.raises(BackendError):
+            RunConfig(backend="fortran")
+
+    def test_with_overrides_replaces_only_given_knobs(self):
+        config = RunConfig(n_requests=10, n_jobs=1, backend="python")
+        updated = config.with_overrides(n_jobs=4)
+        assert updated.n_jobs == 4
+        assert updated.backend == "python"
+        assert updated.n_requests == 10
+        assert config.with_overrides() is config
+
+    def test_round_trip(self):
+        config = RunConfig(n_requests=7, n_trials=2, chunk_size=16, backend="python")
+        assert RunConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(PlanError):
+            RunConfig.from_dict({"n_requests": 5, "granularity": 3})
+
+
+class TestPlanValidation:
+    def test_unknown_algorithm_names_bad_key_and_lists_registered(self):
+        from repro.exceptions import AlgorithmError
+
+        with pytest.raises(AlgorithmError) as excinfo:
+            TrialPlan(
+                n_nodes=31,
+                workload=WorkloadSpec.create("uniform", n_elements=31),
+                algorithms=("rotor-pusher",),
+                config=RunConfig(n_requests=10),
+            )
+        message = str(excinfo.value)
+        assert "rotor-pusher" in message
+        assert "rotor-push" in message  # the listing of registered names
+
+    def test_unknown_workload_kind_names_bad_key_and_lists_registered(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            TrialPlan(
+                n_nodes=31,
+                workload=WorkloadSpec.create("ziph", n_elements=31),
+                algorithms=("rotor-push",),
+                config=RunConfig(n_requests=10),
+            )
+        message = str(excinfo.value)
+        assert "ziph" in message
+        for kind in registered_kinds():
+            assert kind in message
+
+    def test_duplicate_algorithms_rejected(self):
+        with pytest.raises(PlanError):
+            tiny = tiny_trial_plan()
+            TrialPlan(
+                n_nodes=tiny.n_nodes,
+                workload=tiny.workload,
+                algorithms=("rotor-push", "rotor-push"),
+                config=tiny.config,
+            )
+
+    def test_workload_universe_must_match_tree_size(self):
+        with pytest.raises(PlanError):
+            TrialPlan(
+                n_nodes=31,
+                workload=WorkloadSpec.create("uniform", n_elements=63),
+                algorithms=("rotor-push",),
+                config=RunConfig(n_requests=10),
+            )
+
+    def test_sweep_needs_points(self):
+        with pytest.raises(PlanError):
+            SweepPlan(
+                workload=WorkloadSpec.create("uniform", n_elements=31),
+                algorithms=("rotor-push",),
+                points=(),
+                n_nodes=31,
+            )
+
+    def test_sweep_bind_key_missing_from_points_rejected(self):
+        """A typo'd bind key must fail at construction, not mid-run."""
+        with pytest.raises(PlanError, match="appear in no sweep point"):
+            SweepPlan(
+                workload=WorkloadSpec.create("temporal", n_elements=31),
+                algorithms=("rotor-push",),
+                points=({"p": 0.1}, {"p": 0.9}),
+                bind={"q": "repeat_probability"},  # typo: no point has 'q'
+                n_nodes=31,
+            )
+
+    def test_sweep_unbound_point_key_rejected(self):
+        """A swept variable that feeds nothing would silently sweep nothing."""
+        with pytest.raises(PlanError, match="not bound"):
+            SweepPlan(
+                workload=WorkloadSpec.create("temporal", n_elements=31),
+                algorithms=("rotor-push",),
+                points=({"p": 0.1}, {"p": 0.9}),
+                bind=(),
+                n_nodes=31,
+            )
+
+    def test_sweep_n_nodes_point_key_is_structural(self):
+        plan = SweepPlan(
+            workload=WorkloadSpec.create("uniform", n_elements=31),
+            algorithms=("rotor-push",),
+            points=({"n_nodes": 31}, {"n_nodes": 63}),
+            n_nodes=31,
+        )
+        assert len(plan.points) == 2
+
+    def test_experiment_duplicate_stage_keys_rejected(self):
+        plan = tiny_trial_plan()
+        with pytest.raises(PlanError):
+            ExperimentPlan.create(
+                name="dup", stages=(("a", plan), ("a", plan)), assembler="tables"
+            )
+
+    def test_experiment_stage_must_be_plan(self):
+        with pytest.raises(PlanError):
+            ExperimentPlan.create(name="bad", stages=(("a", "not-a-plan"),))
+
+    def test_plans_are_hashable_and_frozen(self):
+        plan = tiny_trial_plan()
+        assert hash(plan) == hash(tiny_trial_plan())
+        with pytest.raises(AttributeError):
+            plan.n_nodes = 63
+
+
+class TestBackendAvailability:
+    def test_array_without_numpy_raises_dedicated_error_before_serving(
+        self, monkeypatch
+    ):
+        """A plan pinning backend='array' must fail with BackendError up
+        front (not somewhere inside the serve loop) when NumPy is absent."""
+        plan = tiny_trial_plan(backend="array")
+        monkeypatch.setattr(backend_mod, "HAS_NUMPY", False)
+        with pytest.raises(BackendError) as excinfo:
+            run_plan(plan)
+        assert "array" in str(excinfo.value)
+        assert "NumPy" in str(excinfo.value)
+
+    def test_auto_and_python_never_raise_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "HAS_NUMPY", False)
+        for backend in (None, "python"):
+            table = run_plan(tiny_trial_plan(backend=backend))
+            assert len(table) == 1
+
+    def test_nested_experiment_plans_are_checked(self, monkeypatch):
+        nested = ExperimentPlan.create(
+            name="outer",
+            stages=(("inner", tiny_trial_plan(backend="array")),),
+            assembler="tables",
+        )
+        monkeypatch.setattr(backend_mod, "HAS_NUMPY", False)
+        with pytest.raises(BackendError):
+            run_plan(nested)
+
+
+class TestOverrides:
+    def test_overrides_recurse_through_experiment_plans(self):
+        inner = tiny_trial_plan(backend="python")
+        assembler_only = ExperimentPlan.create(
+            name="hist",
+            assembler="q4_histogram",
+            params={"n_nodes": 31, "n_sequences": 2, "rotor": "rotor-push", "random": "random-push"},
+            config=RunConfig(n_requests=10, keep_records=True),
+        )
+        outer = ExperimentPlan.create(
+            name="outer",
+            stages=(("a", inner), ("b", assembler_only)),
+            assembler="tables",
+        )
+        overridden = plan_with_overrides(outer, n_jobs=4, backend="array")
+        stage_a = dict(overridden.stages)["a"]
+        stage_b = dict(overridden.stages)["b"]
+        assert stage_a.config.n_jobs == 4 and stage_a.config.backend == "array"
+        assert stage_b.config.n_jobs == 4 and stage_b.config.backend == "array"
+        # untouched knobs keep the plan's values
+        assert stage_a.config.n_requests == 50
+        # no overrides -> identity
+        assert plan_with_overrides(outer) is outer
+
+
+class TestDeprecations:
+    def test_trial_runner_legacy_knobs_warn(self):
+        with pytest.warns(DeprecationWarning, match="RunConfig"):
+            TrialRunner(n_nodes=31, n_requests=10, n_jobs=1)
+
+    def test_compare_algorithms_legacy_knobs_warn(self):
+        with pytest.warns(DeprecationWarning, match="RunConfig"):
+            compare_algorithms(
+                ["rotor-push"],
+                lambda seed: UniformWorkload(31, seed=seed),
+                n_nodes=31,
+                n_requests=20,
+                n_trials=1,
+                backend="python",
+            )
+
+    def test_config_path_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            runner = TrialRunner(
+                n_nodes=31, config=RunConfig(n_requests=10, n_trials=1, n_jobs=1)
+            )
+            assert runner.n_requests == 10 and runner.n_jobs == 1
+            compare_algorithms(
+                ["rotor-push"],
+                lambda seed: UniformWorkload(31, seed=seed),
+                n_nodes=31,
+                config=RunConfig(n_requests=20, n_trials=1),
+            )
+
+    def test_config_and_loose_kwargs_conflict(self):
+        with pytest.raises(ExperimentError):
+            TrialRunner(
+                n_nodes=31, n_requests=10, config=RunConfig(n_requests=10)
+            )
+
+    def test_sweep_config_and_loose_kwargs_conflict(self):
+        from repro.sim.sweep import ParameterSweep
+        from repro.workloads.uniform import UniformWorkload as UW
+
+        with pytest.raises(ExperimentError, match="either config"):
+            ParameterSweep(
+                points=[{"p": 0.1}],
+                workload_factory=lambda point, seed: UW(31, seed=seed),
+                algorithms=["rotor-push"],
+                n_nodes=31,
+                n_jobs=8,  # silently dropping this would be a lie
+                config=RunConfig(n_requests=10, n_trials=1),
+            )
+
+    def test_reseed_warns_and_still_works(self):
+        workload = UniformWorkload(31, seed=3)
+        fresh = UniformWorkload(31, seed=9).generate(40)
+        with pytest.warns(DeprecationWarning, match="spec"):
+            workload.reseed(9)
+        assert workload.generate(40) == fresh
+
+    def test_plan_execution_emits_no_deprecation_warnings(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_plan(tiny_trial_plan())
+
+    def test_repro_run_entrypoint(self):
+        table = repro.run(tiny_trial_plan())
+        assert [row["algorithm"] for row in table.rows] == ["rotor-push"]

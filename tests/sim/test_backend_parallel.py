@@ -88,7 +88,8 @@ class TestBackendAcrossJobs:
         original = runner_mod.simulate_stream
 
         def spy(name, chunks, **kwargs):
-            seen[name] = kwargs.get("backend")
+            # payloads now carry AlgorithmSpec objects; key by registry name
+            seen[getattr(name, "name", name)] = kwargs.get("backend")
             return original(name, chunks, **kwargs)
 
         monkeypatch.setattr(runner_mod, "simulate_stream", spy)
