@@ -16,7 +16,10 @@ against its predecessors on the same hardware.  The measured layers:
   that both produce identical aggregates; and
 * **fan-out payloads** — build time, pickled size and parallel dispatch
   wall-clock of materialised-sequence payloads versus spec-shipped streaming
-  payloads for the same trial grid, with a determinism cross-check.
+  payloads for the same trial grid, with a determinism cross-check; and
+* **multi-source scenarios** — serve throughput of a spec-shipped
+  :class:`repro.plans.NetworkPlan` (per-source trees routing a streamed
+  traffic trace), payload size, and an ``n_jobs`` determinism check.
 
 Usage::
 
@@ -40,9 +43,12 @@ import pickle
 
 from repro.algorithms.registry import make_algorithm
 from repro.core import backend as backend_mod
-from repro.plans import RunConfig
+from repro.network.traffic import TrafficSpec
+from repro.plans import NetworkPlan, RunConfig, plan_with_overrides
+from repro.plans.execute import build_network_payloads, run as run_plan
 from repro.sim.runner import TrialRunner, compare_algorithms, execute_payloads
 from repro.workloads.composite import CombinedLocalityWorkload
+from repro.workloads.spec import WorkloadSpec
 
 #: Steady-state whole-run serve cost (microseconds/request, best of 3) of the
 #: seed revision (commit 00cf76e) on the reference container, measured with
@@ -275,6 +281,64 @@ def bench_fanout(n_nodes: int, n_requests: int, n_trials: int, n_jobs: int) -> d
     }
 
 
+def bench_multisource(
+    n_nodes: int, n_sources: int, requests_per_source: int, n_jobs: int
+) -> dict:
+    """Spec-shipped multi-source serve throughput + payload size + determinism.
+
+    Times ``repro.run`` on a :class:`repro.plans.NetworkPlan` (the PR-5
+    plan-native path: workers rebuild the network and stream the trace), then
+    re-runs it at ``n_jobs`` workers and cross-checks bit-identity.  The
+    payload size shows what actually crosses the process boundary — specs,
+    never a trace.
+    """
+    traffic = TrafficSpec.create(
+        n_nodes,
+        {
+            source: WorkloadSpec.create(
+                "combined-locality",
+                n_elements=n_nodes,
+                zipf_exponent=1.4,
+                repeat_probability=0.5,
+            )
+            for source in range(n_sources)
+        },
+        interleaving="uniform_pairs",
+    )
+    plan = NetworkPlan(
+        name="bench_multisource",
+        traffic=traffic,
+        algorithm="rotor-push",
+        config=RunConfig(
+            n_requests=requests_per_source, n_trials=2, base_seed=1
+        ),
+    )
+    payload_bytes = len(pickle.dumps(build_network_payloads(plan)))
+    total_requests = plan.config.n_trials * n_sources * requests_per_source
+
+    start = time.perf_counter()
+    serial = run_plan(plan)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_plan(plan_with_overrides(plan, n_jobs=n_jobs))
+    parallel_seconds = time.perf_counter() - start
+
+    return {
+        "n_nodes": n_nodes,
+        "n_sources": n_sources,
+        "requests_per_source": requests_per_source,
+        "n_trials": plan.config.n_trials,
+        "payload_bytes": payload_bytes,
+        "us_per_request": round(serial_seconds / total_requests * 1e6, 4),
+        "requests_per_sec": round(total_requests / serial_seconds),
+        "n_jobs_parallel": n_jobs,
+        "parallel_seconds": round(parallel_seconds, 3),
+        "serial_seconds": round(serial_seconds, 3),
+        "deterministic": serial.rows == parallel.rows,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke configuration")
@@ -284,9 +348,11 @@ def main(argv=None) -> int:
     if args.quick:
         serve_nodes, serve_requests, repeats = 255, 4_000, 2
         par_nodes, par_requests, par_trials = 255, 2_000, 2
+        multi_nodes, multi_sources, multi_rps = 255, 8, 500
     else:
         serve_nodes, serve_requests, repeats = 1_023, 20_000, 3
         par_nodes, par_requests, par_trials = 1_023, 30_000, 4
+        multi_nodes, multi_sources, multi_rps = 1_023, 16, 2_000
 
     serve_python = bench_serve(serve_nodes, serve_requests, repeats, "python")
     report = {
@@ -323,6 +389,9 @@ def main(argv=None) -> int:
         "fanout_payloads": bench_fanout(
             par_nodes, par_requests, par_trials, max(2, os.cpu_count() or 1)
         ),
+        "multisource": bench_multisource(
+            multi_nodes, multi_sources, multi_rps, max(2, os.cpu_count() or 1)
+        ),
     }
 
     payload = json.dumps(report, indent=2)
@@ -339,6 +408,9 @@ def main(argv=None) -> int:
         return 1
     if not report["fanout_payloads"]["deterministic"]:
         print("ERROR: spec dispatch diverged from materialised dispatch", file=sys.stderr)
+        return 1
+    if not report["multisource"]["deterministic"]:
+        print("ERROR: parallel multisource run diverged from serial", file=sys.stderr)
         return 1
     return 0
 

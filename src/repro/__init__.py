@@ -80,7 +80,12 @@ from repro.core import (
     RotorState,
     TreeNetwork,
 )
-from repro.network import MultiSourceNetwork, SingleSourceTreeNetwork, TrafficTrace
+from repro.network import (
+    MultiSourceNetwork,
+    SingleSourceTreeNetwork,
+    TrafficSpec,
+    TrafficTrace,
+)
 from repro.sim import ResultTable, TrialRunner, compare_algorithms, simulate
 from repro.workloads import (
     CombinedLocalityWorkload,
@@ -92,7 +97,14 @@ from repro.workloads import (
     ZipfWorkload,
 )
 from repro import plans
-from repro.plans import ExperimentPlan, RunConfig, SweepPlan, TrialPlan, run
+from repro.plans import (
+    ExperimentPlan,
+    NetworkPlan,
+    RunConfig,
+    SweepPlan,
+    TrialPlan,
+    run,
+)
 
 __version__ = "1.0.0"
 
@@ -109,6 +121,7 @@ __all__ = [
     "MoveHalf",
     "MoveToFrontTree",
     "MultiSourceNetwork",
+    "NetworkPlan",
     "OnlineTreeAlgorithm",
     "PAPER_ALGORITHMS",
     "PotentialTracker",
@@ -125,6 +138,7 @@ __all__ = [
     "StaticOpt",
     "SweepPlan",
     "TemporalWorkload",
+    "TrafficSpec",
     "TrafficTrace",
     "TreeNetwork",
     "TrialPlan",

@@ -162,15 +162,14 @@ class OnlineTreeAlgorithm(abc.ABC):
         if (n_nodes is None) == (depth is None):
             raise AlgorithmError("specify exactly one of n_nodes or depth")
         if backend is None or backend == "auto":
-            # Per-algorithm auto-detection: typed-array placement pays for
+            # Per-algorithm auto-detection, backed by the measured preference
+            # table in repro.core.backend (typed-array placement pays for
             # itself only when a vectorised batch port consumes the NumPy
-            # views; algorithms serving every request through the scalar loop
-            # are fastest on plain lists.  Explicit names are always honoured.
-            backend = (
-                _backend.BACKEND_ARRAY
-                if _backend.HAS_NUMPY
-                and (not cls.is_self_adjusting or cls.batch_root_promote)
-                else _backend.BACKEND_PYTHON
+            # views).  Explicit names are always honoured.
+            backend = _backend.auto_backend_for(
+                cls.name,
+                self_adjusting=cls.is_self_adjusting,
+                batch_root_promote=cls.batch_root_promote,
             )
         tree = (
             CompleteBinaryTree(n_nodes)

@@ -113,6 +113,25 @@ class LevelLRUIndex:
         self._unlink(element)
         self._link_before(self._n_elements + self._level_of[element], element)
 
+    def record_repeats(self, element: ElementId, count: int) -> None:
+        """Mark ``count`` uninterrupted repeat accesses of ``element`` at once.
+
+        Equivalent to ``count`` consecutive :meth:`record_access` calls with
+        no other element accessed or moved in between: the clock advances by
+        ``count``, the element receives the final (globally newest) timestamp
+        and sits at the tail of its level's list.  No other element's
+        timestamp changes during such a run, so every future LRU query — and
+        therefore every victim choice — is identical to the request-by-request
+        protocol; the equivalence property tests pin this.  This is the
+        Max-Push repeat-run batch path: a repeat run only bumps the clock.
+        """
+        if count <= 0:
+            return
+        # only the final access's timestamp is observable, so a run is the
+        # last access with the clock pre-advanced by the earlier repeats
+        self._clock += count - 1
+        self.record_access(element)
+
     def move(self, element: ElementId, new_level: Level) -> None:
         """Record that ``element`` now lives at ``new_level``."""
         if not 0 <= new_level <= self._depth:

@@ -15,10 +15,11 @@ empirical section shows its adjustment cost dominates in every scenario.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.algorithms.base import OnlineTreeAlgorithm
 from repro.algorithms.lru_index import LevelLRUIndex
+from repro.core import backend as _backend
 from repro.core.state import TreeNetwork
 from repro.core.tree import node_distance
 from repro.types import ElementId, Level, NodeId
@@ -75,6 +76,54 @@ class MaxPush(OnlineTreeAlgorithm):
         for depth, victim in enumerate(victims[:-1], start=1):
             self._lru.move(victim, depth + 1)
         # victims[-1] stays on level `level`.
+
+    def serve_batch(self, requests: Sequence[ElementId]) -> int:
+        """Serve one chunk with the repeat runs batched.
+
+        After any served request the accessed element occupies the root, so a
+        request equal to its predecessor is a guaranteed root hit: access
+        cost 1, no swaps, no demotion cascade — the only state change is the
+        LRU clock tick of ``record_access``.  This loop therefore serves the
+        *first* request of every maximal equal-run through the scalar fast
+        path and settles the remaining repeats with one
+        :meth:`~repro.algorithms.lru_index.LevelLRUIndex.record_repeats`
+        bump plus one batched ledger call, instead of per-request
+        unlink/relink/accounting.  Observable behaviour (placement, victim
+        selection, ledger totals, per-request records) is identical to the
+        request-by-request protocol — pinned by the batch-serve equivalence
+        property tests.
+        """
+        network = self.network
+        if network.enforce_marking:
+            # the checked reference path stays request-by-request
+            return super().serve_batch(requests)
+        if _backend.HAS_NUMPY and isinstance(requests, _backend.np.ndarray):
+            requests = requests.tolist()
+        serve_fast = self._serve_fast
+        lru = self._lru
+        ledger = network.ledger
+        keep_records = ledger.keep_records
+        count = len(requests)
+        index = 0
+        while index < count:
+            element = requests[index]
+            end = index + 1
+            while end < count and requests[end] == element:
+                end += 1
+            serve_fast(element)  # run head: full serve (cascade + bounds check)
+            repeats = end - index - 1
+            if repeats:
+                # the element is now at the root; the rest of the run are
+                # root hits whose only state change is the LRU clock
+                lru.record_repeats(element, repeats)
+                if keep_records:
+                    ledger.record_batch_columns(
+                        [element] * repeats, [0] * repeats, [0] * repeats
+                    )
+                else:
+                    ledger.record_batch(repeats, repeats, 0)
+            index = end
+        return count
 
     def _adjust_fast(self, element: ElementId, level: Level) -> Optional[int]:
         lru = self._lru

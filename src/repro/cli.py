@@ -127,6 +127,38 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--csv-dir", default=None, help="directory for CSV exports")
     run.add_argument("--jobs", type=jobs_type, default=None, help=jobs_help)
     run.add_argument("--chunk-size", type=chunk_type, default=None, help=chunk_help)
+
+    def trials_type(value: str) -> int:
+        trials = int(value)
+        if trials <= 0:
+            raise argparse.ArgumentTypeError("must be a positive trial count")
+        return trials
+
+    def requests_type(value: str) -> int:
+        requests = int(value)
+        if requests < 0:
+            raise argparse.ArgumentTypeError("must be a non-negative request count")
+        return requests
+
+    run.add_argument(
+        "--trials",
+        type=trials_type,
+        default=None,
+        help=(
+            "override the trial count of every stage in the plan document "
+            "(CLI wins, recursively) — e.g. to smoke-test a big plan"
+        ),
+    )
+    run.add_argument(
+        "--requests",
+        type=requests_type,
+        default=None,
+        help=(
+            "override the per-trial request count of every stage in the plan "
+            "document (CLI wins, recursively); for network plans this counts "
+            "requests per source"
+        ),
+    )
     add_backend_argument(run)
 
     experiment = subparsers.add_parser("experiment", help="run one paper experiment")
@@ -241,6 +273,8 @@ def resolve_run_plan(args: argparse.Namespace):
         n_jobs=args.jobs,
         chunk_size=args.chunk_size,
         backend=args.backend,
+        n_trials=getattr(args, "trials", None),
+        n_requests=getattr(args, "requests", None),
     )
 
 

@@ -41,10 +41,12 @@ except ImportError:  # pragma: no cover
 __all__ = [
     "HAS_NUMPY",
     "np",
+    "AUTO_BACKEND_PREFERENCES",
     "BACKEND_ARRAY",
     "BACKEND_PYTHON",
     "BACKENDS",
     "BackendError",
+    "auto_backend_for",
     "resolve_backend",
     "require_backend_available",
     "vectorise_active",
@@ -103,6 +105,57 @@ def require_backend_available(backend: Optional[str]) -> str:
 def vectorise_active(backend: str) -> bool:
     """Whether vectorised batch serving is available for ``backend`` right now."""
     return backend == BACKEND_ARRAY and HAS_NUMPY
+
+
+#: Measured per-algorithm backend preferences under ``backend="auto"``.
+#:
+#: The single source of truth for the auto pick, encoding the
+#: ``BENCH_serve.json`` trajectory: the LRU-index algorithms serve every
+#: request through the scalar loop (no vectorised batch port), so the
+#: typed-array placement only adds conversion overhead — the array backend
+#: measures *slower* for them (0.9× for move-half and max-push).  Today every
+#: entry coincides with the capability rule below; the table exists to *pin*
+#: the measured choice: gaining a batch port or flipping a class flag must
+#: not silently re-route an algorithm onto a backend nobody measured
+#: (regression-tested in ``tests/core/test_backend_auto.py``).  Algorithms
+#: absent from the table fall back to the capability rule (array iff the
+#: algorithm has a vectorised batch port).  Change entries only with a
+#: BENCH_serve.json measurement justifying them.
+AUTO_BACKEND_PREFERENCES: Dict[str, str] = {
+    "move-half": BACKEND_PYTHON,
+    "max-push": BACKEND_PYTHON,
+    "rotor-push": BACKEND_ARRAY,
+    "random-push": BACKEND_ARRAY,
+    "move-to-front": BACKEND_ARRAY,
+    "static-oblivious": BACKEND_ARRAY,
+    "static-opt": BACKEND_ARRAY,
+}
+
+
+def auto_backend_for(
+    algorithm_name: str,
+    self_adjusting: bool = True,
+    batch_root_promote: bool = False,
+) -> str:
+    """Resolve ``backend="auto"`` for one algorithm.
+
+    Consults :data:`AUTO_BACKEND_PREFERENCES` first (the measured table);
+    unknown algorithms fall back to the capability rule — array pays for
+    itself only when a vectorised batch port consumes the NumPy views, i.e.
+    for static trees and root-promoting algorithms.  Without NumPy the
+    python backend always wins.  Explicit backend names are never routed
+    through here; they are honoured as given.
+    """
+    if not HAS_NUMPY:
+        return BACKEND_PYTHON
+    preferred = AUTO_BACKEND_PREFERENCES.get(algorithm_name)
+    if preferred is not None:
+        return preferred
+    return (
+        BACKEND_ARRAY
+        if not self_adjusting or batch_root_promote
+        else BACKEND_PYTHON
+    )
 
 
 #: Cached node-level lookup tables keyed by tree size (shared, read-only).

@@ -9,6 +9,8 @@ One module per research question / figure:
 * :mod:`repro.experiments.q5_corpus` - Figures 6/7;
 * :mod:`repro.experiments.table1_properties` - Table 1 and the analytical
   results (Lemma 8, Theorem 7) checked empirically;
+* :mod:`repro.experiments.multisource` - the multi-source network scenario
+  (per-source self-adjusting trees routing a spec-described traffic trace);
 * :mod:`repro.experiments.report` - runs everything and writes EXPERIMENTS.md.
 
 Every experiment is a declarative plan: the ``build_*_plan`` functions return
@@ -21,6 +23,7 @@ experiment-specific plan assemblers (``q1_panel``, ``q4_wireframe``,
 """
 
 from repro.experiments.config import SCALES, ExperimentScale, get_scale
+from repro.experiments.multisource import build_multisource_plan, run_multisource
 from repro.experiments.q1_network_size import (
     build_q1_plan,
     build_q1_spatial_plan,
@@ -60,6 +63,7 @@ from repro.experiments.table1_properties import (
 __all__ = [
     "ExperimentScale",
     "SCALES",
+    "build_multisource_plan",
     "build_q1_plan",
     "build_q1_spatial_plan",
     "build_q1_temporal_plan",
@@ -77,6 +81,7 @@ __all__ = [
     "render_report",
     "run_all_experiments",
     "run_mtf_lower_bound",
+    "run_multisource",
     "run_potential_check",
     "run_q1",
     "run_q1_spatial",

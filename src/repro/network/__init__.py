@@ -9,17 +9,23 @@ from repro.network.topology import (
     theoretical_degree_bound,
 )
 from repro.network.traffic import (
+    INTERLEAVINGS,
     TrafficRequest,
+    TrafficSpec,
     TrafficTrace,
+    iter_interleaving,
     trace_from_workloads,
     uniform_trace,
 )
 
 __all__ = [
+    "INTERLEAVINGS",
     "MultiSourceNetwork",
     "SingleSourceTreeNetwork",
     "TrafficRequest",
+    "TrafficSpec",
     "TrafficTrace",
+    "iter_interleaving",
     "degree_statistics",
     "multi_source_topology",
     "single_source_topology",

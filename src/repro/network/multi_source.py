@@ -18,8 +18,9 @@ example and by the multi-source benchmark.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.algorithms.registry import AlgorithmSpec
 from repro.core import backend as _backend
 from repro.core.cost import RequestCost
 from repro.exceptions import AlgorithmError, BackendError
@@ -29,6 +30,15 @@ from repro.workloads.base import check_chunk_size
 from repro.workloads.spec import DEFAULT_CHUNK_SIZE
 
 __all__ = ["MultiSourceNetwork"]
+
+#: Columns of :meth:`MultiSourceNetwork.per_source_columns`, in order.
+PER_SOURCE_COLUMNS = (
+    "source",
+    "n_requests",
+    "total_access_cost",
+    "total_adjustment_cost",
+    "total_cost",
+)
 
 
 class MultiSourceNetwork:
@@ -42,7 +52,9 @@ class MultiSourceNetwork:
     sources:
         The source node identifiers; by default every node is a source.
     algorithm:
-        Registry name of the tree algorithm used by every source tree.
+        Registry name — or :class:`~repro.algorithms.registry.AlgorithmSpec`,
+        the form :class:`repro.plans.NetworkPlan` payloads ship — of the tree
+        algorithm used by every source tree.
     base_seed:
         Base seed; source ``s`` uses ``base_seed + s`` for both its placement
         and its algorithm randomness, so the network is fully reproducible.
@@ -58,7 +70,7 @@ class MultiSourceNetwork:
         self,
         n_nodes: int,
         sources: Optional[Sequence[int]] = None,
-        algorithm: str = "rotor-push",
+        algorithm: Union[str, AlgorithmSpec] = "rotor-push",
         base_seed: int = 0,
         keep_records: bool = False,
         backend: Optional[str] = None,
@@ -68,7 +80,8 @@ class MultiSourceNetwork:
         if backend is not None:
             _backend.resolve_backend(backend)  # validate the name eagerly
         self.n_nodes = n_nodes
-        self.algorithm_name = algorithm
+        self.algorithm = AlgorithmSpec.coerce(algorithm)
+        self.algorithm_name = self.algorithm.name
         self.base_seed = base_seed
         self.keep_records = keep_records
         self.backend = backend
@@ -93,7 +106,7 @@ class MultiSourceNetwork:
             source: SingleSourceTreeNetwork(
                 source=source,
                 destinations=[node for node in range(self.n_nodes) if node != source],
-                algorithm=self.algorithm_name,
+                algorithm=self.algorithm,
                 placement_seed=self.base_seed + source,
                 algorithm_seed=self.base_seed + 100_000 + source,
                 keep_records=self.keep_records,
@@ -174,7 +187,51 @@ class MultiSourceNetwork:
                 tree.serve_batch(destinations[start : start + chunk])
         return self.cost_summary()
 
+    def serve_trace_stream(
+        self, chunks: Iterable[Tuple[Sequence[int], Sequence[int]]]
+    ) -> Dict[str, float]:
+        """Route a streamed trace and return network-wide cost statistics.
+
+        The streaming twin of :meth:`serve_trace`: ``chunks`` is an iterable
+        of ``(sources, destinations)`` chunk pairs — exactly what
+        :meth:`repro.network.traffic.TrafficSpec.iter_trace` yields — served
+        as they arrive, so the trace is never resident.  Each chunk is split
+        into its per-source destination runs (relative order preserved) and
+        fed through the owning trees' ``serve_batch`` dispatch; because the
+        per-source trees are independent, the result is bit-identical to
+        serving the interleaved trace request by request, whatever the chunk
+        size.  This is what pool workers executing a
+        :class:`repro.plans.NetworkPlan` run.
+        """
+        for sources, destinations in chunks:
+            per_source: Dict[int, List[int]] = {}
+            for source, destination in zip(sources, destinations):
+                per_source.setdefault(source, []).append(destination)
+            for source, batch in per_source.items():
+                self.tree_of(source).serve_batch(batch)
+        return self.cost_summary()
+
     # --------------------------------------------------------------- reporting
+
+    def per_source_columns(self) -> Dict[str, List[float]]:
+        """Return per-source cost totals as parallel columns.
+
+        The columnar transport format of network-trial results (mirroring the
+        PR-3 columnar record ledger): one list per
+        :data:`PER_SOURCE_COLUMNS` entry, rows ordered by ascending source
+        identifier.  Workers return these instead of nested per-source
+        dictionaries, so a paper-scale fan-out ships five flat lists per
+        trial rather than thousands of dict objects.
+        """
+        columns: Dict[str, List[float]] = {name: [] for name in PER_SOURCE_COLUMNS}
+        for source in sorted(self._trees):
+            summary = self._trees[source].cost_summary()
+            columns["source"].append(source)
+            columns["n_requests"].append(summary["n_requests"])
+            columns["total_access_cost"].append(summary["total_access_cost"])
+            columns["total_adjustment_cost"].append(summary["total_adjustment_cost"])
+            columns["total_cost"].append(summary["total_cost"])
+        return columns
 
     def per_source_summary(self) -> Dict[int, Dict[str, float]]:
         """Return the cost summary of every source tree."""

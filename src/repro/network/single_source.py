@@ -15,10 +15,10 @@ universe up to the next complete-binary-tree size.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.algorithms.base import OnlineTreeAlgorithm, RunResult
-from repro.algorithms.registry import make_algorithm
+from repro.algorithms.registry import AlgorithmSpec, make_algorithm
 from repro.core.cost import RequestCost
 from repro.exceptions import AlgorithmError
 from repro.types import ElementId
@@ -39,7 +39,9 @@ class SingleSourceTreeNetwork:
         mapped to tree elements in the order given; the universe is padded to
         the next ``2**k - 1`` size with unused filler elements.
     algorithm:
-        Registry name of the tree algorithm to use (default ``"rotor-push"``).
+        Registry name — or :class:`~repro.algorithms.registry.AlgorithmSpec`,
+        whose params become constructor keyword arguments — of the tree
+        algorithm to use (default ``"rotor-push"``).
     placement_seed, algorithm_seed:
         Seeds for the initial random placement and for the algorithm's own
         randomness (Random-Push).
@@ -55,7 +57,7 @@ class SingleSourceTreeNetwork:
         self,
         source: int,
         destinations: Sequence[int],
-        algorithm: str = "rotor-push",
+        algorithm: Union[str, AlgorithmSpec] = "rotor-push",
         placement_seed: Optional[int] = None,
         algorithm_seed: Optional[int] = None,
         keep_records: bool = False,
@@ -66,8 +68,9 @@ class SingleSourceTreeNetwork:
         unique = list(dict.fromkeys(destinations))
         if source in unique:
             raise AlgorithmError(f"source {source} cannot be its own destination")
+        algorithm = AlgorithmSpec.coerce(algorithm)
         self.source = source
-        self.algorithm_name = algorithm
+        self.algorithm_name = algorithm.name
         self.backend = backend
         self._element_of: Dict[int, ElementId] = {
             destination: index for index, destination in enumerate(unique)

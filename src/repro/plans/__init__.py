@@ -46,6 +46,7 @@ from repro.plans.io import (
 )
 from repro.plans.model import (
     ExperimentPlan,
+    NetworkPlan,
     Plan,
     RunConfig,
     SweepPlan,
@@ -56,6 +57,7 @@ from repro.plans.model import (
 __all__ = [
     "ExperimentPlan",
     "GOLDEN_PLAN_DIR",
+    "NetworkPlan",
     "Plan",
     "RunConfig",
     "StageResult",

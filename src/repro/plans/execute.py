@@ -23,11 +23,23 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.exceptions import PlanError
-from repro.plans.model import ExperimentPlan, Plan, SweepPlan, TrialPlan
-from repro.sim.results import ResultTable
-from repro.sim.runner import AggregatedOutcome, TrialRunner
+from repro.plans.model import (
+    ExperimentPlan,
+    NetworkPlan,
+    Plan,
+    SweepPlan,
+    TrialPlan,
+)
+from repro.sim.results import ResultTable, summarise_values
+from repro.sim.runner import (
+    AggregatedOutcome,
+    TrafficSource,
+    TrialPayload,
+    TrialRunner,
+    execute_payloads,
+)
 from repro.sim.sweep import ParameterSweep
-from repro.workloads.spec import WorkloadSpec
+from repro.workloads.spec import DEFAULT_CHUNK_SIZE, WorkloadSpec
 
 __all__ = [
     "StageResult",
@@ -39,6 +51,28 @@ __all__ = [
 #: Columns of the table a bare :class:`TrialPlan` produces.
 TRIAL_TABLE_COLUMNS = [
     "algorithm",
+    "mean_access_cost",
+    "mean_adjustment_cost",
+    "mean_total_cost",
+    "n_trials",
+]
+
+#: Trial stride of the network base seed shipped in network payloads.
+#: :class:`~repro.network.multi_source.MultiSourceNetwork` derives per-source
+#: seeds as ``base + source`` (placement) and ``base + 100_000 + source``
+#: (algorithm), so consecutive trials must be spaced further apart than the
+#: largest such offset or trial ``i``'s source ``s + 1`` would reuse trial
+#: ``i + 1``'s source-``s`` randomness and the "independent" trials would
+#: correlate.  One million clears the offsets of any realistic tree
+#: (``100_000 + n_nodes`` with ``n_nodes`` up to ~900k).
+NETWORK_TRIAL_SEED_STRIDE = 1_000_000
+
+#: Columns of the per-source table a :class:`NetworkPlan` produces.  The
+#: ``source`` column holds node identifiers plus one final ``"total"``
+#: aggregate row; costs are per-request means over the plan's trials.
+NETWORK_TABLE_COLUMNS = [
+    "source",
+    "n_requests",
     "mean_access_cost",
     "mean_adjustment_cost",
     "mean_total_cost",
@@ -120,9 +154,42 @@ def _assemble_tables(plan: ExperimentPlan, stages: List[StageResult]) -> object:
     return {stage.key: stage.result for stage in stages}
 
 
+@register_assembler("trace_costs")
+def _assemble_trace_costs(plan: ExperimentPlan, stages: List[StageResult]) -> object:
+    """Merge network-stage tables into one per-source route-cost report.
+
+    Every stage must be a :class:`~repro.plans.model.NetworkPlan`; the output
+    table carries one row per (stage, source) plus each stage's ``"total"``
+    aggregate row, labelled with the stage key and the stage's algorithm so
+    multi-scenario experiments (e.g. the shipped ``multisource`` golden plan)
+    read as one comparison.
+    """
+    if not stages:
+        raise PlanError(
+            f"assembler 'trace_costs' needs at least one network stage, "
+            f"plan {plan.name!r} has none"
+        )
+    table = ResultTable(
+        name=plan.name, columns=["scenario", "algorithm"] + NETWORK_TABLE_COLUMNS
+    )
+    for stage in stages:
+        if not isinstance(stage.plan, NetworkPlan) or stage.table is None:
+            raise PlanError(
+                f"assembler 'trace_costs' expects network-plan stages, stage "
+                f"{stage.key!r} of plan {plan.name!r} is {type(stage.plan).__name__}"
+            )
+        for row in stage.table.rows:
+            table.add_row(
+                scenario=stage.key,
+                algorithm=stage.plan.algorithm.name,
+                **row,
+            )
+    return table
+
+
 def _check_runnable(plan: Plan) -> None:
     """Validate environment-dependent plan choices before any payload exists."""
-    if isinstance(plan, (TrialPlan, SweepPlan)):
+    if isinstance(plan, (TrialPlan, SweepPlan, NetworkPlan)):
         plan.config.check_runnable()
         return
     if plan.config is not None:
@@ -188,6 +255,91 @@ def _execute_sweep_plan(plan: SweepPlan, key: str = "") -> StageResult:
     return StageResult(key=key, plan=plan, result=table, table=table)
 
 
+def build_network_payloads(plan: NetworkPlan) -> List[TrialPayload]:
+    """Build one spec-only payload per trial of a network plan.
+
+    The network counterpart of :meth:`TrialRunner.build_payloads`: trial
+    ``i`` ships the traffic template re-seeded with ``base_seed + i``
+    (stamping the interleaving and every per-source workload seed, see
+    :meth:`~repro.network.traffic.TrafficSpec.with_seed`) and the network
+    base seed ``base_seed + 10_000 + i * NETWORK_TRIAL_SEED_STRIDE`` in the
+    payload's ``placement_seed`` slot — a trial-index-only derivation like
+    the single-source runners', with the stride keeping the per-source seed
+    windows of different trials disjoint.  Payloads are therefore
+    independent of where and in which order they execute, and nothing is
+    generated here: the parent process never holds a trace.
+    """
+    config = plan.config
+    chunk = DEFAULT_CHUNK_SIZE if config.chunk_size is None else config.chunk_size
+    payloads: List[TrialPayload] = []
+    for trial in range(config.n_trials):
+        payloads.append(
+            TrialPayload(
+                algorithm=plan.algorithm,
+                source=TrafficSource(
+                    traffic=plan.traffic.with_seed(config.base_seed + trial),
+                    requests_per_source=config.n_requests,
+                    chunk_size=chunk,
+                ),
+                n_nodes=plan.traffic.n_nodes,
+                placement_seed=config.base_seed
+                + 10_000
+                + trial * NETWORK_TRIAL_SEED_STRIDE,
+                algorithm_seed=None,
+                keep_records=config.keep_records,
+                trial=trial,
+                backend=config.backend,
+            )
+        )
+    return payloads
+
+
+def _execute_network_plan(plan: NetworkPlan, key: str = "") -> StageResult:
+    payloads = build_network_payloads(plan)
+    results = execute_payloads(payloads, plan.config.n_jobs)
+    table = ResultTable(name=plan.name, columns=list(NETWORK_TABLE_COLUMNS))
+    n_trials = len(results)
+    per_trial_columns = [result.metadata["per_source"] for result in results]
+    sources = per_trial_columns[0]["source"] if per_trial_columns else []
+    for index, source in enumerate(sources):
+        requests = int(per_trial_columns[0]["n_requests"][index])
+        means = {
+            column: summarise_values(
+                [
+                    trial_columns[column][index] / max(1, trial_columns["n_requests"][index])
+                    for trial_columns in per_trial_columns
+                ]
+            )["mean"]
+            for column in ("total_access_cost", "total_adjustment_cost", "total_cost")
+        }
+        table.add_row(
+            source=int(source),
+            n_requests=requests,
+            mean_access_cost=means["total_access_cost"],
+            mean_adjustment_cost=means["total_adjustment_cost"],
+            mean_total_cost=means["total_cost"],
+            n_trials=n_trials,
+        )
+    aggregate = {
+        field: summarise_values(
+            [
+                getattr(result, f"average_{field}_cost")
+                for result in results
+            ]
+        )["mean"]
+        for field in ("access", "adjustment", "total")
+    }
+    table.add_row(
+        source="total",
+        n_requests=results[0].n_requests if results else 0,
+        mean_access_cost=aggregate["access"],
+        mean_adjustment_cost=aggregate["adjustment"],
+        mean_total_cost=aggregate["total"],
+        n_trials=n_trials,
+    )
+    return StageResult(key=key, plan=plan, result=table, table=table)
+
+
 def _execute_experiment_plan(plan: ExperimentPlan, key: str = "") -> StageResult:
     stages = [_execute(sub, stage_key) for stage_key, sub in plan.stages]
     result = _assembler(plan.assembler)(plan, stages)
@@ -200,6 +352,8 @@ def _execute(plan: Plan, key: str = "") -> StageResult:
         return _execute_trial_plan(plan, key)
     if isinstance(plan, SweepPlan):
         return _execute_sweep_plan(plan, key)
+    if isinstance(plan, NetworkPlan):
+        return _execute_network_plan(plan, key)
     if isinstance(plan, ExperimentPlan):
         return _execute_experiment_plan(plan, key)
     raise PlanError(f"not a plan object: {plan!r}")
@@ -215,6 +369,9 @@ def run(plan: Plan) -> object:
     * a :class:`SweepPlan` returns the sweep's table (one row per point ×
       algorithm), exactly as :class:`~repro.sim.sweep.ParameterSweep` built
       it;
+    * a :class:`NetworkPlan` returns a per-source route-cost table (one row
+      per source plus a ``"total"`` aggregate row, per-request means over
+      the trials), streamed through spec-shipped multi-source payloads;
     * an :class:`ExperimentPlan` returns whatever its assembler produces —
       a table, a ``{stage key: result}`` dict (q1/q4/q5), or the Q4
       ``(histogram, summary)`` pair.

@@ -1,8 +1,8 @@
 """Plan (de)serialisation: JSON documents ↔ plan objects, golden plans.
 
 The document format mirrors the plan dataclasses one to one; every document
-carries a ``"plan"`` discriminator (``"trial"``, ``"sweep"`` or
-``"experiment"``).  Loading validates the schema *and* the referenced
+carries a ``"plan"`` discriminator (``"trial"``, ``"sweep"``, ``"network"``
+or ``"experiment"``).  Loading validates the schema *and* the referenced
 registry names — :func:`loads` on a document naming an unknown algorithm or
 workload kind raises the same eager, name-listing errors as constructing the
 plan in Python, so a bad plan file never gets as far as building payloads.
@@ -21,8 +21,10 @@ from typing import Dict, List, Union
 
 from repro.algorithms.registry import AlgorithmSpec
 from repro.exceptions import PlanError
+from repro.network.traffic import TrafficSpec
 from repro.plans.model import (
     ExperimentPlan,
+    NetworkPlan,
     Plan,
     RunConfig,
     SweepPlan,
@@ -72,6 +74,15 @@ def plan_to_dict(plan: Plan) -> Dict[str, object]:
             "algorithms": [spec.to_dict() for spec in plan.algorithms],
             "points": [_params_to_json(point) for point in plan.points],
             "bind": {key: param for key, param in plan.bind},
+            "config": plan.config.to_dict(),
+        }
+    if isinstance(plan, NetworkPlan):
+        return {
+            "plan": "network",
+            "name": plan.name,
+            "n_sources": plan.n_sources,
+            "traffic": plan.traffic.to_dict(),
+            "algorithm": plan.algorithm.to_dict(),
             "config": plan.config.to_dict(),
         }
     if isinstance(plan, ExperimentPlan):
@@ -131,6 +142,15 @@ def plan_from_dict(data: Dict[str, object]) -> Plan:
             bind=bind,
             config=RunConfig.from_dict(data.get("config") or {}),
         )
+    if kind == "network":
+        n_sources = data.get("n_sources")
+        return NetworkPlan(
+            name=str(data.get("name", "network")),
+            traffic=TrafficSpec.from_dict(_require(data, "traffic", context)),
+            algorithm=AlgorithmSpec.from_dict(_require(data, "algorithm", context)),
+            config=RunConfig.from_dict(data.get("config") or {}),
+            n_sources=None if n_sources is None else int(n_sources),
+        )
     if kind == "experiment":
         stages_doc = data.get("stages") or []
         if not isinstance(stages_doc, list):
@@ -156,7 +176,7 @@ def plan_from_dict(data: Dict[str, object]) -> Plan:
         )
     raise PlanError(
         f"{context}: unknown plan type {kind!r}; expected one of "
-        "'trial', 'sweep', 'experiment'"
+        "'trial', 'sweep', 'network', 'experiment'"
     )
 
 

@@ -16,9 +16,14 @@ shareable artifacts instead of imperative code:
   tuple of algorithm specs, a tree size and a config.
 * :class:`SweepPlan` — a parameter sweep: a list of points, a binding from
   point keys to workload-template parameters, algorithms and a config.
-* :class:`ExperimentPlan` — a named composition: sub-plans (trial, sweep or
-  nested experiment) plus a registered *assembler* that turns stage results
-  into the figure-specific output (difference tables, histograms, ...).
+* :class:`NetworkPlan` — one multi-source network scenario: a
+  :class:`~repro.network.traffic.TrafficSpec` (per-source workload specs +
+  interleaving policy), the tree algorithm every source runs, and a config
+  whose ``n_requests`` counts requests *per source*.
+* :class:`ExperimentPlan` — a named composition: sub-plans (trial, sweep,
+  network or nested experiment) plus a registered *assembler* that turns
+  stage results into the figure-specific output (difference tables,
+  histograms, per-source cost reports, ...).
 
 Plans never hold RNG state or request data; executing one
 (:func:`repro.plans.run`) derives all seeds from ``config.base_seed`` exactly
@@ -34,14 +39,21 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.algorithms.registry import AlgorithmSpec
 from repro.core import backend as _backend
 from repro.exceptions import ExperimentError, PlanError, WorkloadError
+from repro.network.traffic import TrafficSpec
 from repro.sim.parallel import check_n_jobs
 from repro.workloads.base import check_chunk_size
-from repro.workloads.spec import WorkloadSpec, check_kind, freeze_params
+from repro.workloads.spec import (
+    WorkloadSpec,
+    check_kind,
+    check_universe,
+    freeze_params,
+)
 
 __all__ = [
     "RunConfig",
     "TrialPlan",
     "SweepPlan",
+    "NetworkPlan",
     "ExperimentPlan",
     "Plan",
     "plan_with_overrides",
@@ -121,6 +133,8 @@ class RunConfig:
         n_jobs: Optional[int] = None,
         chunk_size: Optional[int] = None,
         backend: Optional[str] = None,
+        n_trials: Optional[int] = None,
+        n_requests: Optional[int] = None,
     ) -> "RunConfig":
         """Return a copy with the given (non-``None``) knobs replaced."""
         updates: Dict[str, object] = {}
@@ -130,6 +144,10 @@ class RunConfig:
             updates["chunk_size"] = chunk_size
         if backend is not None:
             updates["backend"] = backend
+        if n_trials is not None:
+            updates["n_trials"] = n_trials
+        if n_requests is not None:
+            updates["n_requests"] = n_requests
         return replace(self, **updates) if updates else self
 
     def to_dict(self) -> Dict[str, object]:
@@ -199,13 +217,15 @@ def _check_workload_template(
             f"{owner}: workload must be a WorkloadSpec, got {workload!r}"
         )
     check_kind(workload.kind)  # names the bad key and lists registered kinds
-    universe = workload.get("n_elements")
-    if n_nodes is not None and universe is not None and universe != n_nodes:
-        raise PlanError(
-            f"{owner}: workload universe {universe} does not match the plan "
-            f"tree size {n_nodes}"
-        )
-    return workload
+    if n_nodes is None:
+        return workload
+    try:
+        # the spec layer's shared universe check (also used by TrafficSpec)
+        return check_universe(workload, n_nodes, owner)
+    except WorkloadError as error:
+        # plan documents fail with plan-level errors (same convention as
+        # RunConfig delegating to the n_jobs/chunk-size validators)
+        raise PlanError(str(error)) from None
 
 
 @dataclass(frozen=True)
@@ -335,6 +355,75 @@ class SweepPlan:
 
 
 @dataclass(frozen=True)
+class NetworkPlan:
+    """One multi-source network scenario, as data.
+
+    The network twin of :class:`TrialPlan`: ``traffic`` is a
+    :class:`~repro.network.traffic.TrafficSpec` *template* (per-source
+    workload specs, interleaving policy, weights) whose seeds are stamped per
+    trial — trial ``i`` runs on ``traffic.with_seed(config.base_seed + i)``
+    over a fresh :class:`~repro.network.multi_source.MultiSourceNetwork`
+    whose base seed derives from the trial index alone (striding past the
+    per-source seed window, see
+    :data:`repro.plans.execute.NETWORK_TRIAL_SEED_STRIDE`), so the whole
+    scenario reproduces from ``config.base_seed`` alone, at every
+    ``n_jobs``, with no seed stream shared between trials or sources.
+
+    ``config.n_requests`` counts requests *per source* (the trace totals
+    ``n_sources × n_requests``); ``n_sources`` is derived from the traffic
+    spec when omitted and cross-checked against it when given.
+    """
+
+    traffic: TrafficSpec
+    algorithm: AlgorithmSpec
+    config: RunConfig = RunConfig()
+    n_sources: Optional[int] = None
+    name: str = "network"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.traffic, TrafficSpec):
+            raise PlanError(
+                f"{self._owner}: traffic must be a TrafficSpec, got "
+                f"{self.traffic!r}"
+            )
+        # unknown names keep their eager AlgorithmError (bad key + registry
+        # listing), matching TrialPlan's validation conventions
+        object.__setattr__(self, "algorithm", AlgorithmSpec.coerce(self.algorithm))
+        declared = len(self.traffic.sources)
+        if self.n_sources is None:
+            object.__setattr__(self, "n_sources", declared)
+        elif self.n_sources != declared:
+            raise PlanError(
+                f"{self._owner}: n_sources is {self.n_sources} but the "
+                f"traffic spec declares {declared} sources"
+            )
+        if not isinstance(self.config, RunConfig):
+            raise PlanError(f"{self._owner}: config must be a RunConfig")
+        if self.config.keep_records:
+            # per-request records would live and die inside the worker-side
+            # source trees — all memory cost, no observable output; fail
+            # eagerly instead of silently paying for nothing at paper scale
+            raise PlanError(
+                f"{self._owner}: keep_records is not supported for network "
+                "plans (per-request records never leave the worker's source "
+                "trees); network results are per-source totals"
+            )
+
+    @property
+    def _owner(self) -> str:
+        return f"network plan {self.name!r}"
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of network nodes (taken from the traffic spec)."""
+        return self.traffic.n_nodes
+
+    def source_ids(self) -> List[int]:
+        """Return the planned source identifiers, ascending."""
+        return self.traffic.source_ids()
+
+
+@dataclass(frozen=True)
 class ExperimentPlan:
     """A named composition of sub-plans plus a result assembler.
 
@@ -370,7 +459,9 @@ class ExperimentPlan:
         if len(set(keys)) != len(keys):
             raise PlanError(f"{self._owner}: duplicate stage keys in {keys}")
         for key, plan in stages:
-            if not isinstance(plan, (TrialPlan, SweepPlan, ExperimentPlan)):
+            if not isinstance(
+                plan, (TrialPlan, SweepPlan, NetworkPlan, ExperimentPlan)
+            ):
                 raise PlanError(
                     f"{self._owner}: stage {key!r} is not a plan object: {plan!r}"
                 )
@@ -411,7 +502,7 @@ class ExperimentPlan:
         )
 
 
-Plan = Union[TrialPlan, SweepPlan, ExperimentPlan]
+Plan = Union[TrialPlan, SweepPlan, NetworkPlan, ExperimentPlan]
 
 
 def plan_with_overrides(
@@ -419,24 +510,46 @@ def plan_with_overrides(
     n_jobs: Optional[int] = None,
     chunk_size: Optional[int] = None,
     backend: Optional[str] = None,
+    n_trials: Optional[int] = None,
+    n_requests: Optional[int] = None,
 ) -> Plan:
     """Return ``plan`` with run-shape knobs overridden throughout the tree.
 
     The CLI's override semantics: a flag given on the command line wins over
     whatever the plan document says, recursively — every ``RunConfig`` of
     every nested stage is replaced.  ``None`` means "keep the plan's value".
+    Besides the perf knobs (``n_jobs``/``chunk_size``/``backend``, which
+    never change results) the run *size* can be overridden too
+    (``n_trials``/``n_requests`` — the CLI's ``--trials``/``--requests``),
+    e.g. to smoke-test a paper-scale plan document at toy scale.
     """
-    if n_jobs is None and chunk_size is None and backend is None:
+    if (
+        n_jobs is None
+        and chunk_size is None
+        and backend is None
+        and n_trials is None
+        and n_requests is None
+    ):
         return plan
-    if isinstance(plan, (TrialPlan, SweepPlan)):
+    if isinstance(plan, (TrialPlan, SweepPlan, NetworkPlan)):
         return replace(
-            plan, config=plan.config.with_overrides(n_jobs, chunk_size, backend)
+            plan,
+            config=plan.config.with_overrides(
+                n_jobs, chunk_size, backend, n_trials, n_requests
+            ),
         )
     stages = tuple(
-        (key, plan_with_overrides(sub, n_jobs, chunk_size, backend))
+        (
+            key,
+            plan_with_overrides(
+                sub, n_jobs, chunk_size, backend, n_trials, n_requests
+            ),
+        )
         for key, sub in plan.stages
     )
     config = plan.config
     if config is not None:
-        config = config.with_overrides(n_jobs, chunk_size, backend)
+        config = config.with_overrides(
+            n_jobs, chunk_size, backend, n_trials, n_requests
+        )
     return replace(plan, stages=stages, config=config)

@@ -37,6 +37,8 @@ from repro.algorithms.base import RunResult
 from repro.algorithms.registry import AlgorithmSpec
 from repro.core import backend as _backend
 from repro.exceptions import ExperimentError
+from repro.network.multi_source import MultiSourceNetwork
+from repro.network.traffic import TrafficSpec
 from repro.sim.engine import simulate, simulate_stream
 from repro.sim.parallel import map_ordered
 from repro.sim.results import summarise_values
@@ -47,6 +49,7 @@ from repro.workloads.spec import DEFAULT_CHUNK_SIZE, WorkloadSpec, build_workloa
 __all__ = [
     "SequenceSource",
     "SpecSource",
+    "TrafficSource",
     "TrialOutcome",
     "AggregatedOutcome",
     "TrialPayload",
@@ -85,7 +88,28 @@ class SpecSource:
     shared: bool = False
 
 
-WorkloadSource = Union[SequenceSource, SpecSource]
+@dataclass(frozen=True)
+class TrafficSource:
+    """A multi-source traffic spec to rebuild and stream inside the worker.
+
+    The network variant of :class:`SpecSource`: the payload carries a
+    :class:`repro.network.traffic.TrafficSpec` (per-source workload specs +
+    interleaving policy, already trial-seeded) and the per-source request
+    count; the worker rebuilds the :class:`repro.network.multi_source.
+    MultiSourceNetwork` from the payload seeds, streams the trace through
+    :meth:`~repro.network.multi_source.MultiSourceNetwork.serve_trace_stream`
+    and returns columnar per-source totals — the parent process never
+    materialises a single trace request.  The payload's ``placement_seed``
+    doubles as the network's ``base_seed`` (per-source placement and
+    algorithm seeds are derived from it inside ``MultiSourceNetwork``).
+    """
+
+    traffic: TrafficSpec
+    requests_per_source: int
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+
+
+WorkloadSource = Union[SequenceSource, SpecSource, TrafficSource]
 
 
 @dataclass(frozen=True)
@@ -191,6 +215,8 @@ def _execute_trial(payload: TrialPayload) -> RunResult:
     """
     metadata: Dict[str, object] = {"trial": payload.trial, **payload.metadata}
     source = payload.source
+    if isinstance(source, TrafficSource):
+        return _execute_network_trial(payload, source, metadata)
     as_array = _backend.vectorise_active(_backend.resolve_backend(payload.backend))
     if isinstance(source, SpecSource):
         chunks = _chunks_of(source, as_array=as_array)
@@ -213,6 +239,44 @@ def _execute_trial(payload: TrialPayload) -> RunResult:
         keep_records=payload.keep_records,
         metadata=metadata,
         backend=payload.backend,
+    )
+
+
+def _execute_network_trial(
+    payload: TrialPayload, source: TrafficSource, metadata: Dict[str, object]
+) -> RunResult:
+    """Process-pool worker body for one multi-source network trial.
+
+    Rebuilds the network from the shipped specs and seeds, streams the trace
+    through the per-source ``serve_batch`` dispatch and returns the aggregate
+    totals, with the per-source breakdown attached as columnar metadata
+    (``metadata["per_source"]``, see
+    :meth:`~repro.network.multi_source.MultiSourceNetwork.per_source_columns`).
+    Seeds are pure functions of the trial index, so results are bit-identical
+    wherever and in whatever order the payload runs.
+    """
+    traffic = source.traffic
+    network = MultiSourceNetwork(
+        n_nodes=payload.n_nodes,
+        sources=traffic.source_ids(),
+        algorithm=payload.algorithm,
+        base_seed=payload.placement_seed if payload.placement_seed is not None else 0,
+        keep_records=payload.keep_records,
+        backend=payload.backend,
+    )
+    summary = network.serve_trace_stream(
+        traffic.iter_trace(source.requests_per_source, source.chunk_size)
+    )
+    metadata = dict(metadata)
+    metadata["per_source"] = network.per_source_columns()
+    metadata["interleaving"] = traffic.interleaving
+    return RunResult(
+        algorithm=payload.algorithm_name,
+        n_nodes=payload.n_nodes,
+        n_requests=int(summary["n_requests"]),
+        total_access_cost=int(summary["total_access_cost"]),
+        total_adjustment_cost=int(summary["total_adjustment_cost"]),
+        metadata=metadata,
     )
 
 

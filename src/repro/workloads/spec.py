@@ -33,6 +33,7 @@ __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "WorkloadSpec",
     "check_kind",
+    "check_universe",
     "freeze_params",
     "register_workload",
     "build_workload",
@@ -221,6 +222,25 @@ def check_kind(kind: str) -> str:
             f"unknown workload kind {kind!r}; registered kinds: {registered_kinds()}"
         )
     return kind
+
+
+def check_universe(spec: WorkloadSpec, expected: int, owner: str) -> WorkloadSpec:
+    """Validate a spec's universe against ``expected`` nodes.
+
+    The shared eager check of every layer that binds workload specs to a tree
+    of a known size (trial plans, traffic specs): the spec's ``n_elements``
+    parameter — when present — must equal the tree size.  ``owner`` names the
+    validating document in the error message.  Callers check the kind
+    separately via :func:`check_kind` (the two raise differently-typed errors
+    in the plan layer).
+    """
+    universe = spec.get("n_elements")
+    if universe is not None and universe != expected:
+        raise WorkloadError(
+            f"{owner}: workload universe {universe} does not match "
+            f"the {expected}-node tree"
+        )
+    return spec
 
 
 def build_workload(spec: WorkloadSpec):

@@ -105,6 +105,47 @@ class TestServeBehaviour:
             == fresh_max_push().run(sequence).total_cost
         )
 
+    def test_repeat_run_batching_matches_request_by_request(self, rng):
+        """serve_batch settles repeat runs with one clock bump; victim
+        selection, placements, totals and records must stay identical."""
+        sequence = []
+        while len(sequence) < 600:
+            element = rng.randrange(31)
+            sequence.extend([element] * rng.randrange(1, 6))
+        reference = fresh_max_push(depth=4)
+        for element in sequence:
+            reference.serve(element)
+        batched = fresh_max_push(depth=4)
+        for start in range(0, len(sequence), 37):
+            batched.serve_batch(sequence[start : start + 37])
+        assert batched.network.placement() == reference.network.placement()
+        assert (
+            batched.network.ledger.snapshot_totals()
+            == reference.network.ledger.snapshot_totals()
+        )
+        assert list(batched.network.ledger.records) == list(
+            reference.network.ledger.records
+        )
+        batched._lru.validate_against(batched.network)
+        # the batched clock advanced once per request, exactly like serial
+        assert batched._lru._clock == reference._lru._clock
+
+    def test_record_repeats_equals_repeated_record_access(self):
+        serial_algorithm = fresh_max_push()
+        batched_algorithm = fresh_max_push()
+        serial, batched = serial_algorithm._lru, batched_algorithm._lru
+        for _ in range(5):
+            serial.record_access(3)
+        batched.record_repeats(3, 5)
+        assert serial._clock == batched._clock
+        assert serial.last_access(3) == batched.last_access(3)
+        for level in range(4):
+            assert serial.least_recently_used(
+                level, exclude=3
+            ) == batched.least_recently_used(level, exclude=3)
+        batched.record_repeats(3, 0)  # no-op
+        assert serial._clock == batched._clock
+
     def test_adjustment_cost_higher_than_rotor_push(self, rng):
         """The paper's evaluation: Max-Push pays the highest adjustment cost."""
         from repro.algorithms import RotorPush

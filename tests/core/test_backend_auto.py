@@ -1,0 +1,79 @@
+"""Regression tests for the per-algorithm ``backend="auto"`` preference table.
+
+``BENCH_serve.json`` measures the array backend *slower* (0.9×) for the
+LRU-index algorithms (move-half, max-push): they serve every request through
+the scalar loop, so typed-array placement only adds conversion overhead.  The
+preference table in :mod:`repro.core.backend` is the single source of truth
+for the auto pick; these tests pin it so a future refactor cannot silently
+route them back onto the array backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.registry import make_algorithm
+from repro.core import backend as backend_mod
+
+
+def auto_pick(name: str) -> str:
+    return make_algorithm(
+        name, n_nodes=15, placement_seed=1, seed=2, backend="auto"
+    ).network.backend
+
+
+class TestAutoPreferenceTable:
+    @pytest.mark.parametrize("name", ["move-half", "max-push"])
+    def test_lru_algorithms_prefer_python(self, name):
+        # measured slower on array (speedup_vs_python 0.9 in BENCH_serve.json)
+        assert auto_pick(name) == backend_mod.BACKEND_PYTHON
+        assert backend_mod.AUTO_BACKEND_PREFERENCES[name] == backend_mod.BACKEND_PYTHON
+
+    @pytest.mark.skipif(not backend_mod.HAS_NUMPY, reason="needs NumPy")
+    @pytest.mark.parametrize(
+        "name", ["rotor-push", "random-push", "move-to-front", "static-oblivious", "static-opt"]
+    )
+    def test_vectorised_algorithms_prefer_array_with_numpy(self, name):
+        assert auto_pick(name) == backend_mod.BACKEND_ARRAY
+
+    def test_without_numpy_everything_is_python(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "HAS_NUMPY", False)
+        for name in backend_mod.AUTO_BACKEND_PREFERENCES:
+            assert (
+                backend_mod.auto_backend_for(name) == backend_mod.BACKEND_PYTHON
+            )
+
+    def test_table_is_consulted_before_the_capability_rule(self, monkeypatch):
+        if not backend_mod.HAS_NUMPY:
+            pytest.skip("needs NumPy")
+        # flip one entry: auto must follow the table, not the capability rule
+        monkeypatch.setitem(
+            backend_mod.AUTO_BACKEND_PREFERENCES,
+            "rotor-push",
+            backend_mod.BACKEND_PYTHON,
+        )
+        assert auto_pick("rotor-push") == backend_mod.BACKEND_PYTHON
+
+    def test_unknown_algorithms_fall_back_to_capability_rule(self):
+        if not backend_mod.HAS_NUMPY:
+            pytest.skip("needs NumPy")
+        assert (
+            backend_mod.auto_backend_for("some-new-static", self_adjusting=False)
+            == backend_mod.BACKEND_ARRAY
+        )
+        assert (
+            backend_mod.auto_backend_for(
+                "some-new-promoter", self_adjusting=True, batch_root_promote=True
+            )
+            == backend_mod.BACKEND_ARRAY
+        )
+        assert (
+            backend_mod.auto_backend_for("some-new-scalar", self_adjusting=True)
+            == backend_mod.BACKEND_PYTHON
+        )
+
+    def test_explicit_names_are_never_rerouted(self):
+        instance = make_algorithm(
+            "move-half", n_nodes=15, placement_seed=1, backend="array"
+        )
+        assert instance.network.backend == backend_mod.BACKEND_ARRAY

@@ -93,6 +93,49 @@ class TestOverridePrecedence:
         assert plan.config.n_jobs == 5
         assert plan.config.backend == "python"  # untouched
 
+    def test_trials_and_requests_override_plan_document(self, tmp_path):
+        path = tmp_path / "plan.json"
+        dump(small_plan(), path)  # document says 200 requests, 2 trials
+        args = build_parser().parse_args(
+            ["run", str(path), "--trials", "1", "--requests", "50"]
+        )
+        plan = resolve_run_plan(args)
+        assert plan.config.n_trials == 1
+        assert plan.config.n_requests == 50
+
+    def test_absent_trials_and_requests_keep_plan_values(self, tmp_path):
+        path = tmp_path / "plan.json"
+        dump(small_plan(), path)
+        plan = resolve_run_plan(build_parser().parse_args(["run", str(path)]))
+        assert plan.config.n_trials == 2
+        assert plan.config.n_requests == 200
+
+    def test_trials_and_requests_recurse_into_experiment_stages(self):
+        from repro.plans import ExperimentPlan
+
+        args = build_parser().parse_args(
+            ["run", "q1", "--trials", "1", "--requests", "11"]
+        )
+        plan = resolve_run_plan(args)
+
+        def leaf_configs(node):
+            if isinstance(node, ExperimentPlan):
+                for _key, sub in node.stages:
+                    yield from leaf_configs(sub)
+            else:
+                yield node.config
+
+        configs = list(leaf_configs(plan))
+        assert configs  # q1 is an experiment over sweep stages
+        assert all(config.n_trials == 1 for config in configs)
+        assert all(config.n_requests == 11 for config in configs)
+
+    def test_bad_trials_and_requests_rejected_by_the_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "smoke", "--trials", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "smoke", "--requests", "-1"])
+
 
 class TestExecution:
     def test_run_plan_file_end_to_end(self, tmp_path, capsys):
@@ -119,6 +162,37 @@ class TestExecution:
         assert main(["list"]) == 0
         output = capsys.readouterr().out
         assert "Golden plans" in output and "smoke" in output
+        assert "multisource" in output
+
+    def test_run_golden_multisource(self, capsys):
+        assert (
+            main(["run", "multisource", "--trials", "1", "--requests", "20"]) == 0
+        )
+        output = capsys.readouterr().out
+        assert "multisource" in output
+        assert "rotor-push" in output and "max-push" in output
+        assert "total" in output
+
+    def test_run_network_plan_file(self, tmp_path, capsys):
+        from repro.network.traffic import TrafficSpec
+        from repro.plans import NetworkPlan
+
+        plan = NetworkPlan(
+            name="cli-network",
+            traffic=TrafficSpec.create(
+                15,
+                {0: WorkloadSpec.create("uniform", n_elements=15),
+                 4: WorkloadSpec.create("uniform", n_elements=15)},
+            ),
+            algorithm="rotor-push",
+            config=RunConfig(n_requests=30, n_trials=1),
+        )
+        path = tmp_path / "network.json"
+        dump(plan, path)
+        csv_dir = tmp_path / "csv"
+        assert main(["run", str(path), "--csv-dir", str(csv_dir)]) == 0
+        assert (csv_dir / "cli-network.csv").is_file()
+        assert "cli-network" in capsys.readouterr().out
 
     def test_demo_runs_through_a_plan(self, capsys):
         assert main(["demo", "--nodes", "31", "--requests", "200", "--trials", "1"]) == 0
