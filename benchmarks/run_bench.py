@@ -19,7 +19,10 @@ against its predecessors on the same hardware.  The measured layers:
   payloads for the same trial grid, with a determinism cross-check; and
 * **multi-source scenarios** — serve throughput of a spec-shipped
   :class:`repro.plans.NetworkPlan` (per-source trees routing a streamed
-  traffic trace), payload size, and an ``n_jobs`` determinism check.
+  traffic trace), payload size, and an ``n_jobs`` determinism check; and
+* **resilience** — cold-run versus warm-cache wall-clock of the smoke
+  golden plan through the checkpoint store (``repro.run(plan, cache=...,
+  resume=True)``), with a bit-identity check between the two.
 
 Usage::
 
@@ -36,6 +39,7 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -44,8 +48,9 @@ import pickle
 from repro.algorithms.registry import make_algorithm
 from repro.core import backend as backend_mod
 from repro.network.traffic import TrafficSpec
-from repro.plans import NetworkPlan, RunConfig, plan_with_overrides
-from repro.plans.execute import build_network_payloads, run as run_plan
+from repro.plans import NetworkPlan, RunConfig, load_golden_plan, plan_with_overrides
+from repro.plans.execute import build_network_payloads, last_run_stats, run as run_plan
+from repro.resilience import ResultStore
 from repro.sim.runner import TrialRunner, compare_algorithms, execute_payloads
 from repro.workloads.composite import CombinedLocalityWorkload
 from repro.workloads.spec import WorkloadSpec
@@ -339,6 +344,41 @@ def bench_multisource(
     }
 
 
+def bench_resilience(n_trials: int, n_requests: int) -> dict:
+    """Cold-run vs warm-cache wall-clock of the smoke golden plan.
+
+    The checkpoint layer's overhead budget: the cold run pays one content
+    hash + atomic write per trial on top of the plain fan-out; the warm
+    ``resume=True`` re-run serves every trial from the store and should cost
+    hashing + JSON parsing only.  Both must produce the bit-identical table.
+    """
+    plan = plan_with_overrides(
+        load_golden_plan("smoke"), n_trials=n_trials, n_requests=n_requests
+    )
+    baseline = run_plan(plan)
+    with tempfile.TemporaryDirectory(prefix="bench-resilience-") as cache_dir:
+        start = time.perf_counter()
+        cold = run_plan(plan, cache=cache_dir)
+        cold_seconds = time.perf_counter() - start
+        entries = len(ResultStore(cache_dir))
+        start = time.perf_counter()
+        warm = run_plan(plan, cache=cache_dir, resume=True)
+        warm_seconds = time.perf_counter() - start
+        stats = last_run_stats()
+    return {
+        "plan": "smoke",
+        "n_trials": n_trials,
+        "n_requests": n_requests,
+        "entries": entries,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_speedup": round(cold_seconds / max(warm_seconds, 1e-9), 1),
+        "warm_cache_hits": stats.cache_hits,
+        "warm_executed": stats.executed,
+        "deterministic": baseline.rows == cold.rows == warm.rows,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke configuration")
@@ -349,10 +389,12 @@ def main(argv=None) -> int:
         serve_nodes, serve_requests, repeats = 255, 4_000, 2
         par_nodes, par_requests, par_trials = 255, 2_000, 2
         multi_nodes, multi_sources, multi_rps = 255, 8, 500
+        resil_trials, resil_requests = 2, 2_000
     else:
         serve_nodes, serve_requests, repeats = 1_023, 20_000, 3
         par_nodes, par_requests, par_trials = 1_023, 30_000, 4
         multi_nodes, multi_sources, multi_rps = 1_023, 16, 2_000
+        resil_trials, resil_requests = 3, 20_000
 
     serve_python = bench_serve(serve_nodes, serve_requests, repeats, "python")
     report = {
@@ -392,6 +434,7 @@ def main(argv=None) -> int:
         "multisource": bench_multisource(
             multi_nodes, multi_sources, multi_rps, max(2, os.cpu_count() or 1)
         ),
+        "resilience": bench_resilience(resil_trials, resil_requests),
     }
 
     payload = json.dumps(report, indent=2)
@@ -411,6 +454,12 @@ def main(argv=None) -> int:
         return 1
     if not report["multisource"]["deterministic"]:
         print("ERROR: parallel multisource run diverged from serial", file=sys.stderr)
+        return 1
+    if not report["resilience"]["deterministic"]:
+        print("ERROR: cached/resumed run diverged from direct run", file=sys.stderr)
+        return 1
+    if report["resilience"]["warm_executed"] != 0:
+        print("ERROR: warm-cache run re-executed trials", file=sys.stderr)
         return 1
     return 0
 

@@ -11,7 +11,9 @@ Installed as the ``repro`` console script (also runnable via
 ``run``
     Execute a declarative experiment plan — a JSON file or a shipped golden
     plan name (``q1`` … ``q5``, ``smoke``).  The ``--jobs``/``--chunk-size``/
-    ``--backend`` flags override the plan document's run shape (CLI wins).
+    ``--backend`` flags override the plan document's run shape (CLI wins);
+    ``--cache-dir``/``--resume``/``--max-retries`` attach the resilience
+    layer (checkpointed, resumable, fault-isolated execution).
 ``experiment``
     Run one named experiment (``q1`` ... ``q5``, ``table1`` or ``all``) at a
     chosen scale, print the resulting tables and optionally write CSV files.
@@ -159,6 +161,42 @@ def build_parser() -> argparse.ArgumentParser:
             "requests per source"
         ),
     )
+
+    def retries_type(value: str) -> int:
+        retries = int(value)
+        if retries < 0:
+            raise argparse.ArgumentTypeError("must be a non-negative retry count")
+        return retries
+
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "checkpoint store directory: every completed trial is persisted "
+            "there as it finishes (overrides the plan document's cache_dir, "
+            "recursively); results are bit-identical with or without a cache"
+        ),
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "skip trials whose checkpoint entry already exists in the cache "
+            "(needs --cache-dir or a cache_dir in the plan document); "
+            "corrupted entries are detected and re-run"
+        ),
+    )
+    run.add_argument(
+        "--max-retries",
+        type=retries_type,
+        default=None,
+        help=(
+            "per-trial retry budget for transient worker failures, and the "
+            "pool-rebuild budget before degrading to serial execution "
+            "(overrides the plan document, recursively; robustness knob "
+            "only, never changes results)"
+        ),
+    )
     add_backend_argument(run)
 
     experiment = subparsers.add_parser("experiment", help="run one paper experiment")
@@ -275,13 +313,15 @@ def resolve_run_plan(args: argparse.Namespace):
         backend=args.backend,
         n_trials=getattr(args, "trials", None),
         n_requests=getattr(args, "requests", None),
+        max_retries=getattr(args, "max_retries", None),
+        cache_dir=getattr(args, "cache_dir", None),
     )
 
 
 def _command_run(args: argparse.Namespace) -> int:
     try:
         plan = resolve_run_plan(args)
-        result = run_plan(plan)
+        result = run_plan(plan, resume=args.resume)
     except ReproError as error:
         # malformed documents, unknown registry names, unsatisfiable
         # backends, bad run shapes — all surface as one clean message

@@ -84,6 +84,17 @@ class PlanError(ReproError):
     cannot run here) keep their dedicated exception types."""
 
 
+class FaultInjectionError(ReproError):
+    """Raised by a deliberately injected transient fault (see
+    :mod:`repro.resilience.faults`).
+
+    The fault-injection harness uses this type for its ``"exception"`` mode so
+    that tests can distinguish an injected failure from a genuine bug; the
+    executor treats it like any other transient worker exception (retried
+    under the active :class:`repro.resilience.RetryPolicy`).
+    """
+
+
 class BackendError(ReproError):
     """Raised for unknown serve-backend names or unsatisfiable backend requests.
 

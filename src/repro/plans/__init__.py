@@ -66,6 +66,7 @@ __all__ = [
     "dump",
     "dumps",
     "golden_plan_names",
+    "last_run_stats",
     "load",
     "load_golden_plan",
     "loads",
@@ -80,7 +81,13 @@ __all__ = [
 #: Names resolved lazily from :mod:`repro.plans.execute` (PEP 562) so that
 #: importing the plan model from low-level modules (``repro.sim.sweep``)
 #: cannot create an import cycle through the executor.
-_EXECUTE_NAMES = {"run", "register_assembler", "registered_assemblers", "StageResult"}
+_EXECUTE_NAMES = {
+    "run",
+    "last_run_stats",
+    "register_assembler",
+    "registered_assemblers",
+    "StageResult",
+}
 
 
 def __getattr__(name: str):

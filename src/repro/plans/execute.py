@@ -20,7 +20,8 @@ and resolved lazily, mirroring the workload-kind registry).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.exceptions import PlanError
 from repro.plans.model import (
@@ -30,6 +31,13 @@ from repro.plans.model import (
     SweepPlan,
     TrialPlan,
 )
+from repro.resilience.context import (
+    ExecutionContext,
+    ResilienceStats,
+    activate_context,
+)
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.store import ResultStore
 from repro.sim.results import ResultTable, summarise_values
 from repro.sim.runner import (
     AggregatedOutcome,
@@ -43,6 +51,7 @@ from repro.workloads.spec import DEFAULT_CHUNK_SIZE, WorkloadSpec
 
 __all__ = [
     "StageResult",
+    "last_run_stats",
     "register_assembler",
     "registered_assemblers",
     "run",
@@ -296,7 +305,14 @@ def build_network_payloads(plan: NetworkPlan) -> List[TrialPayload]:
 
 def _execute_network_plan(plan: NetworkPlan, key: str = "") -> StageResult:
     payloads = build_network_payloads(plan)
-    results = execute_payloads(payloads, plan.config.n_jobs)
+    config = plan.config
+    results = execute_payloads(
+        payloads,
+        config.n_jobs,
+        worker_timeout=config.worker_timeout,
+        retry=RetryPolicy.for_config(config),
+        cache_dir=config.cache_dir,
+    )
     table = ResultTable(name=plan.name, columns=list(NETWORK_TABLE_COLUMNS))
     n_trials = len(results)
     per_trial_columns = [result.metadata["per_source"] for result in results]
@@ -359,7 +375,38 @@ def _execute(plan: Plan, key: str = "") -> StageResult:
     raise PlanError(f"not a plan object: {plan!r}")
 
 
-def run(plan: Plan) -> object:
+#: Stats of the most recent :func:`run` call in this process (see
+#: :func:`last_run_stats`).
+_last_stats: Optional[ResilienceStats] = None
+
+
+def last_run_stats() -> Optional[ResilienceStats]:
+    """Return the resilience counters of the most recent :func:`run` call.
+
+    ``None`` until the first plan run of the process.  The counters —
+    payloads executed, cache hits, checkpoint writes, retries, pool rebuilds,
+    degradation — are what resume tests and campaign logs introspect:
+    "re-running with ``resume=True`` executed only the missing trials" is an
+    assertion on ``last_run_stats().executed``.
+    """
+    return _last_stats
+
+
+def _plan_uses_cache(plan: Plan) -> bool:
+    """True when any stage config of ``plan`` names a ``cache_dir``."""
+    if isinstance(plan, (TrialPlan, SweepPlan, NetworkPlan)):
+        return plan.config.cache_dir is not None
+    if plan.config is not None and plan.config.cache_dir is not None:
+        return True
+    return any(_plan_uses_cache(sub) for _key, sub in plan.stages)
+
+
+def run(
+    plan: Plan,
+    *,
+    cache: Optional[Union[ResultStore, str, Path]] = None,
+    resume: bool = False,
+) -> object:
     """Execute ``plan`` and return its result.
 
     The one public entrypoint of the declarative layer (``repro.run``):
@@ -376,8 +423,31 @@ def run(plan: Plan) -> object:
       a table, a ``{stage key: result}`` dict (q1/q4/q5), or the Q4
       ``(histogram, summary)`` pair.
 
+    ``cache`` attaches a checkpoint store to the whole run — a
+    :class:`~repro.resilience.ResultStore` or a directory path — overriding
+    any per-stage ``config.cache_dir``; when a store is active every
+    completed trial is persisted as it finishes (crash-safe, atomic).  With
+    ``resume=True``, trials whose verified entry already exists are served
+    from the store instead of re-executed; results are bit-identical either
+    way because every trial is a pure function of its payload content.
+    Corrupted or truncated entries are detected, logged and re-run — never
+    fatal.  :func:`last_run_stats` exposes the counters afterwards.
+
     Environment checks (backend availability) run first, so an unsatisfiable
     plan fails with the dedicated error before anything is served.
     """
+    global _last_stats
     _check_runnable(plan)
-    return _execute(plan).result
+    store: Optional[ResultStore] = None
+    if cache is not None:
+        store = cache if isinstance(cache, ResultStore) else ResultStore(cache)
+    if resume and store is None and not _plan_uses_cache(plan):
+        raise PlanError(
+            "resume=True needs a checkpoint store: pass cache=... or set "
+            "cache_dir on the plan's RunConfig"
+        )
+    context = ExecutionContext(store=store, resume=resume)
+    with activate_context(context):
+        result = _execute(plan).result
+    _last_stats = context.stats
+    return result

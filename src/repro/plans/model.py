@@ -96,6 +96,24 @@ class RunConfig:
         Validated as a *name* here; availability (``"array"`` needs NumPy for
         its vectorised path) is checked when the plan runs, so plans authored
         on one machine still load on another.
+    worker_timeout:
+        Stall detector of the parallel fan-out, in seconds: if no payload
+        completes within this window the pool is presumed hung, its workers
+        are terminated and the unfinished payloads retried (see
+        :func:`repro.sim.parallel.map_ordered`).  ``None`` (default)
+        disables the detector.  A robustness knob only — results are
+        bit-identical for every value.
+    max_retries:
+        Retry budget of the resilient executor: per-payload resubmissions
+        after a transient worker exception, and pool-rebuild rounds after a
+        worker death or stall (after which execution degrades to in-process
+        serial).  A robustness knob only, never a results knob.
+    cache_dir:
+        Checkpoint-store directory for crash-safe resumable campaigns: when
+        set, every completed trial result is persisted (content-addressed,
+        atomic write-then-rename) as it arrives, and ``repro.run(plan,
+        resume=True)`` skips trials whose verified entries already exist.
+        ``None`` (default) disables checkpointing.
     """
 
     n_requests: int = 10_000
@@ -105,6 +123,9 @@ class RunConfig:
     n_jobs: int = 1
     chunk_size: Optional[int] = None
     backend: Optional[str] = None
+    worker_timeout: Optional[float] = None
+    max_retries: int = 2
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_trials <= 0:
@@ -122,6 +143,25 @@ class RunConfig:
             # delegated validator lives in
             raise PlanError(str(error)) from None
         _backend.resolve_backend(self.backend)  # name check only
+        if self.worker_timeout is not None and not self.worker_timeout > 0:
+            raise PlanError(
+                f"worker_timeout must be positive (seconds) or None, got "
+                f"{self.worker_timeout!r}"
+            )
+        if not isinstance(self.max_retries, int) or isinstance(
+            self.max_retries, bool
+        ) or self.max_retries < 0:
+            raise PlanError(
+                f"max_retries must be a non-negative integer, got "
+                f"{self.max_retries!r}"
+            )
+        if self.cache_dir is not None and (
+            not isinstance(self.cache_dir, str) or not self.cache_dir
+        ):
+            raise PlanError(
+                f"cache_dir must be a non-empty path string or None, got "
+                f"{self.cache_dir!r}"
+            )
 
     def check_runnable(self) -> "RunConfig":
         """Validate environment-dependent choices right before execution."""
@@ -135,6 +175,9 @@ class RunConfig:
         backend: Optional[str] = None,
         n_trials: Optional[int] = None,
         n_requests: Optional[int] = None,
+        worker_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        cache_dir: Optional[str] = None,
     ) -> "RunConfig":
         """Return a copy with the given (non-``None``) knobs replaced."""
         updates: Dict[str, object] = {}
@@ -148,6 +191,12 @@ class RunConfig:
             updates["n_trials"] = n_trials
         if n_requests is not None:
             updates["n_requests"] = n_requests
+        if worker_timeout is not None:
+            updates["worker_timeout"] = worker_timeout
+        if max_retries is not None:
+            updates["max_retries"] = max_retries
+        if cache_dir is not None:
+            updates["cache_dir"] = cache_dir
         return replace(self, **updates) if updates else self
 
     def to_dict(self) -> Dict[str, object]:
@@ -160,6 +209,9 @@ class RunConfig:
             "n_jobs": self.n_jobs,
             "chunk_size": self.chunk_size,
             "backend": self.backend,
+            "worker_timeout": self.worker_timeout,
+            "max_retries": self.max_retries,
+            "cache_dir": self.cache_dir,
         }
 
     @classmethod
@@ -175,6 +227,9 @@ class RunConfig:
             "n_jobs",
             "chunk_size",
             "backend",
+            "worker_timeout",
+            "max_retries",
+            "cache_dir",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -512,6 +567,9 @@ def plan_with_overrides(
     backend: Optional[str] = None,
     n_trials: Optional[int] = None,
     n_requests: Optional[int] = None,
+    worker_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> Plan:
     """Return ``plan`` with run-shape knobs overridden throughout the tree.
 
@@ -521,35 +579,29 @@ def plan_with_overrides(
     Besides the perf knobs (``n_jobs``/``chunk_size``/``backend``, which
     never change results) the run *size* can be overridden too
     (``n_trials``/``n_requests`` — the CLI's ``--trials``/``--requests``),
-    e.g. to smoke-test a paper-scale plan document at toy scale.
+    e.g. to smoke-test a paper-scale plan document at toy scale, and so can
+    the resilience knobs (``worker_timeout``/``max_retries``/``cache_dir`` —
+    the CLI's ``--max-retries``/``--cache-dir``), which are robustness
+    knobs only and never change results either.
     """
-    if (
-        n_jobs is None
-        and chunk_size is None
-        and backend is None
-        and n_trials is None
-        and n_requests is None
-    ):
+    overrides = (
+        n_jobs,
+        chunk_size,
+        backend,
+        n_trials,
+        n_requests,
+        worker_timeout,
+        max_retries,
+        cache_dir,
+    )
+    if all(value is None for value in overrides):
         return plan
     if isinstance(plan, (TrialPlan, SweepPlan, NetworkPlan)):
-        return replace(
-            plan,
-            config=plan.config.with_overrides(
-                n_jobs, chunk_size, backend, n_trials, n_requests
-            ),
-        )
+        return replace(plan, config=plan.config.with_overrides(*overrides))
     stages = tuple(
-        (
-            key,
-            plan_with_overrides(
-                sub, n_jobs, chunk_size, backend, n_trials, n_requests
-            ),
-        )
-        for key, sub in plan.stages
+        (key, plan_with_overrides(sub, *overrides)) for key, sub in plan.stages
     )
     config = plan.config
     if config is not None:
-        config = config.with_overrides(
-            n_jobs, chunk_size, backend, n_trials, n_requests
-        )
+        config = config.with_overrides(*overrides)
     return replace(plan, stages=stages, config=config)

@@ -1,0 +1,125 @@
+"""Per-run execution context: the store, the resume flag, the counters.
+
+:func:`repro.plans.execute.run` activates one :class:`ExecutionContext` for
+the duration of a plan run; :func:`repro.sim.runner.execute_payloads`
+consults the active context to decide whether to check the checkpoint store
+before running a payload (``resume``) and where to persist each result as it
+completes.  The context also carries :class:`ResilienceStats`, the counters
+the resume/retry tests assert against ("re-running with ``resume=True``
+executed only the missing trials").
+
+The context travels through a :class:`contextvars.ContextVar`, not function
+signatures, so the low-level runner/sweep machinery keeps its existing call
+shapes and legacy (non-plan) callers simply see no context — and therefore
+no caching — exactly as before.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.resilience.store import ResultStore
+
+__all__ = [
+    "ExecutionContext",
+    "ResilienceStats",
+    "activate_context",
+    "current_context",
+]
+
+
+@dataclass
+class ResilienceStats:
+    """Execution counters of one plan run (or one raw fan-out pass).
+
+    Attributes
+    ----------
+    executed:
+        Payloads actually run to completion (a retried payload counts once,
+        on success).
+    cache_hits:
+        Payloads skipped because a verified checkpoint entry existed.
+    stored:
+        Results persisted to the checkpoint store.
+    retries:
+        Per-payload resubmissions after an ordinary worker exception.
+    pool_rebuilds:
+        Pool teardown/rebuild rounds (worker death or stall past the worker
+        timeout).
+    degraded:
+        Whether the executor fell back to in-process serial execution after
+        exhausting its pool-rebuild budget.
+    corrupt_entries:
+        Checkpoint entries that failed verification and were re-run.
+    """
+
+    executed: int = 0
+    cache_hits: int = 0
+    stored: int = 0
+    retries: int = 0
+    pool_rebuilds: int = 0
+    degraded: bool = False
+    corrupt_entries: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return the counters as a plain dictionary (logging/bench output)."""
+        return {
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "stored": self.stored,
+            "retries": self.retries,
+            "pool_rebuilds": self.pool_rebuilds,
+            "degraded": self.degraded,
+            "corrupt_entries": self.corrupt_entries,
+        }
+
+
+@dataclass
+class ExecutionContext:
+    """What one plan run carries down into the payload executor.
+
+    ``store`` is the run-level override (the ``cache=`` argument of
+    :func:`repro.run`); when absent, each stage's ``config.cache_dir``
+    resolves its own store through :meth:`store_for`, memoised per path so a
+    multi-stage experiment shares one :class:`ResultStore` per directory.
+    """
+
+    store: Optional[ResultStore] = None
+    resume: bool = False
+    stats: ResilienceStats = field(default_factory=ResilienceStats)
+    _stores: Dict[str, ResultStore] = field(default_factory=dict)
+
+    def store_for(self, cache_dir: Optional[str]) -> Optional[ResultStore]:
+        """Resolve the store for one stage: run-level override, else config."""
+        if self.store is not None:
+            return self.store
+        if not cache_dir:
+            return None
+        key = str(cache_dir)
+        store = self._stores.get(key)
+        if store is None:
+            store = self._stores[key] = ResultStore(key)
+        return store
+
+
+_active: contextvars.ContextVar[Optional[ExecutionContext]] = contextvars.ContextVar(
+    "repro_resilience_context", default=None
+)
+
+
+def current_context() -> Optional[ExecutionContext]:
+    """Return the active execution context, if a plan run is in progress."""
+    return _active.get()
+
+
+@contextmanager
+def activate_context(context: ExecutionContext):
+    """Make ``context`` the active one for the duration of the block."""
+    token = _active.set(context)
+    try:
+        yield context
+    finally:
+        _active.reset(token)

@@ -1,0 +1,239 @@
+"""Deterministic fault injection for the resilient execution layer.
+
+A :class:`FaultSpec` is a frozen, registry-validated, JSON round-trippable
+description of how trial execution should misbehave — the same shape as
+every other spec in the repo (:class:`~repro.workloads.spec.WorkloadSpec`,
+:class:`~repro.algorithms.registry.AlgorithmSpec`): a ``mode`` naming a
+registered fault kind, the trial indices it arms, and a trigger budget.
+It rides to workers inside a test-only :class:`~repro.sim.runner.
+TrialPayload` field; :func:`maybe_inject` fires it at the top of the worker
+body, *before* any request is served, so a recovered run re-executes the
+whole payload from its pristine seeded state and is byte-identical to a
+fault-free run by construction.
+
+Registered modes:
+
+* ``"crash"`` — the worker process dies (``os._exit``), breaking the pool;
+  fires only inside pool workers (in the parent process there is no worker
+  to kill, so serial runs are unaffected — which is exactly what makes
+  "degrade to serial" a safe recovery of last resort).
+* ``"hang"`` — the worker sleeps past any reasonable ``worker_timeout``;
+  pool-worker only, for the same reason.
+* ``"exception"`` — raises :class:`~repro.exceptions.FaultInjectionError`;
+  fires everywhere (this is the transient-failure mode the serial retry
+  path is tested with).
+
+Trigger budgets must survive worker death: a crashed worker cannot remember
+that it already fired.  Counting therefore goes through *arm files* — one
+``O_EXCL``-created marker per trigger under ``arm_dir`` — so "fail twice,
+then succeed on the third attempt" is exact across processes, retries and
+pool rebuilds.
+
+The ``REPRO_FAULT_SPEC`` environment variable (a JSON object or a path to
+one) injects a fault into any payload build without touching code — the CI
+fault smoke uses it to kill a worker under ``repro run smoke --jobs 4`` and
+assert the output still matches the fault-free golden run.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import ExperimentError, FaultInjectionError
+
+__all__ = [
+    "FAULT_MODES",
+    "FaultSpec",
+    "check_fault_mode",
+    "fault_spec_from_env",
+    "maybe_inject",
+]
+
+#: Environment variable consulted by the payload builders: a JSON fault-spec
+#: document (or a path to a file holding one) injected into every payload.
+FAULT_SPEC_ENV = "REPRO_FAULT_SPEC"
+
+#: Registered fault modes and what firing each one means.
+FAULT_MODES: Dict[str, str] = {
+    "crash": "kill the worker process (os._exit), breaking the pool",
+    "hang": "sleep past the worker timeout (pool workers only)",
+    "exception": "raise FaultInjectionError (a retryable transient failure)",
+}
+
+
+def check_fault_mode(mode: str) -> str:
+    """Validate a fault mode against the registry, listing known modes."""
+    if mode not in FAULT_MODES:
+        raise ExperimentError(
+            f"unknown fault mode {mode!r}; registered modes: {sorted(FAULT_MODES)}"
+        )
+    return mode
+
+
+def _in_worker_process() -> bool:
+    """True inside a process-pool worker (the parent process has no parent)."""
+    return multiprocessing.parent_process() is not None
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Immutable description of an injected execution fault.
+
+    Attributes
+    ----------
+    mode:
+        A registered fault mode (see :data:`FAULT_MODES`).
+    trials:
+        Trial indices the fault arms; payloads of other trials run clean.
+    arm_dir:
+        Directory for the cross-process trigger counters (arm files).  Must
+        exist; each ``(seed, trial, algorithm)`` combination counts its
+        triggers independently there.
+    max_triggers:
+        How many times the fault fires per (trial, algorithm) before the
+        payload is allowed to succeed — e.g. ``1`` kills one worker, then
+        the retried payload completes.
+    hang_seconds:
+        Sleep duration of the ``"hang"`` mode.
+    seed:
+        Namespace of the trigger counters (two seeded specs count
+        independently in the same ``arm_dir``); carried in the JSON document
+        like every other spec seed.
+    """
+
+    mode: str
+    trials: Tuple[int, ...] = ()
+    arm_dir: Optional[str] = None
+    max_triggers: int = 1
+    hang_seconds: float = 3600.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_fault_mode(self.mode)
+        object.__setattr__(
+            self, "trials", tuple(int(trial) for trial in self.trials)
+        )
+        if self.arm_dir is None:
+            raise ExperimentError(
+                "FaultSpec needs an arm_dir: trigger budgets are counted in "
+                "files so they survive the worker deaths they cause"
+            )
+        if not isinstance(self.max_triggers, int) or self.max_triggers < 0:
+            raise ExperimentError(
+                f"max_triggers must be a non-negative integer, got "
+                f"{self.max_triggers!r}"
+            )
+        if self.hang_seconds < 0:
+            raise ExperimentError(
+                f"hang_seconds must be non-negative, got {self.hang_seconds!r}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-friendly representation."""
+        return {
+            "mode": self.mode,
+            "trials": list(self.trials),
+            "arm_dir": self.arm_dir,
+            "max_triggers": self.max_triggers,
+            "hang_seconds": self.hang_seconds,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or equivalent JSON)."""
+        if not isinstance(data, dict):
+            raise ExperimentError(f"not a fault-spec document: {data!r}")
+        known = {"mode", "trials", "arm_dir", "max_triggers", "hang_seconds", "seed"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ExperimentError(f"unknown fault-spec keys: {unknown}")
+        if "mode" not in data:
+            raise ExperimentError("fault-spec document is missing 'mode'")
+        return cls(**data)
+
+    def triggers_fired(self, trial: int, algorithm: str) -> int:
+        """Count how many times this fault has fired for one payload."""
+        return len(list(Path(self.arm_dir).glob(self._arm_stem(trial, algorithm) + ".*")))
+
+    def _arm_stem(self, trial: int, algorithm: str) -> str:
+        return f"fault-{self.seed}-t{trial}-{algorithm}"
+
+    def _claim_trigger(self, trial: int, algorithm: str) -> bool:
+        """Atomically claim the next trigger; False once the budget is spent.
+
+        Arm files are created ``O_CREAT | O_EXCL`` so a claim is exact even
+        if two processes raced for it (they cannot for one payload — retries
+        of a payload are sequential — but exactness is cheap).
+        """
+        stem = self._arm_stem(trial, algorithm)
+        root = Path(self.arm_dir)
+        while True:
+            fired = len(list(root.glob(stem + ".*")))
+            if fired >= self.max_triggers:
+                return False
+            try:
+                fd = os.open(root / f"{stem}.{fired}", os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue  # raced; re-count
+            os.close(fd)
+            return True
+
+
+def maybe_inject(
+    fault: Optional[FaultSpec], trial: int, algorithm: str
+) -> None:
+    """Fire ``fault`` for this payload if it is armed and has budget left.
+
+    Called at the top of the trial-worker body.  Process-killing modes
+    (``"crash"``, ``"hang"``) fire only inside pool workers: in the parent
+    process there is no worker process to kill, so serial execution — and
+    the executor's degrade-to-serial recovery — runs them clean.
+    """
+    if fault is None or trial not in fault.trials:
+        return
+    if fault.mode in ("crash", "hang") and not _in_worker_process():
+        return
+    if not fault._claim_trigger(trial, algorithm):
+        return
+    if fault.mode == "crash":
+        os._exit(17)
+    if fault.mode == "hang":
+        time.sleep(fault.hang_seconds)
+        return
+    raise FaultInjectionError(
+        f"injected transient fault (trial {trial}, algorithm {algorithm!r})"
+    )
+
+
+def fault_spec_from_env() -> Optional[FaultSpec]:
+    """Build the fault spec the environment asks for, if any.
+
+    ``REPRO_FAULT_SPEC`` may hold a JSON object or a path to a JSON file.
+    Consulted by the payload builders, so the spec travels *inside* the
+    payloads — pool workers need no environment of their own.
+    """
+    raw = os.environ.get(FAULT_SPEC_ENV)
+    if not raw:
+        return None
+    text = raw
+    if not raw.lstrip().startswith("{"):
+        path = Path(raw)
+        if not path.is_file():
+            raise ExperimentError(
+                f"{FAULT_SPEC_ENV} is neither a JSON object nor a file: {raw!r}"
+            )
+        text = path.read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ExperimentError(
+            f"{FAULT_SPEC_ENV} does not hold valid JSON: {error}"
+        ) from None
+    return FaultSpec.from_dict(data)

@@ -1,0 +1,81 @@
+"""Capped exponential-backoff retry policy for the trial fan-out.
+
+One :class:`RetryPolicy` object describes both kinds of recovery round the
+executor performs:
+
+* **per-payload retries** — a worker raised an ordinary exception; the
+  payload is resubmitted (to the pool or re-run serially) up to
+  ``max_retries`` times, sleeping ``delay(attempt)`` between attempts;
+* **pool rebuilds** — the pool broke (a worker died) or stalled past the
+  worker timeout; the pool is rebuilt and every unfinished payload
+  resubmitted, for at most ``max_retries`` rounds, after which the executor
+  degrades to in-process serial execution instead of failing the campaign.
+
+Because every payload is a pure function of its content (seeds derive from
+the trial index alone), re-execution is bit-identical by construction — the
+policy only trades wall-clock for robustness, never results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently to retry failed trial payloads.
+
+    Attributes
+    ----------
+    max_retries:
+        Retry budget — per payload for ordinary worker exceptions, and per
+        fan-out pass for pool rebuilds (crash / hang rounds).  ``0`` disables
+        retrying entirely: the first failure propagates.
+    backoff_base:
+        Sleep before the first retry, in seconds; retry ``k`` sleeps
+        ``backoff_base * 2**(k-1)``.  ``0`` disables sleeping (used by the
+        test suite to keep fault matrices fast).
+    backoff_max:
+        Upper bound of any single backoff sleep.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_retries, int) or self.max_retries < 0:
+            raise ExperimentError(
+                f"max_retries must be a non-negative integer, got {self.max_retries!r}"
+            )
+        if self.backoff_base < 0:
+            raise ExperimentError(
+                f"backoff_base must be non-negative, got {self.backoff_base!r}"
+            )
+        if self.backoff_max < 0:
+            raise ExperimentError(
+                f"backoff_max must be non-negative, got {self.backoff_max!r}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based): capped exponential."""
+        if attempt <= 0:
+            raise ExperimentError(f"retry attempts are 1-based, got {attempt}")
+        return min(self.backoff_max, self.backoff_base * (2.0 ** (attempt - 1)))
+
+    @classmethod
+    def for_config(cls, config: object) -> "RetryPolicy":
+        """Build the policy a run-shape config asks for.
+
+        Duck-typed on ``max_retries`` (any object with the
+        :class:`repro.plans.RunConfig` field works) so the low-level executor
+        never imports the plan layer.
+        """
+        max_retries = getattr(config, "max_retries", None)
+        if max_retries is None:
+            return cls()
+        return cls(max_retries=int(max_retries))

@@ -24,11 +24,14 @@ from __future__ import annotations
 import atexit
 import os
 import threading
-from concurrent.futures import ProcessPoolExecutor
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor, wait as _futures_wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 from repro.exceptions import ExperimentError
+from repro.resilience.retry import RetryPolicy
 from repro.workloads.spec import registry_version
 
 __all__ = [
@@ -37,6 +40,10 @@ __all__ = [
     "map_ordered",
     "shutdown_persistent_pool",
 ]
+
+#: Module-level alias so tests can monkeypatch the wait primitive (e.g. to
+#: simulate a ``KeyboardInterrupt`` arriving mid-fan-out).
+_wait = _futures_wait
 
 _PayloadT = TypeVar("_PayloadT")
 _ResultT = TypeVar("_ResultT")
@@ -117,6 +124,40 @@ def _shutdown_pool_locked() -> None:
         _pool_registry_version = -1
 
 
+def _terminate_pool_locked() -> None:
+    """Tear the pool down without waiting — for broken, hung or interrupted pools.
+
+    A graceful ``shutdown(wait=True)`` would block forever on a hung worker,
+    so this path cancels queued futures, terminates the worker processes
+    outright and resets the pool slot; the next :func:`_acquire_pool_locked`
+    builds a fresh pool.
+    """
+    global _pool, _pool_workers, _pool_registry_version
+    pool = _pool
+    _pool = None
+    _pool_workers = 0
+    _pool_registry_version = -1
+    if pool is None:
+        return
+    processes = list(getattr(pool, "_processes", None) or {})
+    process_map = getattr(pool, "_processes", None) or {}
+    workers = [process_map[pid] for pid in processes if pid in process_map]
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - shutdown of a broken pool
+        pass
+    for process in workers:
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already dead
+            pass
+    for process in workers:
+        try:
+            process.join(timeout=5.0)
+        except Exception:  # pragma: no cover - already reaped
+            pass
+
+
 def shutdown_persistent_pool() -> None:
     """Shut the shared executor down (registered at interpreter exit)."""
     with _pool_lock:
@@ -126,33 +167,255 @@ def shutdown_persistent_pool() -> None:
 atexit.register(shutdown_persistent_pool)
 
 
+def _count(stats: Optional[object], name: str, amount: int = 1) -> None:
+    """Bump a duck-typed counter (``ResilienceStats`` or anything like it)."""
+    if stats is not None:
+        setattr(stats, name, getattr(stats, name) + amount)
+
+
+def _sleep_backoff(seconds: float) -> None:
+    if seconds > 0:
+        time.sleep(seconds)
+
+
+def _run_one_with_retry(
+    worker: Callable[[_PayloadT], _ResultT],
+    payload: _PayloadT,
+    policy: RetryPolicy,
+    stats: Optional[object],
+) -> _ResultT:
+    """Serial execution of one payload under the retry policy."""
+    attempt = 0
+    while True:
+        try:
+            return worker(payload)
+        except Exception:
+            attempt += 1
+            if attempt > policy.max_retries:
+                raise
+            _count(stats, "retries")
+            _sleep_backoff(policy.delay(attempt))
+
+
+def _map_serial(
+    worker: Callable[[_PayloadT], _ResultT],
+    payloads: Sequence[_PayloadT],
+    indices: Sequence[int],
+    results: List[Optional[_ResultT]],
+    finished: List[bool],
+    policy: RetryPolicy,
+    on_result: Optional[Callable[[int, _ResultT], None]],
+    stats: Optional[object],
+) -> None:
+    """Run the given payload indices in order, in this process."""
+    for index in indices:
+        result = _run_one_with_retry(worker, payloads[index], policy, stats)
+        results[index] = result
+        finished[index] = True
+        _count(stats, "executed")
+        if on_result is not None:
+            on_result(index, result)
+
+
+def _drain_futures(
+    pool: ProcessPoolExecutor,
+    worker: Callable[[_PayloadT], _ResultT],
+    payloads: Sequence[_PayloadT],
+    futures: Dict[object, int],
+    results: List[Optional[_ResultT]],
+    finished: List[bool],
+    attempts: List[int],
+    policy: RetryPolicy,
+    worker_timeout: Optional[float],
+    on_result: Optional[Callable[[int, _ResultT], None]],
+    stats: Optional[object],
+) -> bool:
+    """Collect futures as they complete; return True if the pool must go.
+
+    Ordinary worker exceptions are retried in place (resubmitted to the same
+    healthy pool, with backoff) until the payload's retry budget runs out —
+    then the exception propagates.  A broken pool or a stall (no payload
+    completing within ``worker_timeout``) returns ``True``: the caller
+    rebuilds the pool and resubmits whatever is still unfinished.
+    """
+    pending = set(futures)
+    while pending:
+        done, pending = _wait(pending, timeout=worker_timeout)
+        if not done:
+            # No payload finished an entire timeout window: at least one
+            # worker is hung (or every remaining payload legitimately takes
+            # longer — set a generous timeout).  The pool must be killed;
+            # ProcessPoolExecutor cannot abort an individual task.
+            return True
+        for future in done:
+            index = futures.pop(future)
+            try:
+                result = future.result()
+            except BrokenProcessPool:
+                # A worker died; every sibling future is doomed too.  Keep
+                # whatever already finished and let the caller rebuild.
+                return True
+            except Exception:
+                attempts[index] += 1
+                if attempts[index] > policy.max_retries:
+                    for other in pending:
+                        other.cancel()
+                    raise
+                _count(stats, "retries")
+                _sleep_backoff(policy.delay(attempts[index]))
+                try:
+                    fresh = pool.submit(worker, payloads[index])
+                except BrokenProcessPool:
+                    return True
+                futures[fresh] = index
+                pending.add(fresh)
+            else:
+                results[index] = result
+                finished[index] = True
+                _count(stats, "executed")
+                if on_result is not None:
+                    on_result(index, result)
+    return False
+
+
+def _map_parallel_locked(
+    worker: Callable[[_PayloadT], _ResultT],
+    payloads: Sequence[_PayloadT],
+    jobs: int,
+    worker_timeout: Optional[float],
+    policy: RetryPolicy,
+    on_result: Optional[Callable[[int, _ResultT], None]],
+    stats: Optional[object],
+) -> List[_ResultT]:
+    results: List[Optional[_ResultT]] = [None] * len(payloads)
+    finished = [False] * len(payloads)
+    attempts = [0] * len(payloads)
+    rebuilds = 0
+    while True:
+        remaining = [index for index, ok in enumerate(finished) if not ok]
+        if not remaining:
+            return results  # type: ignore[return-value]
+        pool = _acquire_pool_locked(jobs)
+        try:
+            futures = {
+                pool.submit(worker, payloads[index]): index for index in remaining
+            }
+        except BrokenProcessPool:  # pragma: no cover - pool died between maps
+            broken = True
+        else:
+            broken = _drain_futures(
+                pool,
+                worker,
+                payloads,
+                futures,
+                results,
+                finished,
+                attempts,
+                policy,
+                worker_timeout,
+                on_result,
+                stats,
+            )
+        if not broken:
+            continue  # loop re-checks `finished` and returns
+        rebuilds += 1
+        _count(stats, "pool_rebuilds")
+        _terminate_pool_locked()
+        if rebuilds > policy.max_retries:
+            # The pool keeps dying (poisoned payload? resource exhaustion?).
+            # Results are pure functions of their payloads, so finishing the
+            # campaign in-process is observationally identical — just slower
+            # and unisolated.  Warn and degrade rather than fail.
+            warnings.warn(
+                f"process pool broke {rebuilds} times (retry budget "
+                f"{policy.max_retries}); degrading to in-process serial "
+                f"execution for the {sum(1 for ok in finished if not ok)} "
+                "remaining payloads",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            if stats is not None:
+                stats.degraded = True
+            _map_serial(
+                worker,
+                payloads,
+                [index for index, ok in enumerate(finished) if not ok],
+                results,
+                finished,
+                policy,
+                on_result,
+                stats,
+            )
+            return results  # type: ignore[return-value]
+        _sleep_backoff(policy.delay(rebuilds))
+
+
 def map_ordered(
     worker: Callable[[_PayloadT], _ResultT],
     payloads: Sequence[_PayloadT],
     n_jobs: Optional[int] = 1,
+    *,
+    worker_timeout: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    on_result: Optional[Callable[[int, _ResultT], None]] = None,
+    stats: Optional[object] = None,
 ) -> List[_ResultT]:
     """Apply ``worker`` to every payload, preserving payload order.
 
     With ``n_jobs`` resolving to 1 (or at most one payload) this is a plain
-    serial loop with zero overhead.  Otherwise the payloads are fanned out
-    over the persistent :class:`concurrent.futures.ProcessPoolExecutor`
-    (created on first use, reused across calls); ``worker`` must be a
-    module-level function and the payloads picklable.  The result list is
-    ordered by payload position regardless of completion order, which is what
-    makes parallel trial execution deterministic.
+    serial loop (plus the retry policy).  Otherwise every payload is
+    submitted as its own future on the persistent
+    :class:`concurrent.futures.ProcessPoolExecutor` (created on first use,
+    reused across calls); ``worker`` must be a module-level function and the
+    payloads picklable.  The result list is ordered by payload position
+    regardless of completion order, which is what makes parallel trial
+    execution deterministic.
+
+    Fault isolation (the per-future submission is what pays for it):
+
+    * an ordinary worker exception retries only *that* payload, on the same
+      healthy pool, under ``retry`` (capped exponential backoff; default
+      :class:`repro.resilience.RetryPolicy`) — its chunk-mates are
+      untouched;
+    * a dead worker (``BrokenProcessPool``) or a stall — no payload
+      completing within ``worker_timeout`` seconds — tears the pool down
+      (hung workers are terminated), rebuilds it, and resubmits only the
+      unfinished payloads; completed results are never discarded;
+    * after ``retry.max_retries`` pool rebuilds the campaign *degrades* to
+      in-process serial execution with a :class:`RuntimeWarning` instead of
+      failing — results are pure functions of their payloads, so the output
+      is bit-identical either way;
+    * ``KeyboardInterrupt`` cancels queued futures, terminates the pool and
+      re-raises, so an interrupted campaign never leaks orphaned workers.
+
+    ``on_result(index, result)`` fires as each payload completes (completion
+    order, not payload order) — the checkpoint-store hook that makes
+    campaigns crash-safe.  ``stats`` is a duck-typed counter object (see
+    :class:`repro.resilience.ResilienceStats`).
     """
+    policy = RetryPolicy() if retry is None else retry
     jobs = resolve_n_jobs(n_jobs)
     if jobs == 1 or len(payloads) <= 1:
-        return [worker(payload) for payload in payloads]
-    # Chunk so each worker receives a few batches (amortises IPC) while still
-    # keeping enough batches in flight to balance uneven item durations.
-    chunksize = max(1, len(payloads) // (4 * min(jobs, len(payloads))))
+        results: List[Optional[_ResultT]] = [None] * len(payloads)
+        finished = [False] * len(payloads)
+        _map_serial(
+            worker,
+            payloads,
+            range(len(payloads)),
+            results,
+            finished,
+            policy,
+            on_result,
+            stats,
+        )
+        return results  # type: ignore[return-value]
     with _pool_lock:
-        pool = _acquire_pool_locked(jobs)
         try:
-            return list(pool.map(worker, payloads, chunksize=chunksize))
-        except BrokenProcessPool:
-            # A worker died (OOM, signal); discard the broken pool so the
-            # next call starts from a healthy one, then surface the failure.
-            _shutdown_pool_locked()
+            return _map_parallel_locked(
+                worker, payloads, jobs, worker_timeout, policy, on_result, stats
+            )
+        except (KeyboardInterrupt, SystemExit):
+            # Leave no orphaned workers behind: cancel queued futures,
+            # terminate the pool and surface the interrupt to the caller.
+            _terminate_pool_locked()
             raise

@@ -39,6 +39,10 @@ from repro.core import backend as _backend
 from repro.exceptions import ExperimentError
 from repro.network.multi_source import MultiSourceNetwork
 from repro.network.traffic import TrafficSpec
+from repro.resilience.context import current_context
+from repro.resilience.faults import FaultSpec, fault_spec_from_env, maybe_inject
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.store import payload_key
 from repro.sim.engine import simulate, simulate_stream
 from repro.sim.parallel import map_ordered
 from repro.sim.results import summarise_values
@@ -125,6 +129,13 @@ class TrialPayload:
     path plus — for spec sources — whether the workload streams NumPy
     chunks.  Results are bit-identical across backends, so payloads remain
     order- and placement-independent.
+
+    ``fault`` is the test-only fault-injection hook (see
+    :mod:`repro.resilience.faults`): when set, the worker body fires the
+    fault *before* serving any request, so a recovered re-run of the payload
+    starts from its pristine seeded state and is byte-identical to a
+    fault-free run.  Like ``backend``, the field never affects result
+    content and is excluded from the payload's cache key.
     """
 
     algorithm: AlgorithmSpec
@@ -136,6 +147,7 @@ class TrialPayload:
     trial: int
     metadata: Dict[str, object] = field(default_factory=dict)
     backend: Optional[str] = None
+    fault: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.algorithm, AlgorithmSpec):
@@ -159,19 +171,82 @@ _shared_chunks_cache: Dict[object, List] = {}
 
 
 def execute_payloads(
-    payloads: Sequence["TrialPayload"], n_jobs: Optional[int]
+    payloads: Sequence["TrialPayload"],
+    n_jobs: Optional[int],
+    *,
+    worker_timeout: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    cache_dir: Optional[str] = None,
 ) -> List[RunResult]:
     """Execute payloads (serially or on the pool), releasing the stream memo.
 
-    The one entry point the runners use around :func:`map_ordered`: it clears
-    the shared-chunk memo once the pass is done so a completed experiment
-    does not keep the last trial's materialised sequence alive in this
-    process.
+    The one entry point the runners use around :func:`map_ordered` — and the
+    seam where the resilience layer plugs in.  When a plan run has activated
+    an :class:`repro.resilience.ExecutionContext` (via ``repro.run(...,
+    cache=...)`` or a ``cache_dir`` in the stage config):
+
+    * every completed payload is persisted to the checkpoint store *as it
+      completes* (``on_result``), so an interrupted campaign keeps what it
+      already computed;
+    * with ``resume=True``, payloads whose verified entry already exists are
+      served from the store and never re-executed — corrupt or truncated
+      entries are logged, counted and simply re-run.
+
+    Results are pure functions of payload content (seeds derive from the
+    trial index alone), so mixing cached and fresh results is bit-identical
+    to computing everything; reassembly stays strictly in payload order.
+    Legacy callers with no active context get the exact pre-resilience
+    behaviour: no store, no resume, plain fan-out.
     """
+    context = current_context()
+    store = context.store_for(cache_dir) if context is not None else None
+    stats = context.stats if context is not None else None
+    results: List[Optional[RunResult]] = [None] * len(payloads)
+    pending: List[int] = []
+    keys: Dict[int, str] = {}
+    if store is not None:
+        keys = {index: payload_key(payload) for index, payload in enumerate(payloads)}
+    if store is not None and context.resume:
+        for index in range(len(payloads)):
+            key = keys[index]
+            present = key in store
+            cached = store.get(key) if present else None
+            if cached is not None:
+                results[index] = cached
+                _count_stat(stats, "cache_hits")
+            else:
+                if present:
+                    _count_stat(stats, "corrupt_entries")
+                pending.append(index)
+    else:
+        pending = list(range(len(payloads)))
+
+    def persist(position: int, result: RunResult) -> None:
+        if store is not None:
+            store.put(keys[pending[position]], result)
+            _count_stat(stats, "stored")
+
     try:
-        return map_ordered(_execute_trial, payloads, n_jobs)
+        fresh = map_ordered(
+            _execute_trial,
+            [payloads[index] for index in pending],
+            n_jobs,
+            worker_timeout=worker_timeout,
+            retry=retry,
+            on_result=persist if store is not None else None,
+            stats=stats,
+        )
     finally:
         _shared_chunks_cache.clear()
+    for position, index in enumerate(pending):
+        results[index] = fresh[position]
+    return results  # type: ignore[return-value]
+
+
+def _count_stat(stats: Optional[object], name: str) -> None:
+    """Bump a counter when a stats object is attached (no-op otherwise)."""
+    if stats is not None:
+        setattr(stats, name, getattr(stats, name) + 1)
 
 
 def _chunks_of(source: SpecSource, as_array: bool):
@@ -213,6 +288,7 @@ def _execute_trial(payload: TrialPayload) -> RunResult:
     algorithm handed array chunks converts them per chunk, which is cheap
     and keeps shared sources single-format across the algorithms of a trial.
     """
+    maybe_inject(payload.fault, payload.trial, payload.algorithm_name)
     metadata: Dict[str, object] = {"trial": payload.trial, **payload.metadata}
     source = payload.source
     if isinstance(source, TrafficSource):
@@ -492,6 +568,12 @@ class TrialRunner:
             DEFAULT_CHUNK_SIZE if chunk_size is None else check_chunk_size(int(chunk_size))
         )
         self.backend = backend
+        # Resilience knobs live only on configs (no legacy keyword shim —
+        # they postdate the plan API); duck-typed so older config-like
+        # objects without the fields keep working.
+        self.worker_timeout = getattr(config, "worker_timeout", None)
+        self.max_retries = getattr(config, "max_retries", 2)
+        self.cache_dir = getattr(config, "cache_dir", None)
 
     def _check_universe(self, n_elements: object) -> None:
         if n_elements != self.n_nodes:
@@ -561,8 +643,20 @@ class TrialRunner:
         """
         sources = self.trial_sources(workload_factory)
         payloads = self.build_payloads(algorithms, sources, algorithm_kwargs)
-        results = execute_payloads(payloads, self.n_jobs)
+        results = self._execute(payloads, self.n_jobs)
         return self.collect(algorithms, payloads, results)
+
+    def _execute(
+        self, payloads: Sequence[TrialPayload], n_jobs: Optional[int]
+    ) -> List[RunResult]:
+        """Fan the payloads out with this runner's resilience knobs attached."""
+        return execute_payloads(
+            payloads,
+            n_jobs,
+            worker_timeout=self.worker_timeout,
+            retry=RetryPolicy.for_config(self),
+            cache_dir=self.cache_dir,
+        )
 
     def build_payloads(
         self,
@@ -577,7 +671,9 @@ class TrialRunner:
         on the trial index (placement ``base_seed + 10_000 + trial``,
         algorithm ``base_seed + 20_000 + trial``), so the payloads — and
         therefore the results — are independent of where and in which order
-        they are executed.
+        they are executed.  When :data:`repro.resilience.faults.FAULT_SPEC_ENV`
+        is set, the requested fault spec is stamped onto every payload (the
+        CI fault smoke's injection path).
         """
         algorithm_kwargs = algorithm_kwargs or {}
         specs = [
@@ -586,6 +682,7 @@ class TrialRunner:
             )
             for spec in (AlgorithmSpec.coerce(algorithm) for algorithm in algorithms)
         ]
+        fault = fault_spec_from_env()
         payloads: List[TrialPayload] = []
         for trial, source in enumerate(sources):
             if not isinstance(source, (SpecSource, SequenceSource)):
@@ -607,6 +704,7 @@ class TrialRunner:
                         keep_records=self.keep_records,
                         trial=trial,
                         backend=self.backend,
+                        fault=fault,
                     )
                 )
         return payloads
@@ -643,7 +741,7 @@ class TrialRunner:
         ``n_jobs`` overrides the runner-wide setting for this call.
         """
         payloads = self.build_payloads(algorithms, sequences, algorithm_kwargs)
-        results = execute_payloads(payloads, self.n_jobs if n_jobs is None else n_jobs)
+        results = self._execute(payloads, self.n_jobs if n_jobs is None else n_jobs)
         return self.collect(algorithms, payloads, results)
 
     @staticmethod

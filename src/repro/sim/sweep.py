@@ -14,6 +14,7 @@ import warnings
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ExperimentError
+from repro.resilience.retry import RetryPolicy
 from repro.sim.results import ResultTable
 from repro.sim.runner import _UNSET, TrialPayload, TrialRunner, execute_payloads
 from repro.workloads.base import WorkloadGenerator, check_chunk_size
@@ -109,6 +110,9 @@ class ParameterSweep:
             chunk_size = config.chunk_size
             backend = config.backend
             self.keep_records = config.keep_records
+            self.worker_timeout = getattr(config, "worker_timeout", None)
+            self.max_retries = getattr(config, "max_retries", 2)
+            self.cache_dir = getattr(config, "cache_dir", None)
         else:
             n_requests = 10_000 if n_requests is _UNSET else n_requests
             n_trials = 3 if n_trials is _UNSET else n_trials
@@ -117,6 +121,9 @@ class ParameterSweep:
             chunk_size = None if chunk_size is _UNSET else chunk_size
             backend = None if backend is _UNSET else backend
             self.keep_records = False
+            self.worker_timeout = None
+            self.max_retries = 2
+            self.cache_dir = None
         self.points = [dict(point) for point in points]
         self.workload_factory = workload_factory
         self.algorithms = list(algorithms)
@@ -203,7 +210,13 @@ class ParameterSweep:
         all_payloads, point_chunks = self.build_payloads()
 
         # Phase 2: execute (serially or on the pool) and aggregate per point.
-        all_results = execute_payloads(all_payloads, self.n_jobs)
+        all_results = execute_payloads(
+            all_payloads,
+            self.n_jobs,
+            worker_timeout=self.worker_timeout,
+            retry=RetryPolicy.for_config(self),
+            cache_dir=self.cache_dir,
+        )
         cursor = 0
         for point, n_payloads in point_chunks:
             payloads = all_payloads[cursor : cursor + n_payloads]

@@ -136,6 +136,58 @@ class TestOverridePrecedence:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "smoke", "--requests", "-1"])
 
+    def test_resilience_flags_override_plan_document(self, tmp_path):
+        path = tmp_path / "plan.json"
+        dump(small_plan(max_retries=1, cache_dir="from-plan"), path)
+        args = build_parser().parse_args(
+            [
+                "run",
+                str(path),
+                "--max-retries",
+                "5",
+                "--cache-dir",
+                "from-cli",
+                "--resume",
+            ]
+        )
+        plan = resolve_run_plan(args)
+        assert plan.config.max_retries == 5
+        assert plan.config.cache_dir == "from-cli"
+        assert args.resume is True
+
+    def test_absent_resilience_flags_keep_plan_values(self, tmp_path):
+        path = tmp_path / "plan.json"
+        dump(small_plan(max_retries=7, cache_dir="keep-me"), path)
+        args = build_parser().parse_args(["run", str(path)])
+        plan = resolve_run_plan(args)
+        assert plan.config.max_retries == 7
+        assert plan.config.cache_dir == "keep-me"
+        assert args.resume is False
+
+    def test_resilience_flags_recurse_into_experiment_stages(self):
+        from repro.plans import ExperimentPlan
+
+        args = build_parser().parse_args(
+            ["run", "q1", "--max-retries", "3", "--cache-dir", "deep"]
+        )
+        plan = resolve_run_plan(args)
+
+        def leaf_configs(node):
+            if isinstance(node, ExperimentPlan):
+                for _key, sub in node.stages:
+                    yield from leaf_configs(sub)
+            else:
+                yield node.config
+
+        configs = list(leaf_configs(plan))
+        assert configs
+        assert all(config.max_retries == 3 for config in configs)
+        assert all(config.cache_dir == "deep" for config in configs)
+
+    def test_bad_max_retries_rejected_by_the_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "smoke", "--max-retries", "-1"])
+
 
 class TestExecution:
     def test_run_plan_file_end_to_end(self, tmp_path, capsys):
@@ -198,3 +250,29 @@ class TestExecution:
         assert main(["demo", "--nodes", "31", "--requests", "200", "--trials", "1"]) == 0
         output = capsys.readouterr().out
         assert "rotor-push" in output
+
+    def test_run_with_cache_then_resume(self, tmp_path, capsys):
+        """End-to-end resume through the CLI: the second invocation executes
+        nothing and prints the identical table."""
+        from repro.plans import last_run_stats
+
+        path = tmp_path / "plan.json"
+        dump(small_plan(), path)
+        cache = tmp_path / "cache"
+        assert main(["run", str(path), "--cache-dir", str(cache)]) == 0
+        cold = capsys.readouterr().out
+        assert last_run_stats().stored == 4  # 2 trials x 2 algorithms
+        assert (
+            main(["run", str(path), "--cache-dir", str(cache), "--resume"]) == 0
+        )
+        warm = capsys.readouterr().out
+        stats = last_run_stats()
+        assert stats.executed == 0 and stats.cache_hits == 4
+        assert warm == cold
+
+    def test_resume_without_store_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        dump(small_plan(), path)
+        assert main(["run", str(path), "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert "repro run:" in err and "cache" in err

@@ -1,0 +1,207 @@
+"""Fault matrix: every failure mode recovers byte-identically, no orphans.
+
+The acceptance pin of the resilient executor: for every registered fault
+mode (worker crash, hang past the worker timeout, transient exception) and
+every fan-out width, a faulted campaign completes with output byte-identical
+to a fault-free serial run — retries, pool rebuilds and the serial
+degradation path are all observationally free because results are pure
+functions of payload content.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.exceptions import FaultInjectionError
+from repro.plans import RunConfig, TrialPlan, last_run_stats, plan_with_overrides
+from repro.plans.execute import run as run_plan
+from repro.resilience import FaultSpec, RetryPolicy
+from repro.resilience.faults import FAULT_SPEC_ENV
+from repro.sim import parallel
+from repro.sim.parallel import map_ordered, shutdown_persistent_pool
+from repro.workloads.spec import WorkloadSpec
+
+
+def small_plan(**config_kwargs) -> TrialPlan:
+    config_kwargs.setdefault("n_requests", 120)
+    config_kwargs.setdefault("n_trials", 2)
+    config_kwargs.setdefault("base_seed", 5)
+    return TrialPlan(
+        name="fault-test",
+        n_nodes=31,
+        workload=WorkloadSpec.create(
+            "combined-locality",
+            n_elements=31,
+            zipf_exponent=1.4,
+            repeat_probability=0.4,
+        ),
+        algorithms=("rotor-push", "random-push"),
+        config=RunConfig(**config_kwargs),
+    )
+
+
+@pytest.fixture()
+def clean_table():
+    return run_plan(small_plan())
+
+
+def run_with_fault(monkeypatch, spec: FaultSpec, **config_kwargs):
+    monkeypatch.setenv(FAULT_SPEC_ENV, json.dumps(spec.to_dict()))
+    try:
+        table = run_plan(small_plan(**config_kwargs))
+    finally:
+        monkeypatch.delenv(FAULT_SPEC_ENV)
+    return table, last_run_stats()
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize("n_jobs", [1, 4])
+    @pytest.mark.parametrize("mode", ["crash", "hang", "exception"])
+    def test_recovery_is_byte_identical(
+        self, monkeypatch, tmp_path, clean_table, mode, n_jobs
+    ):
+        spec = FaultSpec(
+            mode=mode,
+            trials=(0,),
+            arm_dir=str(tmp_path),
+            max_triggers=1,
+            hang_seconds=120.0,
+        )
+        config = {"n_jobs": n_jobs}
+        if mode == "hang":
+            config["worker_timeout"] = 0.75
+        table, stats = run_with_fault(monkeypatch, spec, **config)
+        assert table.rows == clean_table.rows
+        if n_jobs > 1 and mode in ("crash", "hang"):
+            assert stats.pool_rebuilds >= 1
+        if mode == "exception":
+            assert stats.retries >= 1
+
+    def test_one_kill_per_retry_round_completes(
+        self, monkeypatch, tmp_path, clean_table
+    ):
+        """The ISSUE's acceptance shape: a fault killing one worker per retry
+        round must still let a 4-job sweep complete, byte-identical."""
+        spec = FaultSpec(
+            mode="crash", trials=(0, 1), arm_dir=str(tmp_path), max_triggers=1
+        )
+        table, stats = run_with_fault(monkeypatch, spec, n_jobs=4, max_retries=4)
+        assert table.rows == clean_table.rows
+        assert stats.pool_rebuilds >= 1
+
+    def test_persistent_crashes_degrade_to_serial(
+        self, monkeypatch, tmp_path, clean_table
+    ):
+        """A fault that keeps killing workers exhausts the rebuild budget;
+        the executor must warn, degrade to in-process serial execution (where
+        crash faults cannot fire — there is no worker to kill) and still
+        produce the fault-free table."""
+        spec = FaultSpec(
+            mode="crash", trials=(0, 1), arm_dir=str(tmp_path), max_triggers=100
+        )
+        with pytest.warns(RuntimeWarning, match="degrading"):
+            table, stats = run_with_fault(
+                monkeypatch, spec, n_jobs=4, max_retries=1
+            )
+        assert table.rows == clean_table.rows
+        assert stats.degraded
+
+    def test_exhausted_exception_budget_propagates(self, monkeypatch, tmp_path):
+        """When a payload fails more often than max_retries allows, the
+        original exception must surface (serial path)."""
+        spec = FaultSpec(
+            mode="exception", trials=(0,), arm_dir=str(tmp_path), max_triggers=100
+        )
+        monkeypatch.setenv(FAULT_SPEC_ENV, json.dumps(spec.to_dict()))
+        with pytest.raises(FaultInjectionError):
+            run_plan(small_plan(max_retries=1))
+
+
+def _identity(value):
+    return value
+
+
+def _fail_below_ten(value):
+    if value < 10:
+        raise ValueError(f"transient {value}")
+    return value
+
+
+class _Flaky:
+    """Serial-path worker failing a fixed number of times per payload."""
+
+    def __init__(self, failures: int) -> None:
+        self.failures = failures
+        self.seen = {}
+
+    def __call__(self, value):
+        count = self.seen.get(value, 0)
+        self.seen[value] = count + 1
+        if count < self.failures:
+            raise ValueError(f"transient failure {count} for {value}")
+        return value * 10
+
+
+class TestMapOrdered:
+    def test_serial_retry_preserves_order_and_counts(self):
+        worker = _Flaky(failures=2)
+
+        class Stats:
+            retries = 0
+            executed = 0
+
+        stats = Stats()
+        results = map_ordered(
+            worker,
+            [1, 2, 3],
+            n_jobs=1,
+            retry=RetryPolicy(max_retries=2, backoff_base=0.0),
+            stats=stats,
+        )
+        assert results == [10, 20, 30]
+        assert stats.retries == 6
+        assert stats.executed == 3
+
+    def test_serial_exhausted_budget_raises(self):
+        worker = _Flaky(failures=3)
+        with pytest.raises(ValueError, match="transient"):
+            map_ordered(
+                worker,
+                [1],
+                n_jobs=1,
+                retry=RetryPolicy(max_retries=2, backoff_base=0.0),
+            )
+
+    def test_on_result_fires_per_completion(self):
+        seen = []
+        results = map_ordered(
+            _identity,
+            [4, 5, 6],
+            n_jobs=1,
+            on_result=lambda index, result: seen.append((index, result)),
+        )
+        assert results == [4, 5, 6]
+        assert seen == [(0, 4), (1, 5), (2, 6)]
+
+    def test_parallel_results_stay_ordered(self):
+        results = map_ordered(_identity, list(range(40)), n_jobs=4)
+        assert results == list(range(40))
+
+    def test_keyboard_interrupt_tears_the_pool_down(self, monkeypatch):
+        """The orphaned-worker satellite: an interrupt mid-fan-out must
+        terminate the pool (no orphans) and re-raise."""
+        shutdown_persistent_pool()
+
+        def interrupted_wait(pending, timeout=None):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(parallel, "_wait", interrupted_wait)
+        with pytest.raises(KeyboardInterrupt):
+            map_ordered(_identity, list(range(8)), n_jobs=2)
+        assert parallel._pool is None
+        monkeypatch.undo()
+        # the executor recovers: the next fan-out builds a fresh pool
+        assert map_ordered(_identity, [1, 2, 3], n_jobs=2) == [1, 2, 3]

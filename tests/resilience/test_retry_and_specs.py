@@ -1,0 +1,160 @@
+"""RetryPolicy, FaultSpec and the RunConfig resilience knobs.
+
+The spec-layer contract of the resilience PR: the new knobs behave like
+every other spec field in the repo — validated at construction, JSON
+round-trippable, recursively overridable from the CLI — and the fault spec
+is registry-validated with the usual "unknown name lists the registered
+ones" error shape.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError, PlanError
+from repro.plans import RunConfig, TrialPlan, ExperimentPlan, plan_with_overrides
+from repro.resilience import FAULT_MODES, FaultSpec, RetryPolicy, fault_spec_from_env
+from repro.resilience.faults import FAULT_SPEC_ENV
+from repro.workloads.spec import WorkloadSpec
+
+
+class TestRetryPolicy:
+    def test_delay_is_capped_exponential(self):
+        policy = RetryPolicy(max_retries=5, backoff_base=0.1, backoff_max=0.35)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.35)  # capped
+        assert policy.delay(10) == pytest.approx(0.35)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ExperimentError, match="backoff_base"):
+            RetryPolicy(backoff_base=-0.1)
+
+    def test_for_config_is_duck_typed(self):
+        config = RunConfig(n_requests=10, n_trials=1, max_retries=7)
+        assert RetryPolicy.for_config(config).max_retries == 7
+
+        class Legacy:  # config-like object predating the knob
+            pass
+
+        assert RetryPolicy.for_config(Legacy()).max_retries == RetryPolicy().max_retries
+
+
+class TestRunConfigKnobs:
+    def test_defaults_and_roundtrip(self):
+        config = RunConfig(
+            n_requests=10,
+            n_trials=1,
+            worker_timeout=30.0,
+            max_retries=4,
+            cache_dir=".cache",
+        )
+        data = config.to_dict()
+        assert data["worker_timeout"] == 30.0
+        assert data["max_retries"] == 4
+        assert data["cache_dir"] == ".cache"
+        assert RunConfig.from_dict(data) == config
+        # absent keys fall back to the defaults (old documents stay valid)
+        old = {"n_requests": 10, "n_trials": 1}
+        config = RunConfig.from_dict(old)
+        assert config.worker_timeout is None
+        assert config.max_retries == 2
+        assert config.cache_dir is None
+
+    def test_validation(self):
+        with pytest.raises(PlanError, match="worker_timeout"):
+            RunConfig(n_requests=10, n_trials=1, worker_timeout=0)
+        with pytest.raises(PlanError, match="max_retries"):
+            RunConfig(n_requests=10, n_trials=1, max_retries=-1)
+        with pytest.raises(PlanError, match="max_retries"):
+            RunConfig(n_requests=10, n_trials=1, max_retries=True)
+        with pytest.raises(PlanError, match="cache_dir"):
+            RunConfig(n_requests=10, n_trials=1, cache_dir="")
+
+    def test_with_overrides(self):
+        config = RunConfig(n_requests=10, n_trials=1)
+        updated = config.with_overrides(
+            worker_timeout=12.5, max_retries=9, cache_dir="store"
+        )
+        assert updated.worker_timeout == 12.5
+        assert updated.max_retries == 9
+        assert updated.cache_dir == "store"
+        # None keeps the existing value
+        assert updated.with_overrides() == updated
+
+    def test_plan_with_overrides_recurses(self):
+        stage = TrialPlan(
+            name="stage",
+            n_nodes=15,
+            workload=WorkloadSpec.create("uniform", n_elements=15),
+            algorithms=("rotor-push",),
+            config=RunConfig(n_requests=10, n_trials=1),
+        )
+        experiment = ExperimentPlan(
+            name="exp", stages=(("a", stage), ("b", stage)), assembler="tables"
+        )
+        overridden = plan_with_overrides(
+            experiment, max_retries=6, cache_dir="deep-store"
+        )
+        for _key, sub in overridden.stages:
+            assert sub.config.max_retries == 6
+            assert sub.config.cache_dir == "deep-store"
+
+
+class TestFaultSpec:
+    def test_unknown_mode_lists_registered(self, tmp_path):
+        with pytest.raises(ExperimentError) as excinfo:
+            FaultSpec(mode="meteor", arm_dir=str(tmp_path))
+        message = str(excinfo.value)
+        assert "meteor" in message
+        for mode in FAULT_MODES:
+            assert mode in message
+
+    def test_requires_arm_dir(self):
+        with pytest.raises(ExperimentError, match="arm_dir"):
+            FaultSpec(mode="crash")
+
+    def test_roundtrip(self, tmp_path):
+        spec = FaultSpec(
+            mode="exception",
+            trials=(0, 2),
+            arm_dir=str(tmp_path),
+            max_triggers=3,
+            seed=11,
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+        with pytest.raises(ExperimentError, match="unknown fault-spec keys"):
+            FaultSpec.from_dict({**spec.to_dict(), "surprise": 1})
+
+    def test_trigger_budget_is_counted_in_files(self, tmp_path):
+        spec = FaultSpec(
+            mode="exception", trials=(0,), arm_dir=str(tmp_path), max_triggers=2
+        )
+        assert spec._claim_trigger(0, "rotor-push")
+        assert spec._claim_trigger(0, "rotor-push")
+        assert not spec._claim_trigger(0, "rotor-push")  # budget spent
+        assert spec.triggers_fired(0, "rotor-push") == 2
+        # other payloads count independently
+        assert spec._claim_trigger(0, "random-push")
+        # a re-built spec (a "new process") sees the same budget
+        fresh = FaultSpec.from_dict(spec.to_dict())
+        assert not fresh._claim_trigger(0, "rotor-push")
+
+    def test_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(FAULT_SPEC_ENV, raising=False)
+        assert fault_spec_from_env() is None
+        spec = FaultSpec(mode="crash", trials=(1,), arm_dir=str(tmp_path))
+        monkeypatch.setenv(FAULT_SPEC_ENV, json.dumps(spec.to_dict()))
+        assert fault_spec_from_env() == spec
+        # a path to a JSON file works too
+        path = tmp_path / "fault.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        monkeypatch.setenv(FAULT_SPEC_ENV, str(path))
+        assert fault_spec_from_env() == spec
+        monkeypatch.setenv(FAULT_SPEC_ENV, "no-such-file.json")
+        with pytest.raises(ExperimentError, match="neither"):
+            fault_spec_from_env()

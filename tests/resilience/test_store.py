@@ -1,0 +1,154 @@
+"""ResultStore: round-trips, atomicity, corruption handling, content keys.
+
+The checkpoint store's contract: entries round-trip results exactly, a
+corrupted/truncated/alien entry is a logged *miss* (never a crash), and the
+content keys hash exactly the result-determining payload fields — throughput
+knobs (``backend``, ``chunk_size``, ``n_jobs``) never split the cache.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+import repro
+from repro.plans import RunConfig, load_golden_plan, plan_with_overrides
+from repro.resilience import ResultStore, payload_key, plan_hash
+from repro.resilience.store import result_from_dict, result_to_dict
+from repro.sim.engine import simulate
+from repro.sim.runner import TrialRunner
+from repro.workloads.spec import WorkloadSpec
+
+
+def small_result(keep_records: bool = False):
+    return simulate(
+        "rotor-push",
+        [1, 3, 5, 3, 1, 7, 2],
+        n_nodes=15,
+        placement_seed=3,
+        seed=4,
+        keep_records=keep_records,
+        metadata={"trial": 0},
+    )
+
+
+def runner_payloads(**kwargs):
+    config_kwargs = dict(n_requests=50, n_trials=2, base_seed=9)
+    config_kwargs.update(kwargs)
+    runner = TrialRunner(n_nodes=15, config=RunConfig(**config_kwargs))
+    return runner.build_payloads(
+        ["rotor-push", "random-push"],
+        runner.trial_sources(
+            lambda seed: WorkloadSpec.create("uniform", n_elements=15, seed=seed)
+        ),
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("keep_records", [False, True])
+    def test_result_document_roundtrip(self, keep_records):
+        result = small_result(keep_records)
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.algorithm == result.algorithm
+        assert rebuilt.total_access_cost == result.total_access_cost
+        assert rebuilt.total_adjustment_cost == result.total_adjustment_cost
+        assert rebuilt.metadata == result.metadata
+        assert len(rebuilt.per_request) == len(result.per_request)
+        for mine, theirs in zip(rebuilt.per_request, result.per_request):
+            assert mine == theirs
+
+    def test_store_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = small_result(keep_records=True)
+        key = "ab" + "0" * 62
+        assert key not in store
+        assert store.get(key) is None
+        path = store.put(key, result)
+        assert path.is_file()
+        assert key in store
+        assert store.keys() == [key]
+        assert len(store) == 1
+        rebuilt = store.get(key)
+        assert rebuilt.total_access_cost == result.total_access_cost
+
+
+class TestCorruption:
+    def make_entry(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "cd" + "1" * 62
+        path = store.put(key, small_result())
+        return store, key, path
+
+    def test_truncated_entry_is_a_logged_miss(self, tmp_path, caplog):
+        store, key, path = self.make_entry(tmp_path)
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) // 2])
+        with caplog.at_level(logging.WARNING, logger="repro.resilience"):
+            assert store.get(key) is None
+        assert any("treating as missing" in record.message for record in caplog.records)
+
+    def test_bitflipped_body_is_a_miss(self, tmp_path):
+        store, key, path = self.make_entry(tmp_path)
+        raw = path.read_text()
+        path.write_text(raw.replace('"total_access_cost":', '"total_access_cost":9'))
+        assert store.get(key) is None
+
+    def test_alien_file_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ef" + "2" * 62
+        path = store.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("this was never a checkpoint entry")
+        assert store.get(key) is None
+
+    def test_wrong_format_version_is_a_miss(self, tmp_path):
+        store, key, path = self.make_entry(tmp_path)
+        header, _, body = path.read_text().partition("\n")
+        parts = header.split(" ")
+        parts[1] = "999"
+        path.write_text(" ".join(parts) + "\n" + body)
+        assert store.get(key) is None
+
+    def test_reput_heals_a_corrupt_entry(self, tmp_path):
+        store, key, path = self.make_entry(tmp_path)
+        path.write_text("garbage")
+        assert store.get(key) is None
+        store.put(key, small_result())
+        assert store.get(key) is not None
+
+
+class TestPayloadKey:
+    def test_key_ignores_throughput_knobs(self):
+        base = runner_payloads()
+        for variant in (
+            runner_payloads(backend="python"),
+            runner_payloads(chunk_size=7),
+            runner_payloads(n_jobs=4),
+            runner_payloads(max_retries=9, cache_dir="elsewhere"),
+        ):
+            assert [payload_key(p) for p in base] == [payload_key(p) for p in variant]
+
+    def test_key_tracks_result_determining_fields(self):
+        base = [payload_key(p) for p in runner_payloads()]
+        assert len(set(base)) == len(base)  # every (trial, algorithm) distinct
+        reseeded = [payload_key(p) for p in runner_payloads(base_seed=10)]
+        assert set(base).isdisjoint(reseeded)
+        resized = [payload_key(p) for p in runner_payloads(n_requests=51)]
+        assert set(base).isdisjoint(resized)
+
+
+class TestPlanHash:
+    def test_hash_ignores_throughput_and_resilience_knobs(self):
+        plan = load_golden_plan("smoke")
+        assert plan_hash(plan) == plan_hash(
+            plan_with_overrides(
+                plan, n_jobs=8, chunk_size=64, backend="python", cache_dir="x",
+                max_retries=9,
+            )
+        )
+
+    def test_hash_tracks_run_content(self):
+        plan = load_golden_plan("smoke")
+        assert plan_hash(plan) != plan_hash(plan_with_overrides(plan, n_trials=7))
+        assert plan_hash(plan) != plan_hash(plan_with_overrides(plan, n_requests=7))
