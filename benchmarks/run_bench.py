@@ -22,7 +22,10 @@ against its predecessors on the same hardware.  The measured layers:
   traffic trace), payload size, and an ``n_jobs`` determinism check; and
 * **resilience** — cold-run versus warm-cache wall-clock of the smoke
   golden plan through the checkpoint store (``repro.run(plan, cache=...,
-  resume=True)``), with a bit-identity check between the two.
+  resume=True)``), with a bit-identity check between the two; and
+* **corpus scenario** — end-to-end wall-clock of the corpus pipeline plan
+  (synthetic corpus → complexity map + per-algorithm cost table), serial
+  versus parallel, with an ``n_jobs`` determinism check over both tables.
 
 Usage::
 
@@ -47,6 +50,7 @@ import pickle
 
 from repro.algorithms.registry import make_algorithm
 from repro.core import backend as backend_mod
+from repro.experiments import build_corpus_pipeline_plan
 from repro.network.traffic import TrafficSpec
 from repro.plans import NetworkPlan, RunConfig, load_golden_plan, plan_with_overrides
 from repro.plans.execute import build_network_payloads, last_run_stats, run as run_plan
@@ -379,6 +383,40 @@ def bench_resilience(n_trials: int, n_requests: int) -> dict:
     }
 
 
+def bench_corpus(n_books: int, scale: float, max_requests: int, n_jobs: int) -> dict:
+    """End-to-end wall-clock of the corpus pipeline scenario plan.
+
+    The PR-7 scenario path: ``corpus`` recipe specs ship to pool workers,
+    which rebuild the synthetic books and stream the sliding-window sequence
+    into the serve path; the complexity map is computed parent-side.  Serial
+    and parallel runs must produce bit-identical tables.
+    """
+    plan = build_corpus_pipeline_plan(
+        n_books=n_books, scale=scale, max_requests=max_requests
+    )
+    start = time.perf_counter()
+    serial = run_plan(plan)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_plan(plan_with_overrides(plan, n_jobs=n_jobs))
+    parallel_seconds = time.perf_counter() - start
+
+    n_payloads = len(serial["corpus_costs"].rows)
+    return {
+        "n_books": n_books,
+        "scale": scale,
+        "max_requests": max_requests,
+        "n_payloads": n_payloads,
+        "serial_seconds": round(serial_seconds, 3),
+        "n_jobs_parallel": n_jobs,
+        "parallel_seconds": round(parallel_seconds, 3),
+        "deterministic": all(
+            serial[key].rows == parallel[key].rows for key in serial
+        ),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke configuration")
@@ -390,11 +428,13 @@ def main(argv=None) -> int:
         par_nodes, par_requests, par_trials = 255, 2_000, 2
         multi_nodes, multi_sources, multi_rps = 255, 8, 500
         resil_trials, resil_requests = 2, 2_000
+        corpus_books, corpus_scale, corpus_requests = 2, 0.05, 2_000
     else:
         serve_nodes, serve_requests, repeats = 1_023, 20_000, 3
         par_nodes, par_requests, par_trials = 1_023, 30_000, 4
         multi_nodes, multi_sources, multi_rps = 1_023, 16, 2_000
         resil_trials, resil_requests = 3, 20_000
+        corpus_books, corpus_scale, corpus_requests = 3, 0.15, 30_000
 
     serve_python = bench_serve(serve_nodes, serve_requests, repeats, "python")
     report = {
@@ -435,6 +475,12 @@ def main(argv=None) -> int:
             multi_nodes, multi_sources, multi_rps, max(2, os.cpu_count() or 1)
         ),
         "resilience": bench_resilience(resil_trials, resil_requests),
+        "corpus_scenario": bench_corpus(
+            corpus_books,
+            corpus_scale,
+            corpus_requests,
+            max(2, os.cpu_count() or 1),
+        ),
     }
 
     payload = json.dumps(report, indent=2)
@@ -460,6 +506,9 @@ def main(argv=None) -> int:
         return 1
     if report["resilience"]["warm_executed"] != 0:
         print("ERROR: warm-cache run re-executed trials", file=sys.stderr)
+        return 1
+    if not report["corpus_scenario"]["deterministic"]:
+        print("ERROR: parallel corpus scenario diverged from serial", file=sys.stderr)
         return 1
     return 0
 

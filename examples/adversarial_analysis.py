@@ -12,6 +12,14 @@ Three demonstrations:
 3. **Theorem 7** - the credit/potential argument of the 12-competitiveness
    proof, checked round by round on random input.
 
+The whole analysis is a shipped golden plan — this script is equivalent to::
+
+    repro run adversarial
+
+The adversaries themselves are registry-validated specs
+(:class:`repro.workloads.AdversarySpec`) built and simulated worker-side, so
+``repro run adversarial --jobs 4`` fans the constructions out.
+
 Run with::
 
     python examples/adversarial_analysis.py
@@ -19,53 +27,31 @@ Run with::
 
 from __future__ import annotations
 
-from repro.analysis.potential import PotentialTracker
-from repro.analysis.working_set import max_working_set_violation
-from repro.experiments.table1_properties import run_mtf_lower_bound
-from repro.sim.results import ResultTable
-from repro.workloads import RotorPushWorkingSetAdversary, UniformWorkload
+import repro
+from repro.plans import load_golden_plan
 
 
-def lemma8_demo() -> None:
+def main() -> None:
+    tables = repro.run(load_golden_plan("adversarial"))
+
     print("=== Lemma 8: Rotor-Push lacks the working-set property ===")
-    table = ResultTable(
-        name="lemma8",
-        columns=["depth", "working_set_limit", "max_access_cost", "cost_to_log_rank_ratio"],
-    )
-    for depth in (4, 6, 8, 10):
-        adversary = RotorPushWorkingSetAdversary(depth)
-        sequence, costs = adversary.generate_with_costs(2_500)
-        table.add_row(
-            depth=depth,
-            working_set_limit=2 * (depth + 1) - 1,
-            max_access_cost=max(record.access_cost for record in costs),
-            cost_to_log_rank_ratio=max_working_set_violation(sequence, costs),
-        )
-    print(table.format_text())
+    print(tables["lemma8"].format_text())
     print(
         "The requests only ever touch ~2x-1 elements, yet the access cost reaches\n"
         "the full tree depth: the cost grows linearly in the working-set size, so\n"
         "the working-set property fails (while the total cost is still 12-competitive).\n"
     )
 
-
-def mtf_lower_bound_demo() -> None:
     print("=== Section 1.1: the naive Move-To-Front tree is not competitive ===")
-    table = run_mtf_lower_bound([3, 5, 7, 9, 11], cycles=30)
-    print(table.format_text())
+    print(tables["mtf_lower_bound"].format_text())
     print(
         "Move-To-Front keeps paying ~depth per request on the round-robin path\n"
         "sequence, while an offline algorithm could pack those few elements into\n"
         "the top O(log depth) levels - the Omega(log n / log log n) gap of the paper.\n"
     )
 
-
-def theorem7_demo() -> None:
     print("=== Theorem 7: per-round amortised inequality of the credit argument ===")
-    tracker = PotentialTracker(depth=6)
-    workload = UniformWorkload(tracker.algorithm.network.tree.n_nodes, seed=3)
-    tracker.run(workload.generate(3_000))
-    summary = tracker.summary()
+    summary = tables["theorem7"].rows[0]
     print(
         f"rounds checked: {int(summary['rounds'])}, violations: {int(summary['violations'])}, "
         f"max amortised-cost / bound ratio: {summary['max_ratio']:.3f}"
@@ -77,6 +63,4 @@ def theorem7_demo() -> None:
 
 
 if __name__ == "__main__":
-    lemma8_demo()
-    mtf_lower_bound_demo()
-    theorem7_demo()
+    main()

@@ -10,6 +10,15 @@ if you have them):
    complexity, Figure 6),
 3. run all six algorithms on the sequence and compare costs (Figure 7).
 
+The synthetic pipeline is a shipped golden plan — without arguments this
+script is equivalent to::
+
+    repro run corpus
+
+With file arguments it builds the same plan over file-backed ``corpus``
+workload specs instead (such plans only run where the files exist, so they
+are not shipped as goldens).
+
 Run with::
 
     python examples/corpus_pipeline.py [book1.txt book2.txt ...]
@@ -19,69 +28,24 @@ from __future__ import annotations
 
 import sys
 
-from repro.algorithms import PAPER_ALGORITHMS
-from repro.analysis.complexity_map import trace_complexity
-from repro.analysis.entropy import locality_summary
-from repro.sim.engine import simulate
-from repro.sim.results import ResultTable
-from repro.workloads.corpus import CorpusWorkload, synthetic_corpus_workloads
-
-MAX_REQUESTS = 30_000  # cap per book so the example stays fast
-
-
-def load_workloads(paths):
-    if paths:
-        return [CorpusWorkload.from_file(path) for path in paths]
-    return synthetic_corpus_workloads(n_books=3, scale=0.15)
+import repro
+from repro.experiments import build_corpus_pipeline_plan
+from repro.plans import load_golden_plan
 
 
 def main(paths) -> None:
-    workloads = load_workloads(paths)
+    if paths:
+        plan = build_corpus_pipeline_plan(paths=paths)
+    else:
+        plan = load_golden_plan("corpus")
+    tables = repro.run(plan)
 
     print("=== Figure 6: complexity map ===")
-    map_table = ResultTable(
-        name="complexity_map",
-        columns=["dataset", "requests", "distinct_triples", "temporal", "non_temporal", "entropy"],
-    )
-    for workload in workloads:
-        sequence = workload.full_sequence()
-        point = trace_complexity(sequence, universe_size=workload.n_distinct)
-        stats = locality_summary(sequence)
-        map_table.add_row(
-            dataset=workload.title,
-            requests=len(sequence),
-            distinct_triples=workload.n_distinct,
-            temporal=point.temporal_complexity,
-            non_temporal=point.non_temporal_complexity,
-            entropy=stats["entropy_bits"],
-        )
-    print(map_table.format_text())
+    print(tables["complexity_map"].format_text())
     print()
 
     print("=== Figure 7: algorithm costs per dataset ===")
-    cost_table = ResultTable(
-        name="corpus_costs",
-        columns=["dataset", "algorithm", "access", "adjustment", "total"],
-    )
-    for workload in workloads:
-        sequence = workload.full_sequence()[:MAX_REQUESTS]
-        for name in PAPER_ALGORITHMS:
-            result = simulate(
-                name,
-                sequence,
-                n_nodes=workload.n_elements,
-                placement_seed=1,
-                seed=2,
-                keep_records=False,
-            )
-            cost_table.add_row(
-                dataset=workload.title,
-                algorithm=name,
-                access=result.average_access_cost,
-                adjustment=result.average_adjustment_cost,
-                total=result.average_total_cost,
-            )
-    print(cost_table.format_text())
+    print(tables["corpus_costs"].format_text())
     print(
         "\nAs in the paper: Rotor-Push and Random-Push behave almost identically,"
         "\ntheir access cost approaches the static optimum's, and because the text"

@@ -2,7 +2,7 @@
 """Reconfigurable datacenter scenario: multi-source self-adjusting network.
 
 The paper motivates single-source self-adjusting trees as the building block of
-reconfigurable optical datacenter networks.  This example builds that
+reconfigurable optical datacenter networks.  This example runs that
 application end to end:
 
 * 64 racks (network nodes), four of which host traffic-heavy services and act
@@ -12,8 +12,15 @@ application end to end:
 * every source maintains its own self-adjusting tree over the other racks; the
   union of the trees is the physical topology, whose degree stays bounded;
 * the same trace is routed over Rotor-Push trees, Random-Push trees and
-  demand-oblivious static trees, and the resulting costs and topology degrees
-  are compared.
+  demand-oblivious static trees, and the resulting costs are compared against
+  the bounded-degree composition guarantee.
+
+The whole scenario is a shipped golden plan — this script is equivalent to::
+
+    repro run datacenter
+
+and :func:`repro.experiments.build_datacenter_plan` is the builder that
+produced the golden copy (``src/repro/experiments/plans/datacenter.json``).
 
 Run with::
 
@@ -22,74 +29,20 @@ Run with::
 
 from __future__ import annotations
 
-from repro.network import (
-    MultiSourceNetwork,
-    degree_statistics,
-    multi_source_topology,
-    theoretical_degree_bound,
-    trace_from_workloads,
-)
-from repro.sim.results import ResultTable
-from repro.workloads import MarkovWorkload
-
-N_RACKS = 64
-SOURCES = [0, 1, 2, 3]
-REQUESTS_PER_SOURCE = 2_000
-
-
-def build_trace():
-    """Clustered per-source traffic: each service talks mostly to a few racks."""
-    workloads = {
-        source: MarkovWorkload(
-            N_RACKS,
-            n_neighbours=4,
-            self_loop=0.55,
-            neighbour_probability=0.35,
-            seed=100 + source,
-        )
-        for source in SOURCES
-    }
-    return trace_from_workloads(
-        N_RACKS, workloads, requests_per_source=REQUESTS_PER_SOURCE, interleave_seed=5
-    )
+import repro
+from repro.plans import load_golden_plan
 
 
 def main() -> None:
-    trace = build_trace()
-    print(
-        f"Routing {len(trace)} requests from {len(SOURCES)} sources over "
-        f"{N_RACKS} racks.\n"
-    )
-
-    table = ResultTable(
-        name="datacenter_reconfiguration",
-        columns=["tree_algorithm", "avg_hops", "avg_reconfig", "avg_total", "max_degree"],
-    )
-    for algorithm in ("rotor-push", "random-push", "static-oblivious"):
-        network = MultiSourceNetwork(
-            N_RACKS, sources=SOURCES, algorithm=algorithm, base_seed=9
-        )
-        summary = network.serve_trace(trace)
-        stats = degree_statistics(multi_source_topology(network))
-        table.add_row(
-            tree_algorithm=algorithm,
-            avg_hops=summary["average_access_cost"],
-            avg_reconfig=summary["average_adjustment_cost"],
-            avg_total=summary["average_total_cost"],
-            max_degree=stats["max_degree"],
-        )
+    plan = load_golden_plan("datacenter")
+    table = repro.run(plan)
 
     print(table.format_text())
-    print()
-    print(
-        "Theoretical degree bound for "
-        f"{len(SOURCES)} source trees: {theoretical_degree_bound(len(SOURCES))}"
-    )
     print(
         "\nThe self-adjusting trees keep frequently contacted racks near their"
         " sources,\nso the average hop count (access cost) drops well below the"
         " oblivious static trees',\nwhile the physical degree stays within the"
-        " bounded-degree composition guarantee."
+        " bounded-degree composition guarantee\n(the degree_bound column)."
     )
 
 

@@ -102,6 +102,7 @@ from repro.plans import (
     NetworkPlan,
     RunConfig,
     SweepPlan,
+    TrafficSweepPlan,
     TrialPlan,
     run,
 )
@@ -139,6 +140,7 @@ __all__ = [
     "SweepPlan",
     "TemporalWorkload",
     "TrafficSpec",
+    "TrafficSweepPlan",
     "TrafficTrace",
     "TreeNetwork",
     "TrialPlan",

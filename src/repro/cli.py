@@ -4,7 +4,8 @@ Installed as the ``repro`` console script (also runnable via
 ``python -m repro``).  Subcommands:
 
 ``list``
-    List the registered algorithms, experiment scales and golden plans.
+    List the registered algorithms, workload kinds, adversary kinds,
+    experiment scales and golden plans.
 ``demo``
     Run a small comparison of all algorithms on a combined-locality workload
     and print the cost table (internally: a :class:`repro.plans.TrialPlan`).
@@ -52,7 +53,8 @@ from repro.plans import (
 )
 from repro.plans.execute import run as run_plan
 from repro.sim.results import ResultTable
-from repro.workloads.spec import WorkloadSpec
+from repro.workloads.adversarial import registered_adversary_kinds
+from repro.workloads.spec import WorkloadSpec, registered_kinds
 
 __all__ = ["main", "build_parser", "resolve_run_plan"]
 
@@ -256,6 +258,14 @@ def _command_list() -> int:
         marker = "*" if name in PAPER_ALGORITHMS else " "
         print(f"  {marker} {name}")
     print("(* = compared in the paper's evaluation)")
+    print()
+    print("Workload kinds (WorkloadSpec.create / plan documents):")
+    for name in registered_kinds():
+        print(f"  {name}")
+    print()
+    print("Adversary kinds (AdversarySpec.create / adversarial payloads):")
+    for name in registered_adversary_kinds():
+        print(f"  {name}")
     print()
     print("Experiment scales:")
     for name, scale in SCALES.items():

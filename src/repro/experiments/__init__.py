@@ -11,6 +11,12 @@ One module per research question / figure:
   results (Lemma 8, Theorem 7) checked empirically;
 * :mod:`repro.experiments.multisource` - the multi-source network scenario
   (per-source self-adjusting trees routing a spec-described traffic trace);
+* :mod:`repro.experiments.datacenter` - the reconfigurable-datacenter
+  scenario (per-algorithm network stages plus a source-count traffic sweep);
+* :mod:`repro.experiments.adversarial` - the adversarial constructions
+  (Lemma 8, the MTF lower bound, Theorem 7) as spec-shipped payloads;
+* :mod:`repro.experiments.corpus_pipeline` - the raw-text corpus pipeline
+  on ``corpus`` recipe specs (complexity map plus per-dataset costs);
 * :mod:`repro.experiments.report` - runs everything and writes EXPERIMENTS.md.
 
 Every experiment is a declarative plan: the ``build_*_plan`` functions return
@@ -19,10 +25,22 @@ Every experiment is a declarative plan: the ``build_*_plan`` functions return
 ``src/repro/experiments/plans/``), and the ``run_*`` functions execute those
 plans through :func:`repro.run`.  Importing this package also registers the
 experiment-specific plan assemblers (``q1_panel``, ``q4_wireframe``,
-``q4_histogram``, ``q5_complexity_map``, ``q5_costs``, ``table1``).
+``q4_histogram``, ``q5_complexity_map``, ``q5_costs``, ``table1``,
+``datacenter``, ``adversarial``, ``corpus_pipeline``).
 """
 
+from repro.experiments.adversarial import build_adversarial_plan, run_adversarial
 from repro.experiments.config import SCALES, ExperimentScale, get_scale
+from repro.experiments.corpus_pipeline import (
+    build_corpus_pipeline_plan,
+    run_corpus_pipeline,
+)
+from repro.experiments.datacenter import (
+    build_datacenter_plan,
+    build_datacenter_sweep_plan,
+    datacenter_traffic,
+    run_datacenter,
+)
 from repro.experiments.multisource import build_multisource_plan, run_multisource
 from repro.experiments.q1_network_size import (
     build_q1_plan,
@@ -63,6 +81,10 @@ from repro.experiments.table1_properties import (
 __all__ = [
     "ExperimentScale",
     "SCALES",
+    "build_adversarial_plan",
+    "build_corpus_pipeline_plan",
+    "build_datacenter_plan",
+    "build_datacenter_sweep_plan",
     "build_multisource_plan",
     "build_q1_plan",
     "build_q1_spatial_plan",
@@ -76,10 +98,14 @@ __all__ = [
     "build_q5_costs_plan",
     "build_q5_plan",
     "build_table1_plan",
+    "datacenter_traffic",
     "generate_report",
     "get_scale",
     "render_report",
+    "run_adversarial",
     "run_all_experiments",
+    "run_corpus_pipeline",
+    "run_datacenter",
     "run_mtf_lower_bound",
     "run_multisource",
     "run_potential_check",

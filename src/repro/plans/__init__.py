@@ -50,6 +50,7 @@ from repro.plans.model import (
     Plan,
     RunConfig,
     SweepPlan,
+    TrafficSweepPlan,
     TrialPlan,
     plan_with_overrides,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "RunConfig",
     "StageResult",
     "SweepPlan",
+    "TrafficSweepPlan",
     "TrialPlan",
     "dump",
     "dumps",

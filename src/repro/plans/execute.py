@@ -29,6 +29,7 @@ from repro.plans.model import (
     NetworkPlan,
     Plan,
     SweepPlan,
+    TrafficSweepPlan,
     TrialPlan,
 )
 from repro.resilience.context import (
@@ -198,7 +199,7 @@ def _assemble_trace_costs(plan: ExperimentPlan, stages: List[StageResult]) -> ob
 
 def _check_runnable(plan: Plan) -> None:
     """Validate environment-dependent plan choices before any payload exists."""
-    if isinstance(plan, (TrialPlan, SweepPlan, NetworkPlan)):
+    if isinstance(plan, (TrialPlan, SweepPlan, NetworkPlan, TrafficSweepPlan)):
         plan.config.check_runnable()
         return
     if plan.config is not None:
@@ -356,6 +357,135 @@ def _execute_network_plan(plan: NetworkPlan, key: str = "") -> StageResult:
     return StageResult(key=key, plan=plan, result=table, table=table)
 
 
+def build_traffic_sweep_payloads(plan: TrafficSweepPlan) -> List[TrialPayload]:
+    """Build the flat payload pool of a traffic sweep, in canonical order.
+
+    Order is (point, algorithm, trial) — point-major so the table below can
+    regroup by position.  Every payload of a trial ships the *same* re-seeded
+    traffic (seeds derive from the trial index alone, exactly like
+    :func:`build_network_payloads`), so all points and algorithms fan out
+    through one :func:`~repro.sim.runner.execute_payloads` call and the
+    comparison across algorithms is never confounded by traffic noise.
+    """
+    config = plan.config
+    chunk = DEFAULT_CHUNK_SIZE if config.chunk_size is None else config.chunk_size
+    payloads: List[TrialPayload] = []
+    for point_index, point in enumerate(plan.point_dicts()):
+        bound = plan.bound_traffic(point)
+        for algorithm in plan.algorithms:
+            for trial in range(config.n_trials):
+                payloads.append(
+                    TrialPayload(
+                        algorithm=algorithm,
+                        source=TrafficSource(
+                            traffic=bound.with_seed(config.base_seed + trial),
+                            requests_per_source=config.n_requests,
+                            chunk_size=chunk,
+                        ),
+                        n_nodes=bound.n_nodes,
+                        placement_seed=config.base_seed
+                        + 10_000
+                        + trial * NETWORK_TRIAL_SEED_STRIDE,
+                        algorithm_seed=None,
+                        keep_records=config.keep_records,
+                        trial=trial,
+                        metadata={"point": point_index},
+                        backend=config.backend,
+                    )
+                )
+    return payloads
+
+
+def _execute_traffic_sweep_plan(plan: TrafficSweepPlan, key: str = "") -> StageResult:
+    payloads = build_traffic_sweep_payloads(plan)
+    config = plan.config
+    results = execute_payloads(
+        payloads,
+        config.n_jobs,
+        worker_timeout=config.worker_timeout,
+        retry=RetryPolicy.for_config(config),
+        cache_dir=config.cache_dir,
+    )
+    points = plan.point_dicts()
+    point_columns = sorted({key for point in points for key in point})
+    # a point may legitimately bind a key named "n_sources"; the fixed
+    # column then reports the same bound value, so the point key wins
+    fixed_columns = [
+        column
+        for column in (
+            "algorithm",
+            "n_sources",
+            "mean_access_cost",
+            "mean_adjustment_cost",
+            "mean_total_cost",
+            "n_trials",
+        )
+        if column not in point_columns
+    ]
+    table = ResultTable(name=plan.name, columns=point_columns + fixed_columns)
+    names = plan.algorithm_names()
+    n_trials = config.n_trials
+    cursor = 0
+    for point in points:
+        bound = plan.bound_traffic(point)
+        for name in names:
+            trials = results[cursor : cursor + n_trials]
+            cursor += n_trials
+            means = {
+                field: summarise_values(
+                    [getattr(result, f"average_{field}_cost") for result in trials]
+                )["mean"]
+                for field in ("access", "adjustment", "total")
+            }
+            row = {column: point.get(column) for column in point_columns}
+            row.update(
+                algorithm=name,
+                n_sources=len(bound.sources),
+                mean_access_cost=means["access"],
+                mean_adjustment_cost=means["adjustment"],
+                mean_total_cost=means["total"],
+                n_trials=n_trials,
+            )
+            table.add_row(**{column: row[column] for column in table.columns})
+    return StageResult(key=key, plan=plan, result=table, table=table)
+
+
+@register_assembler("traffic_sweep")
+def _assemble_traffic_sweep(plan: ExperimentPlan, stages: List[StageResult]) -> object:
+    """Merge traffic-sweep stage tables into one labelled comparison.
+
+    The sweep twin of ``trace_costs``: every stage must be a
+    :class:`~repro.plans.model.TrafficSweepPlan` and all stages must sweep
+    the same point keys; the output carries one row per (stage, point,
+    algorithm), labelled with the stage key.
+    """
+    if not stages:
+        raise PlanError(
+            f"assembler 'traffic_sweep' needs at least one traffic-sweep "
+            f"stage, plan {plan.name!r} has none"
+        )
+    columns = None
+    table = None
+    for stage in stages:
+        if not isinstance(stage.plan, TrafficSweepPlan) or stage.table is None:
+            raise PlanError(
+                f"assembler 'traffic_sweep' expects traffic-sweep stages, "
+                f"stage {stage.key!r} of plan {plan.name!r} is "
+                f"{type(stage.plan).__name__}"
+            )
+        if columns is None:
+            columns = list(stage.table.columns)
+            table = ResultTable(name=plan.name, columns=["scenario"] + columns)
+        elif list(stage.table.columns) != columns:
+            raise PlanError(
+                f"assembler 'traffic_sweep': stage {stage.key!r} sweeps "
+                f"columns {stage.table.columns}, expected {columns}"
+            )
+        for row in stage.table.rows:
+            table.add_row(scenario=stage.key, **row)
+    return table
+
+
 def _execute_experiment_plan(plan: ExperimentPlan, key: str = "") -> StageResult:
     stages = [_execute(sub, stage_key) for stage_key, sub in plan.stages]
     result = _assembler(plan.assembler)(plan, stages)
@@ -370,6 +500,8 @@ def _execute(plan: Plan, key: str = "") -> StageResult:
         return _execute_sweep_plan(plan, key)
     if isinstance(plan, NetworkPlan):
         return _execute_network_plan(plan, key)
+    if isinstance(plan, TrafficSweepPlan):
+        return _execute_traffic_sweep_plan(plan, key)
     if isinstance(plan, ExperimentPlan):
         return _execute_experiment_plan(plan, key)
     raise PlanError(f"not a plan object: {plan!r}")
@@ -394,7 +526,7 @@ def last_run_stats() -> Optional[ResilienceStats]:
 
 def _plan_uses_cache(plan: Plan) -> bool:
     """True when any stage config of ``plan`` names a ``cache_dir``."""
-    if isinstance(plan, (TrialPlan, SweepPlan, NetworkPlan)):
+    if isinstance(plan, (TrialPlan, SweepPlan, NetworkPlan, TrafficSweepPlan)):
         return plan.config.cache_dir is not None
     if plan.config is not None and plan.config.cache_dir is not None:
         return True
@@ -419,6 +551,9 @@ def run(
     * a :class:`NetworkPlan` returns a per-source route-cost table (one row
       per source plus a ``"total"`` aggregate row, per-request means over
       the trials), streamed through spec-shipped multi-source payloads;
+    * a :class:`TrafficSweepPlan` returns a table with one row per point ×
+      algorithm (aggregate per-request means over the trials), every point's
+      traffic bound from the template at payload-build time;
     * an :class:`ExperimentPlan` returns whatever its assembler produces —
       a table, a ``{stage key: result}`` dict (q1/q4/q5), or the Q4
       ``(histogram, summary)`` pair.

@@ -81,6 +81,7 @@ def _source_fingerprint(source: object) -> Dict[str, object]:
     pinned chunk-invariant), so they are deliberately absent.
     """
     from repro.sim.runner import (  # lazy: runner imports resilience
+        AdversarySource,
         SequenceSource,
         SpecSource,
         TrafficSource,
@@ -103,6 +104,12 @@ def _source_fingerprint(source: object) -> Dict[str, object]:
             "type": "traffic",
             "traffic": source.traffic.to_dict(),
             "requests_per_source": source.requests_per_source,
+        }
+    if isinstance(source, AdversarySource):
+        return {
+            "type": "adversary",
+            "adversary": source.adversary.to_dict(),
+            "n_requests": source.n_requests,
         }
     raise ExperimentError(f"unknown workload source type: {source!r}")
 

@@ -16,8 +16,14 @@ workload half is a :class:`WorkloadSource`:
   the workload can describe itself as a spec: nothing is generated in the
   parent process and the payload pickles in bytes, not megabytes.
 * :class:`SequenceSource` — a materialised request sequence, used for
-  workloads without a spec (adaptive adversaries, ad-hoc generators) and by
-  the explicit :meth:`TrialRunner.run_on_sequences` API.
+  workloads without a spec (ad-hoc generators) and by the explicit
+  :meth:`TrialRunner.run_on_sequences` API.
+* :class:`AdversarySource` — an :class:`repro.workloads.adversarial.
+  AdversarySpec` plus a request count; the worker builds the *adaptive*
+  adversary (which must observe the algorithm's tree, so it cannot be a
+  plain workload spec), lets it drive its own algorithm instance and
+  returns the costs it extracted.  This is how the paper's Lemma 8 and
+  lower-bound constructions run under plans with fan-out and caching.
 
 Both accept ``n_jobs`` to fan the independent (trial, algorithm) work items
 out over a persistent process pool (see :mod:`repro.sim.parallel`).  Per-trial
@@ -47,10 +53,12 @@ from repro.sim.engine import simulate, simulate_stream
 from repro.sim.parallel import map_ordered
 from repro.sim.results import summarise_values
 from repro.types import ElementId
+from repro.workloads.adversarial import AdversarySpec
 from repro.workloads.base import WorkloadGenerator, check_chunk_size
 from repro.workloads.spec import DEFAULT_CHUNK_SIZE, WorkloadSpec, build_workload
 
 __all__ = [
+    "AdversarySource",
     "SequenceSource",
     "SpecSource",
     "TrafficSource",
@@ -113,7 +121,26 @@ class TrafficSource:
     chunk_size: int = DEFAULT_CHUNK_SIZE
 
 
-WorkloadSource = Union[SequenceSource, SpecSource, TrafficSource]
+@dataclass(frozen=True)
+class AdversarySource:
+    """An adaptive-adversary spec to build and run inside the worker.
+
+    Adaptive adversaries construct their request sequences *online* from the
+    state of the algorithm's own tree, so — unlike every other source — the
+    payload's algorithm half is decided by the adversary itself (the spec's
+    construction pins which algorithm it attacks).  The payload's
+    ``algorithm`` field is ignored; its seeds are ignored too, because the
+    constructions are deterministic.  What the worker returns is the cost
+    record the adversary extracted, shaped as a normal
+    :class:`~repro.algorithms.base.RunResult` so stores, tables and caches
+    need no special cases.
+    """
+
+    adversary: AdversarySpec
+    n_requests: int
+
+
+WorkloadSource = Union[SequenceSource, SpecSource, TrafficSource, AdversarySource]
 
 
 @dataclass(frozen=True)
@@ -293,6 +320,8 @@ def _execute_trial(payload: TrialPayload) -> RunResult:
     source = payload.source
     if isinstance(source, TrafficSource):
         return _execute_network_trial(payload, source, metadata)
+    if isinstance(source, AdversarySource):
+        return _execute_adversary_trial(payload, source, metadata)
     as_array = _backend.vectorise_active(_backend.resolve_backend(payload.backend))
     if isinstance(source, SpecSource):
         chunks = _chunks_of(source, as_array=as_array)
@@ -352,6 +381,31 @@ def _execute_network_trial(
         n_requests=int(summary["n_requests"]),
         total_access_cost=int(summary["total_access_cost"]),
         total_adjustment_cost=int(summary["total_adjustment_cost"]),
+        metadata=metadata,
+    )
+
+
+def _execute_adversary_trial(
+    payload: TrialPayload, source: AdversarySource, metadata: Dict[str, object]
+) -> RunResult:
+    """Process-pool worker body for one adaptive-adversary run.
+
+    Builds the adversary from its registry-validated spec, lets it drive its
+    own algorithm instance for ``n_requests`` requests, and folds the
+    per-request :class:`~repro.core.cost.RequestCost` records it produced
+    into a :class:`RunResult`.  The constructions are deterministic, so the
+    result is a pure function of ``(spec, n_requests)`` — exactly what the
+    cache key records.
+    """
+    adversary = source.adversary.build()
+    _, costs = adversary.generate_with_costs(source.n_requests)
+    return RunResult(
+        algorithm=adversary.algorithm.name,
+        n_nodes=adversary.n_elements,
+        n_requests=len(costs),
+        total_access_cost=sum(cost.access_cost for cost in costs),
+        total_adjustment_cost=sum(cost.adjustment_cost for cost in costs),
+        per_request=costs if payload.keep_records else [],
         metadata=metadata,
     )
 

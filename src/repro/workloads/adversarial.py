@@ -20,13 +20,21 @@ Two adaptive adversaries are provided:
 Both adversaries are *adaptive*: they must observe the online algorithm's tree
 to pick the next request, so each owns a private algorithm instance and
 produces the realised request sequence together with the per-request costs.
-The non-adaptive equivalent of the Move-To-Front construction is also exposed
-as :func:`round_robin_path_sequence` for use as a plain workload.
+They are described declaratively by :class:`AdversarySpec` — the adversarial
+twin of :class:`~repro.workloads.spec.WorkloadSpec`: a registry-validated,
+JSON round-trippable recipe that pool workers rebuild and drive worker-side
+(see ``AdversarySource`` in :mod:`repro.sim.runner`), so lower-bound curves
+run under ``repro.run()`` with fan-out and caching like every other scenario.
+
+The non-adaptive equivalent of the Move-To-Front construction is exposed both
+as :func:`round_robin_path_sequence` and as the registered ``round_robin_path``
+workload kind (:class:`RoundRobinPathWorkload`) for use as a plain workload.
 """
 
 from __future__ import annotations
 
-from typing import List, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.algorithms.move_to_front import MoveToFrontTree
 from repro.algorithms.rotor_push import RotorPush
@@ -35,11 +43,29 @@ from repro.core.state import TreeNetwork
 from repro.core.tree import CompleteBinaryTree
 from repro.exceptions import WorkloadError
 from repro.types import ElementId, NodeId
-from repro.workloads.base import WorkloadGenerator
+from repro.workloads.base import (
+    WorkloadGenerator,
+    check_as_array,
+    check_chunk_size,
+    chunk_to_array,
+)
+from repro.workloads.spec import (
+    DEFAULT_CHUNK_SIZE,
+    WorkloadSpec,
+    freeze_params,
+    register_workload,
+    thaw_value,
+)
 
 __all__ = [
+    "AdversarySpec",
     "RotorPushWorkingSetAdversary",
     "MoveToFrontLowerBoundAdversary",
+    "RoundRobinPathWorkload",
+    "build_adversary",
+    "check_adversary_kind",
+    "register_adversary",
+    "registered_adversary_kinds",
     "working_set_adversary_nodes",
     "round_robin_path_sequence",
 ]
@@ -69,6 +95,77 @@ def round_robin_path_sequence(depth: int, n_requests: int) -> List[ElementId]:
         raise WorkloadError(f"n_requests must be non-negative, got {n_requests}")
     path_elements = [(1 << level) - 1 for level in range(depth, -1, -1)]
     return [path_elements[i % len(path_elements)] for i in range(n_requests)]
+
+
+class RoundRobinPathWorkload(WorkloadGenerator):
+    """The Section 1.1 round-robin path sequence as a registered workload.
+
+    Deterministic and seedless: request ``i`` is the ``(i mod (depth+1))``-th
+    element of the cyclic order leaf-element, next-deeper-element, ...,
+    root-element (identity placement).  Unlike the adaptive adversaries this
+    construction is a plain request stream, so it can be pointed at *any*
+    algorithm through the ordinary spec/plan machinery — e.g. to compare how
+    Rotor-Push and Move-To-Front fare on the same lower-bound input.
+    """
+
+    name = "round-robin-path"
+
+    def __init__(self, depth: int) -> None:
+        if depth < 0:
+            raise WorkloadError(f"depth must be non-negative, got {depth}")
+        tree = CompleteBinaryTree.from_depth(depth)
+        super().__init__(tree.n_nodes, seed=None)
+        self.depth = depth
+        self._path_elements = [
+            (1 << level) - 1 for level in range(depth, -1, -1)
+        ]
+
+    def generate(self, n_requests: int) -> List[ElementId]:
+        self._check_length(n_requests)
+        path = self._path_elements
+        return [path[i % len(path)] for i in range(n_requests)]
+
+    def iter_requests(
+        self,
+        n_requests: int,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        as_array: bool = False,
+    ) -> Iterator[List[ElementId]]:
+        """Stream natively: the cyclic position carries across chunks."""
+        self._check_length(n_requests)
+        check_chunk_size(chunk_size)
+        check_as_array(as_array)
+        path = self._path_elements
+        for start in range(0, n_requests, chunk_size):
+            stop = min(start + chunk_size, n_requests)
+            chunk = [path[i % len(path)] for i in range(start, stop)]
+            yield chunk_to_array(chunk) if as_array else chunk
+
+    def to_spec(self) -> WorkloadSpec:
+        return WorkloadSpec.create(
+            "round_robin_path", depth=self.depth, n_elements=self.n_elements
+        )
+
+    def parameters(self):
+        params = super().parameters()
+        params["depth"] = self.depth
+        params["path_length"] = len(self._path_elements)
+        return params
+
+
+@register_workload("round_robin_path")
+def _build_round_robin_path(
+    params: Dict[str, object], seed: Optional[int]
+) -> RoundRobinPathWorkload:
+    del seed  # deterministic construction; trial seeding cannot apply
+    workload = RoundRobinPathWorkload(int(params["depth"]))
+    declared = params.get("n_elements")
+    if declared is not None and int(declared) != workload.n_elements:
+        raise WorkloadError(
+            f"round_robin_path depth {workload.depth} implies a universe of "
+            f"{workload.n_elements} elements but the spec declares {declared}"
+        )
+    return workload
 
 
 class RotorPushWorkingSetAdversary(WorkloadGenerator):
@@ -177,3 +274,99 @@ class MoveToFrontLowerBoundAdversary(WorkloadGenerator):
         params = super().parameters()
         params["depth"] = self._algorithm.network.tree.depth
         return params
+
+
+# --------------------------------------------------------------------------
+# AdversarySpec: declarative descriptions of the adaptive adversaries.
+# --------------------------------------------------------------------------
+
+#: One builder per registered adversary kind: ``params -> adversary``.
+_ADVERSARY_REGISTRY: Dict[str, Callable[[Dict[str, object]], WorkloadGenerator]] = {}
+
+
+def register_adversary(kind: str) -> Callable:
+    """Class decorator registering a builder for an adversary kind."""
+
+    def decorator(builder: Callable) -> Callable:
+        _ADVERSARY_REGISTRY[kind] = builder
+        return builder
+
+    return decorator
+
+
+def registered_adversary_kinds() -> List[str]:
+    """Return the registered adversary kinds, sorted."""
+    return sorted(_ADVERSARY_REGISTRY)
+
+
+def check_adversary_kind(kind: str) -> str:
+    """Validate an adversary kind eagerly, listing the alternatives on error."""
+    if kind not in _ADVERSARY_REGISTRY:
+        known = ", ".join(sorted(_ADVERSARY_REGISTRY)) or "(none registered)"
+        raise WorkloadError(f"unknown adversary kind {kind!r}; registered: {known}")
+    return kind
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """Immutable, registry-validated description of an adaptive adversary.
+
+    The adversarial twin of :class:`~repro.workloads.spec.WorkloadSpec`.  An
+    adaptive adversary cannot be a workload spec — it must *observe* the
+    algorithm's tree, so the request sequence only exists once the private
+    algorithm instance runs.  The spec therefore names the construction and
+    its parameters; pool workers :meth:`build` the adversary and drive it via
+    ``generate_with_costs`` (see ``AdversarySource`` in
+    :mod:`repro.sim.runner`).  Every field is result-determining, so the spec
+    participates verbatim in payload cache keys.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        check_adversary_kind(self.kind)
+
+    @classmethod
+    def create(cls, kind: str, **params: object) -> "AdversarySpec":
+        """Build a spec from keyword parameters (validated eagerly)."""
+        return cls(kind=kind, params=freeze_params(params))
+
+    def param_dict(self) -> Dict[str, object]:
+        """Return the parameters as a plain dictionary."""
+        return dict(self.params)
+
+    def get(self, name: str, default: object = None) -> object:
+        """Return one parameter (or ``default``)."""
+        return self.param_dict().get(name, default)
+
+    def build(self) -> WorkloadGenerator:
+        """Construct the described adversary (fresh private algorithm state)."""
+        return _ADVERSARY_REGISTRY[self.kind](self.param_dict())
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-serialisable representation."""
+        return {
+            "kind": self.kind,
+            "params": {name: thaw_value(value) for name, value in self.params},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "AdversarySpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls.create(str(data["kind"]), **dict(data.get("params", {})))
+
+
+def build_adversary(spec: AdversarySpec) -> WorkloadGenerator:
+    """Construct the adversary described by ``spec`` (module-level alias)."""
+    return spec.build()
+
+
+@register_adversary("rotor-working-set")
+def _build_rotor_working_set(params: Dict[str, object]) -> RotorPushWorkingSetAdversary:
+    return RotorPushWorkingSetAdversary(int(params["depth"]))
+
+
+@register_adversary("mtf-lower-bound")
+def _build_mtf_lower_bound(params: Dict[str, object]) -> MoveToFrontLowerBoundAdversary:
+    return MoveToFrontLowerBoundAdversary(int(params["depth"]))

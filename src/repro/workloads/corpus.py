@@ -15,6 +15,14 @@ Texts can come from the deterministic synthetic corpus
 (:mod:`repro.workloads.synthetic_text`) or from real files on disk via
 :meth:`CorpusWorkload.from_file`, so the original Canterbury-corpus experiment
 can be reproduced verbatim when the data is available.
+
+The pipeline is registered in the spec registry as the ``corpus`` kind — a
+*recipe* kind: the spec carries the book-generation parameters (or a file
+path), and the builder re-runs the sliding-window pipeline worker-side.
+Plans therefore ship a few integers per corpus trial instead of the whole
+trace.  A built :class:`CorpusWorkload` still *ships* as its materialised
+``fixed-sequence`` spec (``to_spec``), because an already-built corpus trace
+is data, not a recipe.
 """
 
 from __future__ import annotations
@@ -25,13 +33,20 @@ from typing import Dict, List, Optional, Tuple
 from repro.exceptions import WorkloadError
 from repro.types import ElementId
 from repro.workloads.base import SequenceWorkload
-from repro.workloads.synthetic_text import SyntheticBook, synthetic_corpus
+from repro.workloads.spec import WorkloadSpec, register_workload
+from repro.workloads.synthetic_text import (
+    DEFAULT_BOOK_SPECS,
+    SyntheticBook,
+    generate_book,
+    synthetic_corpus,
+)
 
 __all__ = [
     "sliding_window_tokens",
     "tokens_to_requests",
     "next_complete_size",
     "CorpusWorkload",
+    "synthetic_corpus_specs",
     "synthetic_corpus_workloads",
 ]
 
@@ -140,3 +155,79 @@ def synthetic_corpus_workloads(
         CorpusWorkload.from_book(book, window=window)
         for book in synthetic_corpus(n_books=n_books, scale=scale)
     ]
+
+
+#: Parameters of :func:`repro.workloads.synthetic_text.generate_book` that a
+#: ``corpus`` spec may carry (besides ``book_seed``), with their coercions.
+_BOOK_PARAM_TYPES = {
+    "n_words": int,
+    "vocabulary_size": int,
+    "zipf_exponent": float,
+    "reuse_probability": float,
+    "reuse_window": int,
+    "title": str,
+}
+
+
+@register_workload("corpus")
+def _build_corpus(params: Dict[str, object], seed: Optional[int]) -> CorpusWorkload:
+    """Rebuild a corpus workload from its recipe (synthetic book or file).
+
+    ``seed`` (the spec's trial-stamped seed slot) is ignored: a corpus trace
+    is deterministic data named by its recipe, like every other sequence
+    workload.  The synthetic book's own seed travels as the ``book_seed``
+    parameter instead.
+    """
+    del seed
+    window = int(params.get("window", 3))
+    if "path" in params:
+        return CorpusWorkload.from_file(
+            str(params["path"]),
+            window=window,
+            encoding=str(params.get("encoding", "utf-8")),
+        )
+    if "book_seed" not in params:
+        raise WorkloadError(
+            "a 'corpus' spec needs either a 'path' (file-backed) or a "
+            "'book_seed' plus book parameters (synthetic)"
+        )
+    book_kwargs = {
+        name: coerce(params[name])
+        for name, coerce in _BOOK_PARAM_TYPES.items()
+        if name in params
+    }
+    book = generate_book(seed=int(params["book_seed"]), **book_kwargs)
+    return CorpusWorkload.from_book(book, window=window)
+
+
+def synthetic_corpus_specs(
+    n_books: int = 5,
+    scale: float = 1.0,
+    window: int = 3,
+) -> List[WorkloadSpec]:
+    """Return ``corpus`` recipe specs for the synthetic corpus.
+
+    Building each returned spec reproduces, bit for bit, the corresponding
+    workload of :func:`synthetic_corpus_workloads` with the same arguments —
+    but as a few integers of recipe instead of a materialised trace, so plans
+    can ship the corpus across process boundaries and cache it by content.
+    """
+    if scale <= 0:
+        raise WorkloadError(f"scale must be positive, got {scale}")
+    if n_books > len(DEFAULT_BOOK_SPECS):
+        raise WorkloadError(
+            f"requested {n_books} books but only "
+            f"{len(DEFAULT_BOOK_SPECS)} specifications exist"
+        )
+    specs: List[WorkloadSpec] = []
+    for index, book_spec in enumerate(DEFAULT_BOOK_SPECS[:n_books], start=1):
+        parameters = dict(book_spec)
+        parameters["n_words"] = max(50, int(int(parameters["n_words"]) * scale))
+        parameters.setdefault("title", f"book{index}")
+        book_seed = int(parameters.pop("seed"))
+        specs.append(
+            WorkloadSpec.create(
+                "corpus", book_seed=book_seed, window=window, **parameters
+            )
+        )
+    return specs

@@ -9,10 +9,16 @@ supported:
   header lines carrying JSON metadata), and
 * JSON (metadata plus the full sequence), convenient for small traces and for
   interchange with other tools.
+
+Saved traces participate in the spec registry through the ``trace_file``
+kind: :class:`TraceFileWorkload` replays a dump with its header metadata
+attached, and its spec (path + content digest) makes trace replays shippable
+inside plan documents with content-correct cache keys.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -20,8 +26,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.exceptions import WorkloadError
 from repro.types import ElementId
 from repro.workloads.base import SequenceWorkload
+from repro.workloads.spec import WorkloadSpec, register_workload
 
-__all__ = ["save_trace", "load_trace", "load_trace_workload"]
+__all__ = [
+    "TraceFileWorkload",
+    "save_trace",
+    "load_trace",
+    "load_trace_workload",
+    "trace_digest",
+]
 
 
 def save_trace(
@@ -99,7 +112,86 @@ def load_trace(path: str) -> Tuple[List[ElementId], int, Dict[str, object]]:
     return sequence, n_elements, metadata
 
 
-def load_trace_workload(path: str) -> SequenceWorkload:
-    """Load a saved trace as a replayable :class:`SequenceWorkload`."""
-    sequence, n_elements, _ = load_trace(path)
-    return SequenceWorkload(n_elements, sequence)
+def trace_digest(sequence: Sequence[ElementId], n_elements: int) -> str:
+    """Return the content digest identifying a trace (sequence + universe).
+
+    The digest is what makes ``trace_file`` specs content-addressed: two
+    plan documents naming the same path hit the same cache entries only if
+    the file still holds the same trace.
+    """
+    canonical = json.dumps(
+        {"n_elements": int(n_elements), "sequence": [int(e) for e in sequence]},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class TraceFileWorkload(SequenceWorkload):
+    """Replay of a trace dump, with the header metadata round-tripped.
+
+    A :class:`~repro.workloads.base.SequenceWorkload` over the saved
+    sequence, plus the dump's header metadata (generator parameters,
+    padding, ...) surfaced as :attr:`metadata` and folded into
+    :meth:`parameters`.  Ships as a ``trace_file`` spec carrying the path
+    and the trace's content digest; the builder re-reads the file and
+    refuses to proceed if the content changed under the digest.
+    """
+
+    name = "trace-file"
+
+    def __init__(self, path: str, expected_sha256: Optional[str] = None) -> None:
+        sequence, n_elements, metadata = load_trace(path)
+        digest = trace_digest(sequence, n_elements)
+        if expected_sha256 is not None and digest != expected_sha256:
+            raise WorkloadError(
+                f"trace file {path} changed since its spec was taken: "
+                f"content digest {digest[:12]}... does not match the "
+                f"recorded {expected_sha256[:12]}..."
+            )
+        super().__init__(n_elements, sequence)
+        self.path = str(path)
+        self.metadata = metadata
+        self._digest = digest
+
+    @property
+    def sha256(self) -> str:
+        """Content digest of the loaded trace (sequence + universe size)."""
+        return self._digest
+
+    def to_spec(self) -> WorkloadSpec:
+        return WorkloadSpec.create(
+            "trace_file",
+            path=self.path,
+            sha256=self._digest,
+            n_elements=self.n_elements,
+        )
+
+    def parameters(self) -> Dict[str, object]:
+        parameters = super().parameters()
+        parameters["path"] = self.path
+        parameters["sha256"] = self._digest
+        parameters["metadata"] = dict(self.metadata)
+        return parameters
+
+
+@register_workload("trace_file")
+def _build_trace_file(params: Dict[str, object], seed: Optional[int]) -> TraceFileWorkload:
+    del seed  # a saved trace is pure data; trial seeding cannot apply
+    sha256 = params.get("sha256")
+    workload = TraceFileWorkload(
+        str(params["path"]),
+        expected_sha256=str(sha256) if sha256 is not None else None,
+    )
+    declared = params.get("n_elements")
+    if declared is not None and int(declared) != workload.n_elements:
+        raise WorkloadError(
+            f"trace file {params['path']} holds a universe of "
+            f"{workload.n_elements} elements but the spec declares {declared}"
+        )
+    return workload
+
+
+def load_trace_workload(path: str) -> TraceFileWorkload:
+    """Load a saved trace as a replayable workload, metadata included."""
+    return TraceFileWorkload(path)

@@ -57,6 +57,21 @@ KIND_TEMPLATES = {
     "fixed-sequence": WorkloadSpec.create(
         "fixed-sequence", n_elements=N, sequence=tuple([0, 5, 5, 12, 30] * 4)
     ),
+    "corpus": WorkloadSpec.create(
+        "corpus",
+        book_seed=101,
+        n_words=300,
+        reuse_probability=0.3,
+        title="roundtrip",
+        vocabulary_size=200,
+        window=3,
+    ),
+    # documents may reference files that only exist where the plan runs;
+    # round-tripping must not touch the filesystem
+    "trace_file": WorkloadSpec.create(
+        "trace_file", path="/data/trace.txt", sha256="0" * 64, n_elements=N
+    ),
+    "round_robin_path": WorkloadSpec.create("round_robin_path", depth=4),
 }
 
 

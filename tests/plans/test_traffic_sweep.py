@@ -1,0 +1,186 @@
+"""TrafficSweepPlan: model validation, bind semantics, round-trip, execution.
+
+The traffic twin of the SweepPlan contract: points bind into
+:class:`~repro.network.traffic.TrafficSpec` fields (source count,
+interleaving, weights, per-source workload parameters), every point is
+validated eagerly at construction, the plan JSON round-trips, and execution
+is bit-identical for every ``n_jobs``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.exceptions import PlanError
+from repro.network.traffic import TrafficSpec
+from repro.plans import (
+    ExperimentPlan,
+    RunConfig,
+    TrafficSweepPlan,
+    dumps,
+    loads,
+    plan_from_dict,
+    plan_to_dict,
+    plan_with_overrides,
+)
+from repro.workloads.spec import WorkloadSpec
+
+
+def template_traffic(n_sources: int = 2, interleaving: str = "round_robin") -> TrafficSpec:
+    return TrafficSpec.create(
+        31,
+        {
+            source: WorkloadSpec.create("zipf", n_elements=31, exponent=1.6)
+            for source in range(n_sources)
+        },
+        interleaving=interleaving,
+    )
+
+
+def sweep_plan(**kwargs) -> TrafficSweepPlan:
+    kwargs.setdefault("traffic", template_traffic())
+    kwargs.setdefault("algorithms", ("rotor-push",))
+    kwargs.setdefault("points", ({"k": 1}, {"k": 3}))
+    kwargs.setdefault("bind", {"k": "n_sources"})
+    kwargs.setdefault(
+        "config", RunConfig(n_requests=40, n_trials=1, base_seed=5)
+    )
+    return TrafficSweepPlan(**kwargs)
+
+
+class TestModelValidation:
+    def test_traffic_must_be_a_spec(self):
+        with pytest.raises(PlanError, match="TrafficSpec"):
+            sweep_plan(traffic="not-a-spec")
+
+    def test_bad_bind_target_rejected(self):
+        with pytest.raises(PlanError, match="not a traffic field"):
+            sweep_plan(bind={"k": "no_such_field"})
+
+    def test_dangling_bind_key_rejected(self):
+        with pytest.raises(PlanError, match="appear in no sweep point"):
+            sweep_plan(bind={"k": "n_sources", "ghost": "interleaving"})
+
+    def test_unbound_point_key_rejected(self):
+        with pytest.raises(PlanError, match="not bound"):
+            sweep_plan(points=({"k": 1, "stray": 2},))
+
+    def test_invalid_point_rejected_eagerly(self):
+        # n_sources larger than the node count: TrafficSpec would refuse it,
+        # so the plan must refuse it at construction, naming the point
+        with pytest.raises(PlanError, match="does not bind into a valid"):
+            sweep_plan(points=({"k": 99},))
+
+    def test_keep_records_rejected(self):
+        with pytest.raises(PlanError, match="keep_records"):
+            sweep_plan(
+                config=RunConfig(n_requests=40, n_trials=1, keep_records=True)
+            )
+
+    def test_empty_workload_suffix_rejected(self):
+        with pytest.raises(PlanError, match="workload"):
+            sweep_plan(bind={"k": "workload."})
+
+
+class TestBindSemantics:
+    def test_n_sources_resize_cycles_the_template(self):
+        plan = sweep_plan(points=({"k": 3},))
+        bound = plan.bound_traffic({"k": 3})
+        assert bound.source_ids() == [0, 1, 2]
+        template = plan.traffic.workload_of(0)
+        for source in bound.source_ids():
+            assert bound.workload_of(source).kind == template.kind
+
+    def test_workload_parameter_bind(self):
+        plan = sweep_plan(
+            points=({"s": 1.2}, {"s": 2.0}),
+            bind={"s": "workload.exponent"},
+        )
+        bound = plan.bound_traffic({"s": 2.0})
+        for source in bound.source_ids():
+            assert bound.workload_of(source).get("exponent") == 2.0
+
+    def test_weights_bind(self):
+        plan = sweep_plan(
+            traffic=template_traffic(interleaving="weighted"),
+            points=({"w": {0: 1.0, 1: 0.5}},),
+            bind={"w": "weights"},
+        )
+        bound = plan.bound_traffic(plan.point_dicts()[0])
+        assert dict(bound.weights) == {0: 1.0, 1: 0.5}
+
+    def test_interleaving_bind(self):
+        plan = sweep_plan(
+            points=({"mode": "round_robin"}, {"mode": "uniform_pairs"}),
+            bind={"mode": "interleaving"},
+        )
+        assert plan.bound_traffic({"mode": "uniform_pairs"}).interleaving == (
+            "uniform_pairs"
+        )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        plan = sweep_plan()
+        assert plan_from_dict(plan_to_dict(plan)) == plan
+
+    def test_json_round_trip_with_weights_point(self):
+        plan = sweep_plan(
+            traffic=template_traffic(interleaving="weighted"),
+            points=({"w": {0: 1.0, 1: 0.5}},),
+            bind={"w": "weights"},
+        )
+        rebuilt = loads(dumps(plan))
+        assert plan_to_dict(rebuilt) == plan_to_dict(plan)
+
+    def test_composes_in_experiment_plan_and_round_trips(self):
+        experiment = ExperimentPlan(
+            name="sweep-suite",
+            stages=(("a", sweep_plan()), ("b", sweep_plan(name="other"))),
+            assembler="traffic_sweep",
+        )
+        rebuilt = loads(dumps(experiment))
+        assert plan_to_dict(rebuilt) == plan_to_dict(experiment)
+
+    def test_overrides_hit_the_config_only(self):
+        plan = sweep_plan()
+        overridden = plan_with_overrides(plan, n_jobs=4, n_requests=99)
+        assert overridden.config.n_jobs == 4
+        assert overridden.config.n_requests == 99
+        assert overridden.points == plan.points
+        assert overridden.traffic == plan.traffic
+
+
+class TestExecution:
+    def test_serial_equals_parallel(self):
+        serial = repro.run(sweep_plan())
+        parallel = repro.run(plan_with_overrides(sweep_plan(), n_jobs=4))
+        assert serial.rows == parallel.rows
+
+    def test_point_key_named_n_sources_does_not_collide(self):
+        # the fixed n_sources column must yield to a point key of the same
+        # name instead of raising a duplicate-keyword error
+        plan = sweep_plan(
+            points=({"n_sources": 1}, {"n_sources": 3}),
+            bind={"n_sources": "n_sources"},
+        )
+        table = repro.run(plan)
+        assert table.columns.count("n_sources") == 1
+        assert [row["n_sources"] for row in table.rows] == [1, 3]
+
+    def test_table_shape(self):
+        table = repro.run(sweep_plan())
+        assert table.columns[:1] == ["k"]
+        assert {row["k"] for row in table.rows} == {1, 3}
+        assert all(row["n_trials"] == 1 for row in table.rows)
+
+    def test_experiment_composition_runs(self):
+        experiment = ExperimentPlan(
+            name="sweep-suite",
+            stages=(("zipf", sweep_plan()),),
+            assembler="traffic_sweep",
+        )
+        table = repro.run(experiment)
+        assert table.columns[0] == "scenario"
+        assert {row["scenario"] for row in table.rows} == {"zipf"}

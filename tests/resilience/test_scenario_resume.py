@@ -1,0 +1,84 @@
+"""Checkpoint/resume for scenario-library plans.
+
+The scenario assemblers (``adversarial``, ``corpus_pipeline``) fan their
+payloads out through ``execute_payloads``, so a ``repro.run(plan,
+cache=..., resume=True)`` call must checkpoint each payload and serve it
+from the store on the next run — exactly the TrialPlan/NetworkPlan
+contract, extended to the absorbed seed scenarios.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.experiments import build_adversarial_plan, build_corpus_pipeline_plan
+from repro.plans import last_run_stats
+
+
+def small_corpus_plan(**kwargs):
+    kwargs.setdefault("n_books", 2)
+    kwargs.setdefault("scale", 0.05)
+    kwargs.setdefault("max_requests", 800)
+    kwargs.setdefault("algorithms", ("rotor-push", "static-oblivious"))
+    return build_corpus_pipeline_plan(**kwargs)
+
+
+def small_adversarial_plan(**kwargs):
+    kwargs.setdefault("lemma8_depths", (3,))
+    kwargs.setdefault("lemma8_requests", 200)
+    kwargs.setdefault("mtf_depths", (3, 4))
+    kwargs.setdefault("mtf_cycles", 4)
+    kwargs.setdefault("theorem7_depth", 3)
+    kwargs.setdefault("theorem7_requests", 200)
+    return build_adversarial_plan(**kwargs)
+
+
+class TestCorpusResume:
+    def test_warm_resume_serves_every_payload_from_the_store(self, tmp_path):
+        # 2 books x 2 algorithms = 4 payloads
+        cold = repro.run(small_corpus_plan(), cache=tmp_path)
+        stats = last_run_stats()
+        assert stats.executed == 4
+        assert stats.stored == 4
+
+        warm = repro.run(small_corpus_plan(), cache=tmp_path, resume=True)
+        stats = last_run_stats()
+        assert stats.executed == 0
+        assert stats.cache_hits == 4
+        for key in cold:
+            assert warm[key].rows == cold[key].rows
+
+    def test_resumed_run_matches_uncached_run(self, tmp_path):
+        repro.run(small_corpus_plan(), cache=tmp_path)
+        resumed = repro.run(small_corpus_plan(), cache=tmp_path, resume=True)
+        fresh = repro.run(small_corpus_plan())
+        for key in fresh:
+            assert resumed[key].rows == fresh[key].rows
+
+
+class TestAdversarialResume:
+    def test_payload_trials_hit_the_cache(self, tmp_path):
+        # 1 lemma8 depth + 2 mtf depths = 3 payloads; theorem7 runs in the
+        # parent process and never touches the store
+        cold = repro.run(small_adversarial_plan(), cache=tmp_path)
+        stats = last_run_stats()
+        assert stats.executed == 3
+        assert stats.stored == 3
+
+        warm = repro.run(small_adversarial_plan(), cache=tmp_path, resume=True)
+        stats = last_run_stats()
+        assert stats.executed == 0
+        assert stats.cache_hits == 3
+        for key in cold:
+            assert warm[key].rows == cold[key].rows
+
+    def test_different_shape_does_not_collide_in_the_store(self, tmp_path):
+        repro.run(small_adversarial_plan(), cache=tmp_path)
+        repro.run(
+            small_adversarial_plan(lemma8_requests=250),
+            cache=tmp_path,
+            resume=True,
+        )
+        stats = last_run_stats()
+        # the lemma8 payload changed (n_requests), the mtf payloads did not
+        assert stats.executed == 1
+        assert stats.cache_hits == 2
