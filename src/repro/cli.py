@@ -14,7 +14,16 @@ Installed as the ``repro`` console script (also runnable via
     plan name (``q1`` … ``q5``, ``smoke``).  The ``--jobs``/``--chunk-size``/
     ``--backend`` flags override the plan document's run shape (CLI wins);
     ``--cache-dir``/``--resume``/``--max-retries`` attach the resilience
-    layer (checkpointed, resumable, fault-isolated execution).
+    layer (checkpointed, resumable, fault-isolated execution);
+    ``--executor tcp://host:port[,host:port...]`` dispatches the trials to a
+    remote worker fleet (see ``repro worker``) with byte-identical results.
+``worker``
+    Start a long-lived trial worker daemon serving a coordinator over TCP
+    (``repro worker --listen tcp://0.0.0.0:7777``).
+``cache``
+    Inspect or maintain a checkpoint store: ``stats`` (entry count, bytes,
+    orphaned temp files), ``verify`` (re-check every entry's checksum) and
+    ``prune`` (drop corrupt entries and orphaned temp files).
 ``experiment``
     Run one named experiment (``q1`` ... ``q5``, ``table1`` or ``all``) at a
     chosen scale, print the resulting tables and optionally write CSV files.
@@ -52,6 +61,7 @@ from repro.plans import (
     plan_with_overrides,
 )
 from repro.plans.execute import run as run_plan
+from repro.resilience.store import DEFAULT_CACHE_DIR, ResultStore
 from repro.sim.results import ResultTable
 from repro.workloads.adversarial import registered_adversary_kinds
 from repro.workloads.spec import WorkloadSpec, registered_kinds
@@ -199,7 +209,51 @@ def build_parser() -> argparse.ArgumentParser:
             "only, never changes results)"
         ),
     )
+    run.add_argument(
+        "--executor",
+        default=None,
+        help=(
+            "dispatch trials to a remote worker fleet instead of the local "
+            "pool: tcp://HOST:PORT[,HOST:PORT...][?lease=SECONDS&heartbeat="
+            "SECONDS] (workers started with 'repro worker'); lost workers "
+            "are requeued and the run degrades to local execution if the "
+            "whole fleet is lost — results are byte-identical either way"
+        ),
+    )
     add_backend_argument(run)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="start a trial worker daemon for distributed execution",
+    )
+    worker.add_argument(
+        "--listen",
+        default="tcp://127.0.0.1:0",
+        help=(
+            "address to listen on, tcp://HOST:PORT (default "
+            "tcp://127.0.0.1:0 — port 0 picks a free port, printed on "
+            "startup); point coordinators at it via 'repro run --executor'"
+        ),
+    )
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect or maintain a checkpoint store",
+    )
+    cache.add_argument(
+        "action",
+        choices=["stats", "verify", "prune"],
+        help=(
+            "stats: entry count, byte footprint and orphaned temp files; "
+            "verify: re-check every entry's length and checksum; "
+            "prune: delete corrupt entries and orphaned temp files"
+        ),
+    )
+    cache.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"checkpoint store directory (default: {DEFAULT_CACHE_DIR})",
+    )
 
     experiment = subparsers.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument(
@@ -325,6 +379,7 @@ def resolve_run_plan(args: argparse.Namespace):
         n_requests=getattr(args, "requests", None),
         max_retries=getattr(args, "max_retries", None),
         cache_dir=getattr(args, "cache_dir", None),
+        executor=getattr(args, "executor", None),
     )
 
 
@@ -338,6 +393,41 @@ def _command_run(args: argparse.Namespace) -> int:
         print(f"repro run: {error}", file=sys.stderr)
         return 2
     _print_result(result, args.csv_dir)
+    return 0
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    from repro.dist.worker import run_worker  # lazy: keeps CLI import light
+
+    try:
+        run_worker(args.listen)
+    except ReproError as error:
+        print(f"repro worker: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    store = ResultStore(args.cache_dir)
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"cache directory: {store.root}")
+        print(f"entries:         {stats['entries']}")
+        print(f"bytes:           {stats['bytes']}")
+        print(f"orphaned temps:  {stats['orphans']}")
+        return 0
+    if args.action == "verify":
+        report = store.verify()
+        print(f"cache directory: {store.root}")
+        print(f"ok entries:      {len(report['ok'])}")
+        print(f"corrupt entries: {len(report['corrupt'])}")
+        for key in report["corrupt"]:
+            print(f"  corrupt: {key}")
+        return 1 if report["corrupt"] else 0
+    removed = store.prune()
+    print(f"cache directory: {store.root}")
+    print(f"removed corrupt entries: {removed['corrupt']}")
+    print(f"removed orphaned temps:  {removed['orphans']}")
     return 0
 
 
@@ -398,6 +488,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_demo(args)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "worker":
+        return _command_worker(args)
+    if args.command == "cache":
+        return _command_cache(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "report":

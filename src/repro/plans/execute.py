@@ -31,6 +31,7 @@ from repro.plans.model import (
     SweepPlan,
     TrafficSweepPlan,
     TrialPlan,
+    plan_with_overrides,
 )
 from repro.resilience.context import (
     ExecutionContext,
@@ -313,6 +314,7 @@ def _execute_network_plan(plan: NetworkPlan, key: str = "") -> StageResult:
         worker_timeout=config.worker_timeout,
         retry=RetryPolicy.for_config(config),
         cache_dir=config.cache_dir,
+        executor=config.executor,
     )
     table = ResultTable(name=plan.name, columns=list(NETWORK_TABLE_COLUMNS))
     n_trials = len(results)
@@ -405,6 +407,7 @@ def _execute_traffic_sweep_plan(plan: TrafficSweepPlan, key: str = "") -> StageR
         worker_timeout=config.worker_timeout,
         retry=RetryPolicy.for_config(config),
         cache_dir=config.cache_dir,
+        executor=config.executor,
     )
     points = plan.point_dicts()
     point_columns = sorted({key for point in points for key in point})
@@ -538,6 +541,7 @@ def run(
     *,
     cache: Optional[Union[ResultStore, str, Path]] = None,
     resume: bool = False,
+    executor: Optional[str] = None,
 ) -> object:
     """Execute ``plan`` and return its result.
 
@@ -568,10 +572,18 @@ def run(
     Corrupted or truncated entries are detected, logged and re-run — never
     fatal.  :func:`last_run_stats` exposes the counters afterwards.
 
+    ``executor`` dispatches every stage's payloads to a remote worker fleet
+    (``"tcp://host:port[,host:port...]"``; see :mod:`repro.dist`) instead of
+    the local process pool, overriding any per-stage ``config.executor``.
+    Results are byte-identical to local execution — the fleet degrades to
+    the local pool, then to in-process serial, if workers are lost.
+
     Environment checks (backend availability) run first, so an unsatisfiable
     plan fails with the dedicated error before anything is served.
     """
     global _last_stats
+    if executor is not None:
+        plan = plan_with_overrides(plan, executor=executor)
     _check_runnable(plan)
     store: Optional[ResultStore] = None
     if cache is not None:

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.algorithms.registry import AlgorithmSpec
 from repro.core import backend as _backend
+from repro.dist.protocol import check_executor
 from repro.exceptions import ExperimentError, PlanError, WorkloadError
 from repro.network.traffic import TrafficSpec
 from repro.sim.parallel import check_n_jobs
@@ -119,6 +120,16 @@ class RunConfig:
         atomic write-then-rename) as it arrives, and ``repro.run(plan,
         resume=True)`` skips trials whose verified entries already exist.
         ``None`` (default) disables checkpointing.
+    executor:
+        Remote executor address for distributed multi-host execution:
+        ``"tcp://HOST:PORT[,HOST:PORT...][?lease=SECONDS&heartbeat=
+        SECONDS]"`` names the worker-daemon fleet (``repro worker --listen
+        ...``) payloads are leased to (see :mod:`repro.dist`).  ``None``
+        (default) runs locally.  Validated as an *address format* here;
+        reachability is the coordinator's business at run time, and an
+        unreachable fleet degrades to local execution rather than failing.
+        A placement knob only — results are byte-identical wherever the
+        payloads land.
     """
 
     n_requests: int = 10_000
@@ -131,6 +142,7 @@ class RunConfig:
     worker_timeout: Optional[float] = None
     max_retries: int = 2
     cache_dir: Optional[str] = None
+    executor: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_trials <= 0:
@@ -167,6 +179,11 @@ class RunConfig:
                 f"cache_dir must be a non-empty path string or None, got "
                 f"{self.cache_dir!r}"
             )
+        if self.executor is not None:
+            try:
+                check_executor(self.executor)
+            except ExperimentError as error:
+                raise PlanError(str(error)) from None
 
     def check_runnable(self) -> "RunConfig":
         """Validate environment-dependent choices right before execution."""
@@ -183,6 +200,7 @@ class RunConfig:
         worker_timeout: Optional[float] = None,
         max_retries: Optional[int] = None,
         cache_dir: Optional[str] = None,
+        executor: Optional[str] = None,
     ) -> "RunConfig":
         """Return a copy with the given (non-``None``) knobs replaced."""
         updates: Dict[str, object] = {}
@@ -202,6 +220,8 @@ class RunConfig:
             updates["max_retries"] = max_retries
         if cache_dir is not None:
             updates["cache_dir"] = cache_dir
+        if executor is not None:
+            updates["executor"] = executor
         return replace(self, **updates) if updates else self
 
     def to_dict(self) -> Dict[str, object]:
@@ -217,6 +237,7 @@ class RunConfig:
             "worker_timeout": self.worker_timeout,
             "max_retries": self.max_retries,
             "cache_dir": self.cache_dir,
+            "executor": self.executor,
         }
 
     @classmethod
@@ -235,6 +256,7 @@ class RunConfig:
             "worker_timeout",
             "max_retries",
             "cache_dir",
+            "executor",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -804,6 +826,7 @@ def plan_with_overrides(
     worker_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    executor: Optional[str] = None,
 ) -> Plan:
     """Return ``plan`` with run-shape knobs overridden throughout the tree.
 
@@ -814,9 +837,10 @@ def plan_with_overrides(
     never change results) the run *size* can be overridden too
     (``n_trials``/``n_requests`` — the CLI's ``--trials``/``--requests``),
     e.g. to smoke-test a paper-scale plan document at toy scale, and so can
-    the resilience knobs (``worker_timeout``/``max_retries``/``cache_dir`` —
-    the CLI's ``--max-retries``/``--cache-dir``), which are robustness
-    knobs only and never change results either.
+    the resilience knobs (``worker_timeout``/``max_retries``/``cache_dir``/
+    ``executor`` — the CLI's ``--max-retries``/``--cache-dir``/
+    ``--executor``), which are robustness knobs only and never change
+    results either.
     """
     overrides = (
         n_jobs,
@@ -827,6 +851,7 @@ def plan_with_overrides(
         worker_timeout,
         max_retries,
         cache_dir,
+        executor,
     )
     if all(value is None for value in overrides):
         return plan

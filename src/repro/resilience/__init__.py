@@ -15,7 +15,8 @@ content.  This package exploits that property in three coupled layers:
   :func:`plan_hash` for whole-plan provenance;
 * :mod:`repro.resilience.faults` — :class:`FaultSpec`, the seeded,
   registry-validated fault-injection description (worker crash, hang,
-  transient exception) that lets the test suite and the CI smoke pin
+  transient exception, plus daemon-level kill/hang/partition modes for the
+  distributed fleet) that lets the test suite and the CI smoke pin
   "recovery output == fault-free output, byte identical";
 * :mod:`repro.resilience.context` — :class:`ExecutionContext` /
   :class:`ResilienceStats`, the per-run carrier of the store, the resume
@@ -37,6 +38,7 @@ from repro.resilience.context import (
 )
 from repro.resilience.faults import (
     FAULT_MODES,
+    WORKER_FAULT_MODES,
     FaultSpec,
     fault_spec_from_env,
     maybe_inject,
@@ -51,6 +53,7 @@ __all__ = [
     "ResilienceStats",
     "ResultStore",
     "RetryPolicy",
+    "WORKER_FAULT_MODES",
     "activate_context",
     "current_context",
     "fault_spec_from_env",

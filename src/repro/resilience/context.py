@@ -54,6 +54,21 @@ class ResilienceStats:
         exhausting its pool-rebuild budget.
     corrupt_entries:
         Checkpoint entries that failed verification and were re-run.
+    remote_executed:
+        Payloads completed by remote worker daemons (a subset of
+        ``executed``; see :mod:`repro.dist`).
+    lease_expiries:
+        Distributed leases that expired without a heartbeat (worker crash,
+        hang or partition) and were requeued for another worker.
+    workers_lost:
+        Remote workers dropped from the fleet (unreachable at connect,
+        connection lost, or lease expired).
+    duplicate_results:
+        Remote completions dropped idempotently because another worker (or a
+        requeued lease) already delivered the payload's result.
+    degraded_remote:
+        Whether the distributed executor lost its whole fleet and fell back
+        to local execution for the unfinished payloads.
     """
 
     executed: int = 0
@@ -63,6 +78,11 @@ class ResilienceStats:
     pool_rebuilds: int = 0
     degraded: bool = False
     corrupt_entries: int = 0
+    remote_executed: int = 0
+    lease_expiries: int = 0
+    workers_lost: int = 0
+    duplicate_results: int = 0
+    degraded_remote: bool = False
 
     def as_dict(self) -> Dict[str, object]:
         """Return the counters as a plain dictionary (logging/bench output)."""
@@ -74,6 +94,11 @@ class ResilienceStats:
             "pool_rebuilds": self.pool_rebuilds,
             "degraded": self.degraded,
             "corrupt_entries": self.corrupt_entries,
+            "remote_executed": self.remote_executed,
+            "lease_expiries": self.lease_expiries,
+            "workers_lost": self.workers_lost,
+            "duplicate_results": self.duplicate_results,
+            "degraded_remote": self.degraded_remote,
         }
 
 

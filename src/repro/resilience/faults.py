@@ -22,6 +22,12 @@ Registered modes:
 * ``"exception"`` — raises :class:`~repro.exceptions.FaultInjectionError`;
   fires everywhere (this is the transient-failure mode the serial retry
   path is tested with).
+* ``"worker_crash"`` / ``"worker_hang"`` / ``"worker_partition"`` — the
+  distributed-executor modes: kill, silence or disconnect a whole worker
+  *daemon* (see :mod:`repro.dist.worker`).  They fire only inside a
+  distributed worker; pool, serial and degraded execution of the same
+  payloads runs clean, which is what lets the lease-recovery tests pin
+  "node loss output == fault-free output, byte identical".
 
 Trigger budgets must survive worker death: a crashed worker cannot remember
 that it already fired.  Counting therefore goes through *arm files* — one
@@ -49,6 +55,7 @@ from repro.exceptions import ExperimentError, FaultInjectionError
 
 __all__ = [
     "FAULT_MODES",
+    "WORKER_FAULT_MODES",
     "FaultSpec",
     "check_fault_mode",
     "fault_spec_from_env",
@@ -64,7 +71,17 @@ FAULT_MODES: Dict[str, str] = {
     "crash": "kill the worker process (os._exit), breaking the pool",
     "hang": "sleep past the worker timeout (pool workers only)",
     "exception": "raise FaultInjectionError (a retryable transient failure)",
+    "worker_crash": "kill a whole distributed worker daemon (os._exit)",
+    "worker_hang": "stop a distributed worker's heartbeat past the lease timeout",
+    "worker_partition": "drop a distributed worker's connection (simulated netsplit)",
 }
+
+#: Modes that target a whole distributed worker daemon rather than one trial
+#: body.  They fire inside :mod:`repro.dist.worker` (on the connection
+#: thread, before execution starts) and are no-ops everywhere else, so local
+#: pool and serial re-execution of the same payloads runs clean — which is
+#: exactly what makes the degradation ladder a safe recovery.
+WORKER_FAULT_MODES = frozenset({"worker_crash", "worker_hang", "worker_partition"})
 
 
 def check_fault_mode(mode: str) -> str:
@@ -197,6 +214,11 @@ def maybe_inject(
     the executor's degrade-to-serial recovery — runs them clean.
     """
     if fault is None or trial not in fault.trials:
+        return
+    if fault.mode in WORKER_FAULT_MODES:
+        # daemon-level modes are the distributed worker's to fire (see
+        # repro.dist.worker); in a pool worker, a serial run or a degraded
+        # re-run there is no daemon, so the payload executes clean
         return
     if fault.mode in ("crash", "hang") and not _in_worker_process():
         return

@@ -4,12 +4,23 @@ One :class:`RetryPolicy` object describes both kinds of recovery round the
 executor performs:
 
 * **per-payload retries** — a worker raised an ordinary exception; the
-  payload is resubmitted (to the pool or re-run serially) up to
-  ``max_retries`` times, sleeping ``delay(attempt)`` between attempts;
+  payload is resubmitted (to the pool, the remote fleet, or re-run
+  serially) up to ``max_retries`` times, sleeping ``delay(attempt, token)``
+  between attempts;
 * **pool rebuilds** — the pool broke (a worker died) or stalled past the
   worker timeout; the pool is rebuilt and every unfinished payload
   resubmitted, for at most ``max_retries`` rounds, after which the executor
   degrades to in-process serial execution instead of failing the campaign.
+
+The schedule is *jittered*: each delay is stretched by a deterministic,
+seeded factor derived from ``(seed, attempt, token)``, where ``token`` is
+the payload index (or rebuild round).  Without jitter, every payload that
+failed in the same pool-death round would sleep exactly the same capped
+exponential and resubmit simultaneously — a retry stampede that can re-kill
+a struggling pool or fleet.  With it, retries spread out while staying pure
+functions of the policy content: the same policy, attempt and token always
+produce the same delay, so timing-sensitive tests and re-runs are exactly
+reproducible.
 
 Because every payload is a pure function of its content (seeds derive from
 the trial index alone), re-execution is bit-identical by construction — the
@@ -18,11 +29,30 @@ policy only trades wall-clock for robustness, never results.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass
+from typing import Dict
 
 from repro.exceptions import ExperimentError
 
 __all__ = ["RetryPolicy"]
+
+#: Default stretch fraction of the seeded jitter (delay grows by up to 25%).
+DEFAULT_JITTER = 0.25
+
+
+def _jitter_unit(seed: int, attempt: int, token: int) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` from ``(seed, attempt, token)``.
+
+    Hash-based rather than ``random.Random`` so the draw is a documented
+    pure function of its inputs, stable across Python versions and
+    processes — the retry-determinism tests pin exact delay values.
+    """
+    digest = hashlib.sha256(
+        f"repro-retry-jitter:{seed}:{attempt}:{token}".encode("ascii")
+    ).digest()
+    return struct.unpack(">Q", digest[:8])[0] / 2.0**64
 
 
 @dataclass(frozen=True)
@@ -37,15 +67,25 @@ class RetryPolicy:
         retrying entirely: the first failure propagates.
     backoff_base:
         Sleep before the first retry, in seconds; retry ``k`` sleeps
-        ``backoff_base * 2**(k-1)``.  ``0`` disables sleeping (used by the
-        test suite to keep fault matrices fast).
+        ``backoff_base * 2**(k-1)`` (before jitter).  ``0`` disables sleeping
+        (used by the test suite to keep fault matrices fast).
     backoff_max:
-        Upper bound of any single backoff sleep.
+        Upper bound of any single backoff sleep, jitter included.
+    jitter:
+        Stretch fraction of the seeded jitter: the base delay is multiplied
+        by ``1 + jitter * u`` with ``u`` a deterministic uniform draw from
+        ``(seed, attempt, token)``.  ``0`` restores the bare capped
+        exponential.
+    seed:
+        Namespace of the jitter draws — two seeded policies de-correlate
+        their retry schedules even for identical payload tokens.
     """
 
     max_retries: int = 2
     backoff_base: float = 0.05
     backoff_max: float = 2.0
+    jitter: float = DEFAULT_JITTER
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if not isinstance(self.max_retries, int) or self.max_retries < 0:
@@ -60,12 +100,48 @@ class RetryPolicy:
             raise ExperimentError(
                 f"backoff_max must be non-negative, got {self.backoff_max!r}"
             )
+        if not 0 <= self.jitter <= 1:
+            raise ExperimentError(
+                f"jitter must be a fraction in [0, 1], got {self.jitter!r}"
+            )
+        if not isinstance(self.seed, int):
+            raise ExperimentError(f"seed must be an integer, got {self.seed!r}")
 
-    def delay(self, attempt: int) -> float:
-        """Backoff before retry ``attempt`` (1-based): capped exponential."""
+    def delay(self, attempt: int, token: int = 0) -> float:
+        """Backoff before retry ``attempt`` (1-based): jittered capped exponential.
+
+        ``token`` identifies *what* is retrying — the payload index, or the
+        pool-rebuild round — so simultaneous failures spread their retries
+        instead of stampeding back in lockstep.  The same ``(policy,
+        attempt, token)`` always yields the same delay.
+        """
         if attempt <= 0:
             raise ExperimentError(f"retry attempts are 1-based, got {attempt}")
-        return min(self.backoff_max, self.backoff_base * (2.0 ** (attempt - 1)))
+        base = self.backoff_base * (2.0 ** (attempt - 1))
+        if self.jitter:
+            base *= 1.0 + self.jitter * _jitter_unit(self.seed, attempt, token)
+        return min(self.backoff_max, base)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-friendly representation."""
+        return {
+            "max_retries": self.max_retries,
+            "backoff_base": self.backoff_base,
+            "backoff_max": self.backoff_max,
+            "jitter": self.jitter,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RetryPolicy":
+        """Rebuild a policy from :meth:`to_dict` output (or equivalent JSON)."""
+        if not isinstance(data, dict):
+            raise ExperimentError(f"not a retry-policy document: {data!r}")
+        known = {"max_retries", "backoff_base", "backoff_max", "jitter", "seed"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ExperimentError(f"unknown retry-policy keys: {unknown}")
+        return cls(**data)
 
     @classmethod
     def for_config(cls, config: object) -> "RetryPolicy":

@@ -140,9 +140,9 @@ def plan_hash(plan: object) -> str:
     """Content hash of a plan with the throughput knobs normalised away.
 
     Two plans that differ only in ``n_jobs``/``chunk_size``/``backend``/
-    ``cache_dir``/``worker_timeout``/``max_retries`` produce identical
-    results, so they hash identically; anything that changes a result byte
-    (seeds, sizes, specs, stages) changes the hash.
+    ``cache_dir``/``worker_timeout``/``max_retries``/``executor`` produce
+    identical results, so they hash identically; anything that changes a
+    result byte (seeds, sizes, specs, stages) changes the hash.
     """
     from repro.plans.io import plan_to_dict  # lazy: plans imports resilience
 
@@ -159,6 +159,7 @@ def plan_hash(plan: object) -> str:
                     "cache_dir",
                     "worker_timeout",
                     "max_retries",
+                    "executor",
                 )
             }
             return scrubbed
@@ -284,6 +285,67 @@ class ResultStore:
                 "cache entry %s corrupt (%s); treating as missing", path, error
             )
             return None
+
+    # ----------------------------------------------------------- maintenance
+
+    def stats(self) -> Dict[str, int]:
+        """Entry count and byte footprint of the store (``repro cache stats``).
+
+        ``orphans`` counts leftover temp files from interrupted writes —
+        harmless (they are never read) but reclaimable via :meth:`prune`.
+        """
+        entries = 0
+        size = 0
+        orphans = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*/*.json"):
+                entries += 1
+                try:
+                    size += path.stat().st_size
+                except OSError:  # pragma: no cover - raced with a writer
+                    pass
+            orphans = sum(1 for _ in self.root.glob("*/.*.tmp"))
+        return {"entries": entries, "bytes": size, "orphans": orphans}
+
+    def verify(self) -> Dict[str, List[str]]:
+        """Re-verify every entry; return ``{"ok": [...], "corrupt": [...]}``.
+
+        The eager twin of the lazy read-side healing: :meth:`get` already
+        treats corrupt entries as misses one key at a time, but a campaign
+        about to resume on a fleet wants to know *up front* how much of its
+        checkpoint is trustworthy.  Corrupt entries are reported (and logged
+        by the read path), never deleted — that is :meth:`prune`'s job.
+        """
+        ok: List[str] = []
+        corrupt: List[str] = []
+        for key in self.keys():
+            (ok if self.get(key) is not None else corrupt).append(key)
+        return {"ok": ok, "corrupt": corrupt}
+
+    def prune(self) -> Dict[str, int]:
+        """Drop corrupt entries and orphaned temp files; return removal counts.
+
+        Only files that can never satisfy a read are touched: entries whose
+        header, length or checksum fails verification, and ``mkstemp``
+        leftovers from writes that died before their atomic rename.  Healthy
+        entries are never candidates, so a prune mid-campaign is safe.
+        """
+        removed = {"corrupt": 0, "orphans": 0}
+        for key in self.keys():
+            if self.get(key) is None:
+                try:
+                    self.path_for(key).unlink()
+                    removed["corrupt"] += 1
+                except OSError:  # pragma: no cover - raced with a writer
+                    pass
+        if self.root.is_dir():
+            for path in self.root.glob("*/.*.tmp"):
+                try:
+                    path.unlink()
+                    removed["orphans"] += 1
+                except OSError:  # pragma: no cover - raced with a writer
+                    pass
+        return removed
 
     # ---------------------------------------------------------------- writes
 

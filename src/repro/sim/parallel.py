@@ -22,6 +22,7 @@ completion time.
 from __future__ import annotations
 
 import atexit
+import logging
 import os
 import threading
 import time
@@ -44,6 +45,12 @@ __all__ = [
 #: Module-level alias so tests can monkeypatch the wait primitive (e.g. to
 #: simulate a ``KeyboardInterrupt`` arriving mid-fan-out).
 _wait = _futures_wait
+
+#: Resilience events (retries, pool rebuilds, degradation) are logged here
+#: with their payload indices and backoff delays, complementing the
+#: structured counters in :class:`repro.resilience.ResilienceStats` that
+#: ``last_run_stats()`` exposes.
+logger = logging.getLogger("repro.resilience")
 
 _PayloadT = TypeVar("_PayloadT")
 _ResultT = TypeVar("_ResultT")
@@ -183,18 +190,28 @@ def _run_one_with_retry(
     payload: _PayloadT,
     policy: RetryPolicy,
     stats: Optional[object],
+    token: int = 0,
 ) -> _ResultT:
     """Serial execution of one payload under the retry policy."""
     attempt = 0
     while True:
         try:
             return worker(payload)
-        except Exception:
+        except Exception as error:
             attempt += 1
             if attempt > policy.max_retries:
                 raise
             _count(stats, "retries")
-            _sleep_backoff(policy.delay(attempt))
+            delay = policy.delay(attempt, token=token)
+            logger.warning(
+                "payload %d failed in-process (%r); retry %d/%d in %.3fs",
+                token,
+                error,
+                attempt,
+                policy.max_retries,
+                delay,
+            )
+            _sleep_backoff(delay)
 
 
 def _map_serial(
@@ -209,7 +226,7 @@ def _map_serial(
 ) -> None:
     """Run the given payload indices in order, in this process."""
     for index in indices:
-        result = _run_one_with_retry(worker, payloads[index], policy, stats)
+        result = _run_one_with_retry(worker, payloads[index], policy, stats, index)
         results[index] = result
         finished[index] = True
         _count(stats, "executed")
@@ -255,14 +272,23 @@ def _drain_futures(
                 # A worker died; every sibling future is doomed too.  Keep
                 # whatever already finished and let the caller rebuild.
                 return True
-            except Exception:
+            except Exception as error:
                 attempts[index] += 1
                 if attempts[index] > policy.max_retries:
                     for other in pending:
                         other.cancel()
                     raise
                 _count(stats, "retries")
-                _sleep_backoff(policy.delay(attempts[index]))
+                delay = policy.delay(attempts[index], token=index)
+                logger.warning(
+                    "payload %d failed on the pool (%r); retry %d/%d in %.3fs",
+                    index,
+                    error,
+                    attempts[index],
+                    policy.max_retries,
+                    delay,
+                )
+                _sleep_backoff(delay)
                 try:
                     fresh = pool.submit(worker, payloads[index])
                 except BrokenProcessPool:
@@ -321,6 +347,13 @@ def _map_parallel_locked(
         rebuilds += 1
         _count(stats, "pool_rebuilds")
         _terminate_pool_locked()
+        logger.warning(
+            "process pool broke or stalled; rebuild %d/%d (%d payloads "
+            "unfinished)",
+            rebuilds,
+            policy.max_retries,
+            sum(1 for ok in finished if not ok),
+        )
         if rebuilds > policy.max_retries:
             # The pool keeps dying (poisoned payload? resource exhaustion?).
             # Results are pure functions of their payloads, so finishing the
@@ -333,6 +366,10 @@ def _map_parallel_locked(
                 "remaining payloads",
                 RuntimeWarning,
                 stacklevel=3,
+            )
+            logger.error(
+                "degrading to in-process serial execution (%d payloads left)",
+                sum(1 for ok in finished if not ok),
             )
             if stats is not None:
                 stats.degraded = True

@@ -204,6 +204,7 @@ def execute_payloads(
     worker_timeout: Optional[float] = None,
     retry: Optional[RetryPolicy] = None,
     cache_dir: Optional[str] = None,
+    executor: Optional[str] = None,
 ) -> List[RunResult]:
     """Execute payloads (serially or on the pool), releasing the stream memo.
 
@@ -224,6 +225,12 @@ def execute_payloads(
     to computing everything; reassembly stays strictly in payload order.
     Legacy callers with no active context get the exact pre-resilience
     behaviour: no store, no resume, plain fan-out.
+
+    With an ``executor`` address (``tcp://host:port[,host:port...]``) the
+    pending payloads are dispatched to the remote worker fleet instead of
+    the local pool; :func:`repro.dist.run_distributed` owns the next rungs
+    of the degradation ladder (fleet -> local pool -> serial), so results
+    and persistence behave identically either way.
     """
     context = current_context()
     store = context.store_for(cache_dir) if context is not None else None
@@ -254,15 +261,30 @@ def execute_payloads(
             _count_stat(stats, "stored")
 
     try:
-        fresh = map_ordered(
-            _execute_trial,
-            [payloads[index] for index in pending],
-            n_jobs,
-            worker_timeout=worker_timeout,
-            retry=retry,
-            on_result=persist if store is not None else None,
-            stats=stats,
-        )
+        if executor is not None:
+            # Imported lazily: repro.dist.coordinator itself imports this
+            # module for _execute_trial, so a top-level import would cycle.
+            from repro.dist.coordinator import run_distributed
+
+            fresh = run_distributed(
+                [payloads[index] for index in pending],
+                executor,
+                n_jobs=n_jobs,
+                worker_timeout=worker_timeout,
+                retry=retry,
+                on_result=persist if store is not None else None,
+                stats=stats,
+            )
+        else:
+            fresh = map_ordered(
+                _execute_trial,
+                [payloads[index] for index in pending],
+                n_jobs,
+                worker_timeout=worker_timeout,
+                retry=retry,
+                on_result=persist if store is not None else None,
+                stats=stats,
+            )
     finally:
         _shared_chunks_cache.clear()
     for position, index in enumerate(pending):
@@ -628,6 +650,7 @@ class TrialRunner:
         self.worker_timeout = getattr(config, "worker_timeout", None)
         self.max_retries = getattr(config, "max_retries", 2)
         self.cache_dir = getattr(config, "cache_dir", None)
+        self.executor = getattr(config, "executor", None)
 
     def _check_universe(self, n_elements: object) -> None:
         if n_elements != self.n_nodes:
@@ -710,6 +733,7 @@ class TrialRunner:
             worker_timeout=self.worker_timeout,
             retry=RetryPolicy.for_config(self),
             cache_dir=self.cache_dir,
+            executor=self.executor,
         )
 
     def build_payloads(

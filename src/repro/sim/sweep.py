@@ -113,6 +113,7 @@ class ParameterSweep:
             self.worker_timeout = getattr(config, "worker_timeout", None)
             self.max_retries = getattr(config, "max_retries", 2)
             self.cache_dir = getattr(config, "cache_dir", None)
+            self.executor = getattr(config, "executor", None)
         else:
             n_requests = 10_000 if n_requests is _UNSET else n_requests
             n_trials = 3 if n_trials is _UNSET else n_trials
@@ -124,6 +125,7 @@ class ParameterSweep:
             self.worker_timeout = None
             self.max_retries = 2
             self.cache_dir = None
+            self.executor = None
         self.points = [dict(point) for point in points]
         self.workload_factory = workload_factory
         self.algorithms = list(algorithms)
@@ -216,6 +218,7 @@ class ParameterSweep:
             worker_timeout=self.worker_timeout,
             retry=RetryPolicy.for_config(self),
             cache_dir=self.cache_dir,
+            executor=self.executor,
         )
         cursor = 0
         for point, n_payloads in point_chunks:

@@ -1,0 +1,226 @@
+"""Plans through the distributed executor: byte-identity, kills, warm resume.
+
+The acceptance pins of the distributed-executor PR at the plan level:
+
+* every plan family (trial, network, traffic sweep) run through
+  ``repro.run(plan, executor="tcp://...")`` produces exactly the serial
+  table — including runs where a worker daemon is killed mid-campaign
+  (``worker_crash``, real subprocess workers) or a lease expires
+  (``worker_hang``);
+* a warm-cache resume through the remote executor re-executes zero
+  payloads: the whole campaign is served from the checkpoint store and the
+  fleet is never even contacted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.network.traffic import TrafficSpec
+from repro.plans import (
+    NetworkPlan,
+    RunConfig,
+    TrafficSweepPlan,
+    TrialPlan,
+    dumps,
+    last_run_stats,
+    loads,
+)
+from repro.dist.worker import WorkerServer
+from repro.resilience import FaultSpec
+from repro.resilience.faults import FAULT_SPEC_ENV
+from repro.workloads.spec import WorkloadSpec
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def trial_plan(**config_kwargs) -> TrialPlan:
+    config_kwargs.setdefault("n_requests", 120)
+    config_kwargs.setdefault("n_trials", 2)
+    config_kwargs.setdefault("base_seed", 5)
+    return TrialPlan(
+        name="dist-trial",
+        n_nodes=31,
+        workload=WorkloadSpec.create(
+            "combined-locality",
+            n_elements=31,
+            zipf_exponent=1.4,
+            repeat_probability=0.4,
+        ),
+        algorithms=("rotor-push", "random-push"),
+        config=RunConfig(**config_kwargs),
+    )
+
+
+def network_plan(**config_kwargs) -> NetworkPlan:
+    config_kwargs.setdefault("n_requests", 60)
+    config_kwargs.setdefault("n_trials", 2)
+    return NetworkPlan(
+        name="dist-network",
+        traffic=TrafficSpec.create(
+            31,
+            {
+                source: WorkloadSpec.create("zipf", n_elements=31, exponent=1.6)
+                for source in range(2)
+            },
+        ),
+        algorithm="rotor-push",
+        config=RunConfig(**config_kwargs),
+    )
+
+
+def traffic_sweep_plan(**config_kwargs) -> TrafficSweepPlan:
+    config_kwargs.setdefault("n_requests", 40)
+    config_kwargs.setdefault("n_trials", 1)
+    config_kwargs.setdefault("base_seed", 5)
+    return TrafficSweepPlan(
+        name="dist-sweep",
+        traffic=TrafficSpec.create(
+            31,
+            {
+                source: WorkloadSpec.create("zipf", n_elements=31, exponent=1.6)
+                for source in range(2)
+            },
+        ),
+        algorithms=("rotor-push",),
+        points=({"k": 1}, {"k": 3}),
+        bind={"k": "n_sources"},
+        config=RunConfig(**config_kwargs),
+    )
+
+
+@pytest.fixture()
+def fleet():
+    workers = [WorkerServer().start(), WorkerServer().start()]
+    yield workers
+    for worker in workers:
+        worker.stop()
+
+
+def fleet_address(workers, options: str = "") -> str:
+    hosts = ",".join(f"{w.host}:{w.port}" for w in workers)
+    return f"tcp://{hosts}{options}"
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize(
+        "make_plan", [trial_plan, network_plan, traffic_sweep_plan]
+    )
+    def test_every_plan_family_matches_serial(self, fleet, make_plan):
+        serial = repro.run(make_plan())
+        distributed = repro.run(make_plan(), executor=fleet_address(fleet))
+        assert distributed.rows == serial.rows
+        stats = last_run_stats()
+        assert stats.remote_executed == stats.executed > 0
+        assert not stats.degraded_remote
+
+    def test_executor_in_the_plan_document_roundtrips(self, fleet):
+        plan = trial_plan(executor=fleet_address(fleet))
+        rebuilt = loads(dumps(plan))
+        assert rebuilt.config.executor == fleet_address(fleet)
+        assert repro.run(rebuilt).rows == repro.run(trial_plan()).rows
+
+    def test_lease_expiry_mid_plan_stays_identical(self, fleet, tmp_path):
+        serial = repro.run(trial_plan())
+        fault = FaultSpec(
+            mode="worker_hang",
+            trials=(0,),
+            arm_dir=str(tmp_path),
+            max_triggers=1,
+            hang_seconds=2.0,
+        )
+        os.environ[FAULT_SPEC_ENV] = json.dumps(fault.to_dict())
+        try:
+            table = repro.run(
+                trial_plan(),
+                executor=fleet_address(fleet, "?lease=0.5&heartbeat=0.1"),
+            )
+        finally:
+            del os.environ[FAULT_SPEC_ENV]
+        assert table.rows == serial.rows
+        assert last_run_stats().lease_expiries >= 1
+
+
+def spawn_worker() -> subprocess.Popen:
+    """Start a real ``repro worker`` daemon subprocess on an ephemeral port."""
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--listen", "tcp://127.0.0.1:0"],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = process.stdout.readline()
+    assert line.startswith("worker listening on "), line
+    process.address = line.split()[-1]
+    return process
+
+
+class TestSubprocessWorkers:
+    def test_worker_kill_mid_run_stays_identical(self, tmp_path):
+        """The ISSUE's acceptance shape: one worker daemon dies mid-campaign
+        (a real ``os._exit`` in a real subprocess); the survivor absorbs the
+        requeued payload and the table is byte-identical to serial."""
+        serial = repro.run(trial_plan())
+        # trial 0 has one armed payload per algorithm (independent trigger
+        # budgets), so up to two daemons die — a three-worker fleet keeps a
+        # survivor to absorb the requeued payloads
+        workers = [spawn_worker(), spawn_worker(), spawn_worker()]
+        fault = FaultSpec(
+            mode="worker_crash", trials=(0,), arm_dir=str(tmp_path), max_triggers=1
+        )
+        os.environ[FAULT_SPEC_ENV] = json.dumps(fault.to_dict())
+        try:
+            hosts = ",".join(w.address[len("tcp://") :] for w in workers)
+            table = repro.run(trial_plan(), executor=f"tcp://{hosts}")
+        finally:
+            del os.environ[FAULT_SPEC_ENV]
+            for worker in workers:
+                worker.terminate()
+                worker.wait(timeout=10)
+                worker.stdout.close()
+        assert table.rows == serial.rows
+        stats = last_run_stats()
+        assert stats.workers_lost >= 1
+        assert not stats.degraded_remote
+
+
+class TestWarmResume:
+    @pytest.mark.parametrize("make_plan", [trial_plan, network_plan])
+    def test_remote_resume_reexecutes_nothing(self, fleet, make_plan, tmp_path):
+        cache = tmp_path / "store"
+        address = fleet_address(fleet)
+        first = repro.run(make_plan(), cache=cache, executor=address)
+        stats = last_run_stats()
+        assert stats.remote_executed == stats.stored > 0
+
+        # warm resume: every payload is served from the checkpoint store;
+        # the fleet is never contacted (zero new sessions)
+        sessions_before = sum(worker.sessions for worker in fleet)
+        second = repro.run(
+            make_plan(), cache=cache, resume=True, executor=address
+        )
+        assert second.rows == first.rows
+        stats = last_run_stats()
+        assert stats.executed == 0
+        assert stats.remote_executed == 0
+        assert stats.cache_hits > 0
+        assert sum(worker.sessions for worker in fleet) == sessions_before
+
+    def test_cold_local_run_matches_remote_cached_run(self, fleet, tmp_path):
+        """Cache entries written by remote workers are valid hits for local
+        re-runs (payload keys exclude the executor, like every throughput
+        knob) — and vice versa the tables agree byte for byte."""
+        cache = tmp_path / "store"
+        remote = repro.run(trial_plan(), cache=cache, executor=fleet_address(fleet))
+        local = repro.run(trial_plan(), cache=cache, resume=True)
+        assert local.rows == remote.rows
+        assert last_run_stats().cache_hits > 0
+        assert last_run_stats().executed == 0

@@ -188,6 +188,54 @@ class TestOverridePrecedence:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "smoke", "--max-retries", "-1"])
 
+    def test_executor_flag_overrides_plan_document(self, tmp_path):
+        path = tmp_path / "plan.json"
+        dump(small_plan(executor="tcp://plan-host:1"), path)
+        args = build_parser().parse_args(
+            ["run", str(path), "--executor", "tcp://cli-host:2,cli-host:3"]
+        )
+        plan = resolve_run_plan(args)
+        assert plan.config.executor == "tcp://cli-host:2,cli-host:3"
+        # absent flag keeps the document's fleet
+        plan = resolve_run_plan(build_parser().parse_args(["run", str(path)]))
+        assert plan.config.executor == "tcp://plan-host:1"
+
+    def test_bad_executor_address_is_a_clean_error(self, capsys):
+        assert main(["run", "smoke", "--executor", "udp://host:1"]) == 2
+        assert "executor scheme" in capsys.readouterr().err
+
+
+class TestWorkerAndCacheCommands:
+    def test_worker_rejects_bad_listen_address(self, capsys):
+        assert main(["worker", "--listen", "udp://0.0.0.0:1"]) == 2
+        assert "tcp://HOST:PORT" in capsys.readouterr().err
+
+    def test_cache_lifecycle_end_to_end(self, tmp_path, capsys):
+        """stats on an empty store, stats/verify after a run, prune after
+        corrupting an entry — the CLI twin of the ResultStore maintenance."""
+        from repro.resilience import ResultStore
+
+        cache = str(tmp_path / "store")
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        assert "entries:         0" in capsys.readouterr().out
+
+        path = tmp_path / "plan.json"
+        dump(small_plan(), path)
+        assert main(["run", str(path), "--cache-dir", cache]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "verify", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "corrupt entries: 0" in out
+
+        store = ResultStore(cache)
+        store.path_for(store.keys()[0]).write_text("garbage")
+        assert main(["cache", "verify", "--cache-dir", cache]) == 1
+        assert "corrupt entries: 1" in capsys.readouterr().out
+        assert main(["cache", "prune", "--cache-dir", cache]) == 0
+        assert "removed corrupt entries: 1" in capsys.readouterr().out
+        assert main(["cache", "verify", "--cache-dir", cache]) == 0
+
 
 class TestExecution:
     def test_run_plan_file_end_to_end(self, tmp_path, capsys):

@@ -22,17 +22,62 @@ from repro.workloads.spec import WorkloadSpec
 
 class TestRetryPolicy:
     def test_delay_is_capped_exponential(self):
-        policy = RetryPolicy(max_retries=5, backoff_base=0.1, backoff_max=0.35)
+        policy = RetryPolicy(
+            max_retries=5, backoff_base=0.1, backoff_max=0.35, jitter=0.0
+        )
         assert policy.delay(1) == pytest.approx(0.1)
         assert policy.delay(2) == pytest.approx(0.2)
         assert policy.delay(3) == pytest.approx(0.35)  # capped
         assert policy.delay(10) == pytest.approx(0.35)
+
+    def test_jitter_stretches_within_bounds(self):
+        plain = RetryPolicy(backoff_base=0.1, backoff_max=10.0, jitter=0.0)
+        jittered = RetryPolicy(backoff_base=0.1, backoff_max=10.0, jitter=0.25)
+        for attempt in (1, 2, 3):
+            for token in (0, 1, 7):
+                base = plain.delay(attempt)
+                delay = jittered.delay(attempt, token=token)
+                assert base <= delay <= base * 1.25
+        # the cap bounds the jittered delay too
+        capped = RetryPolicy(backoff_base=1.0, backoff_max=1.0, jitter=1.0)
+        assert capped.delay(5, token=3) == 1.0
+
+    def test_jitter_is_deterministic_and_seeded(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_max=10.0)
+        # pure function of (policy, attempt, token): stable across instances
+        clone = RetryPolicy.from_dict(policy.to_dict())
+        for attempt in (1, 2, 3):
+            for token in (0, 5, 99):
+                assert policy.delay(attempt, token=token) == clone.delay(
+                    attempt, token=token
+                )
+        # different tokens de-correlate simultaneous retries ...
+        delays = {policy.delay(1, token=token) for token in range(8)}
+        assert len(delays) == 8
+        # ... and a different seed re-draws the whole schedule
+        reseeded = RetryPolicy(backoff_base=0.1, backoff_max=10.0, seed=1)
+        assert reseeded.delay(1, token=0) != policy.delay(1, token=0)
+
+    def test_roundtrip(self):
+        policy = RetryPolicy(
+            max_retries=4, backoff_base=0.2, backoff_max=1.5, jitter=0.5, seed=3
+        )
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
+        assert json.loads(json.dumps(policy.to_dict())) == policy.to_dict()
+        with pytest.raises(ExperimentError, match="unknown retry-policy keys"):
+            RetryPolicy.from_dict({**policy.to_dict(), "surprise": 1})
 
     def test_validation(self):
         with pytest.raises(ExperimentError, match="max_retries"):
             RetryPolicy(max_retries=-1)
         with pytest.raises(ExperimentError, match="backoff_base"):
             RetryPolicy(backoff_base=-0.1)
+        with pytest.raises(ExperimentError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ExperimentError, match="seed"):
+            RetryPolicy(seed=0.5)
+        with pytest.raises(ExperimentError, match="1-based"):
+            RetryPolicy().delay(0)
 
     def test_for_config_is_duck_typed(self):
         config = RunConfig(n_requests=10, n_trials=1, max_retries=7)
@@ -85,6 +130,25 @@ class TestRunConfigKnobs:
         assert updated.cache_dir == "store"
         # None keeps the existing value
         assert updated.with_overrides() == updated
+
+    def test_executor_knob(self):
+        config = RunConfig(
+            n_requests=10, n_trials=1, executor="tcp://10.0.0.1:7777,10.0.0.2:7777"
+        )
+        data = config.to_dict()
+        assert data["executor"] == "tcp://10.0.0.1:7777,10.0.0.2:7777"
+        assert RunConfig.from_dict(data) == config
+        # old documents (no executor key) default to local execution
+        assert RunConfig.from_dict({"n_requests": 10, "n_trials": 1}).executor is None
+        updated = RunConfig(n_requests=10, n_trials=1).with_overrides(
+            executor="tcp://127.0.0.1:9"
+        )
+        assert updated.executor == "tcp://127.0.0.1:9"
+        # the address format is validated eagerly, like every other knob
+        with pytest.raises(PlanError, match="executor scheme"):
+            RunConfig(n_requests=10, n_trials=1, executor="http://host:1")
+        with pytest.raises(PlanError, match="HOST:PORT"):
+            RunConfig(n_requests=10, n_trials=1, executor="tcp://host")
 
     def test_plan_with_overrides_recurses(self):
         stage = TrialPlan(

@@ -126,6 +126,7 @@ class TestPayloadKey:
             runner_payloads(chunk_size=7),
             runner_payloads(n_jobs=4),
             runner_payloads(max_retries=9, cache_dir="elsewhere"),
+            runner_payloads(executor="tcp://10.0.0.1:7777"),
         ):
             assert [payload_key(p) for p in base] == [payload_key(p) for p in variant]
 
@@ -138,13 +139,59 @@ class TestPayloadKey:
         assert set(base).isdisjoint(resized)
 
 
+class TestMaintenance:
+    def seeded_store(self, tmp_path, n: int = 3):
+        store = ResultStore(tmp_path)
+        keys = [f"{index:02x}" + "9" * 62 for index in range(n)]
+        for key in keys:
+            store.put(key, small_result())
+        return store, keys
+
+    def test_stats_counts_entries_bytes_and_orphans(self, tmp_path):
+        store, keys = self.seeded_store(tmp_path)
+        stats = store.stats()
+        assert stats["entries"] == len(keys)
+        assert stats["bytes"] > 0
+        assert stats["orphans"] == 0
+        # a temp file left behind by a crashed write shows up as an orphan
+        (store.path_for(keys[0]).parent / ".dead0000-x.tmp").write_text("half")
+        assert store.stats()["orphans"] == 1
+        # an empty/missing store is all zeroes, not an error
+        assert ResultStore(tmp_path / "nowhere").stats() == {
+            "entries": 0,
+            "bytes": 0,
+            "orphans": 0,
+        }
+
+    def test_verify_reports_corrupt_entries_without_deleting(self, tmp_path):
+        store, keys = self.seeded_store(tmp_path)
+        store.path_for(keys[1]).write_text("garbage")
+        report = store.verify()
+        assert sorted(report["ok"]) == sorted([keys[0], keys[2]])
+        assert report["corrupt"] == [keys[1]]
+        assert store.path_for(keys[1]).is_file()  # reported, not removed
+
+    def test_prune_drops_corrupt_entries_and_orphans_only(self, tmp_path):
+        store, keys = self.seeded_store(tmp_path)
+        store.path_for(keys[2]).write_text("garbage")
+        orphan = store.path_for(keys[0]).parent / ".dead0000-x.tmp"
+        orphan.write_text("half")
+        assert store.prune() == {"corrupt": 1, "orphans": 1}
+        assert not orphan.exists()
+        assert not store.path_for(keys[2]).exists()
+        # healthy entries are untouched and still served
+        assert store.get(keys[0]) is not None
+        assert store.get(keys[1]) is not None
+        assert store.prune() == {"corrupt": 0, "orphans": 0}
+
+
 class TestPlanHash:
     def test_hash_ignores_throughput_and_resilience_knobs(self):
         plan = load_golden_plan("smoke")
         assert plan_hash(plan) == plan_hash(
             plan_with_overrides(
                 plan, n_jobs=8, chunk_size=64, backend="python", cache_dir="x",
-                max_retries=9,
+                max_retries=9, executor="tcp://10.0.0.1:7777",
             )
         )
 
