@@ -25,7 +25,11 @@ against its predecessors on the same hardware.  The measured layers:
   resume=True)``), with a bit-identity check between the two; and
 * **corpus scenario** — end-to-end wall-clock of the corpus pipeline plan
   (synthetic corpus → complexity map + per-algorithm cost table), serial
-  versus parallel, with an ``n_jobs`` determinism check over both tables.
+  versus parallel, with an ``n_jobs`` determinism check over both tables; and
+* **live serving** — sustained requests/second and p50/p99 enqueue-to-reply
+  latency of a real ``repro serve`` daemon (asyncio TCP endpoint, ingest
+  log attached) under concurrent client threads, gated on the recorded log
+  replaying to the bit-identical live cost table.
 
 Usage::
 
@@ -417,6 +421,83 @@ def bench_corpus(n_books: int, scale: float, max_requests: int, n_jobs: int) -> 
     }
 
 
+def bench_live(
+    n_nodes: int, n_sources: int, n_requests: int, batch_size: int
+) -> dict:
+    """Sustained live-serve throughput and enqueue-to-reply latency.
+
+    One real :class:`repro.serve.server.ServeServer` (asyncio daemon, TCP,
+    ingest log attached) driven by one concurrent client thread per source;
+    every ``request_batch`` round-trip is timed client-side, giving the
+    enqueue-to-reply latency distribution under concurrent load.  The
+    recorded ingest log is then replayed through ``repro.run`` and must
+    reproduce the live cost table exactly — the determinism gate of the
+    live-serve subsystem.
+    """
+    import random
+    import threading
+
+    from repro.serve.client import ServeClient
+    from repro.serve.replay import build_replay_plan
+    from repro.serve.server import ServeServer
+
+    with tempfile.TemporaryDirectory(prefix="bench-live-") as root:
+        log_dir = Path(root) / "ingest"
+        server = ServeServer(
+            n_nodes=n_nodes, algorithm="rotor-push", log_dir=str(log_dir)
+        ).start()
+        latencies: list = []
+        lock = threading.Lock()
+
+        def drive(index: int) -> None:
+            with ServeClient(server.address) as client:
+                client.open(f"source-{index}")
+                rng = random.Random(1_000 + index)
+                local = []
+                remaining = n_requests
+                while remaining:
+                    size = min(batch_size, remaining)
+                    batch = [rng.randrange(n_nodes) for _ in range(size)]
+                    begin = time.perf_counter()
+                    client.request_batch(batch)
+                    local.append(time.perf_counter() - begin)
+                    remaining -= size
+                client.drain()
+            with lock:
+                latencies.extend(local)
+
+        threads = [
+            threading.Thread(target=drive, args=(index,), daemon=True)
+            for index in range(n_sources)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+        live_table = server.engine.cost_table()
+        server.stop()
+        replayed = run_plan(build_replay_plan(log_dir))
+
+    total = n_sources * n_requests
+    ordered = sorted(latencies)
+    p50 = ordered[len(ordered) // 2]
+    p99 = ordered[min(int(len(ordered) * 0.99), len(ordered) - 1)]
+    return {
+        "n_nodes": n_nodes,
+        "n_sources": n_sources,
+        "requests_per_source": n_requests,
+        "batch_size": batch_size,
+        "wall_seconds": round(wall, 3),
+        "req_per_s": round(total / wall),
+        "batch_p50_ms": round(p50 * 1_000, 3),
+        "batch_p99_ms": round(p99 * 1_000, 3),
+        "deterministic": replayed.rows == live_table.rows
+        and replayed.format_text() == live_table.format_text(),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke configuration")
@@ -429,12 +510,14 @@ def main(argv=None) -> int:
         multi_nodes, multi_sources, multi_rps = 255, 8, 500
         resil_trials, resil_requests = 2, 2_000
         corpus_books, corpus_scale, corpus_requests = 2, 0.05, 2_000
+        live_nodes, live_sources, live_requests, live_batch = 255, 2, 600, 8
     else:
         serve_nodes, serve_requests, repeats = 1_023, 20_000, 3
         par_nodes, par_requests, par_trials = 1_023, 30_000, 4
         multi_nodes, multi_sources, multi_rps = 1_023, 16, 2_000
         resil_trials, resil_requests = 3, 20_000
         corpus_books, corpus_scale, corpus_requests = 3, 0.15, 30_000
+        live_nodes, live_sources, live_requests, live_batch = 1_023, 4, 5_000, 16
 
     serve_python = bench_serve(serve_nodes, serve_requests, repeats, "python")
     report = {
@@ -475,6 +558,9 @@ def main(argv=None) -> int:
             multi_nodes, multi_sources, multi_rps, max(2, os.cpu_count() or 1)
         ),
         "resilience": bench_resilience(resil_trials, resil_requests),
+        "live_serve": bench_live(
+            live_nodes, live_sources, live_requests, live_batch
+        ),
         "corpus_scenario": bench_corpus(
             corpus_books,
             corpus_scale,
@@ -509,6 +595,9 @@ def main(argv=None) -> int:
         return 1
     if not report["corpus_scenario"]["deterministic"]:
         print("ERROR: parallel corpus scenario diverged from serial", file=sys.stderr)
+        return 1
+    if not report["live_serve"]["deterministic"]:
+        print("ERROR: ingest-log replay diverged from the live session", file=sys.stderr)
         return 1
     return 0
 

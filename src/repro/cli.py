@@ -20,6 +20,16 @@ Installed as the ``repro`` console script (also runnable via
 ``worker``
     Start a long-lived trial worker daemon serving a coordinator over TCP
     (``repro worker --listen tcp://0.0.0.0:7777``).
+``serve``
+    Start the live traffic endpoint (``repro serve --listen
+    tcp://0.0.0.0:7000 --nodes 63 --algorithm rotor-push --log-dir LOG``):
+    concurrent client sessions, bounded queues with explicit backpressure,
+    live stats, and a crash-safe replayable ingest log.  SIGTERM/SIGINT
+    drain before exit.
+``replay``
+    Rerun a recorded ingest log bit-identically through ``repro.run``
+    (``repro replay LOG``): prints the same per-source cost table the live
+    engine accumulated.
 ``cache``
     Inspect or maintain a checkpoint store: ``stats`` (entry count, bytes,
     orphaned temp files), ``verify`` (re-check every entry's checksum) and
@@ -236,6 +246,75 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="start the live traffic endpoint (replayable ingest, live stats)",
+    )
+    serve.add_argument(
+        "--listen",
+        default="tcp://127.0.0.1:0",
+        help=(
+            "address to listen on, tcp://HOST:PORT (default "
+            "tcp://127.0.0.1:0 — port 0 picks a free port, printed on "
+            "startup); drive it with repro.serve.client"
+        ),
+    )
+    serve.add_argument(
+        "--nodes", type=int, default=63, help="tree size per source (2**k - 1)"
+    )
+    serve.add_argument(
+        "--algorithm",
+        default="rotor-push",
+        help="online algorithm every source's tree runs (see 'repro list')",
+    )
+    serve.add_argument(
+        "--base-seed",
+        type=int,
+        default=0,
+        help=(
+            "base of the per-source seed windows; replaying the ingest log "
+            "reproduces the exact per-source costs for any value"
+        ),
+    )
+    serve.add_argument(
+        "--log-dir",
+        default=None,
+        help=(
+            "ingest-log directory (created, must not exist non-empty): every "
+            "accepted request is appended crash-safely for 'repro replay'"
+        ),
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help=(
+            "max pending batches per session before requests are answered "
+            "with 'busy' backpressure instead of being buffered"
+        ),
+    )
+    add_backend_argument(serve)
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="rerun a recorded ingest log bit-identically via repro.run",
+    )
+    replay.add_argument("log", help="ingest-log directory written by 'repro serve'")
+    replay.add_argument("--jobs", type=jobs_type, default=None, help=jobs_help)
+    replay.add_argument("--chunk-size", type=chunk_type, default=None, help=chunk_help)
+    replay.add_argument(
+        "--csv-dir", default=None, help="directory for CSV exports"
+    )
+    replay.add_argument(
+        "--allow-mid-loss",
+        action="store_true",
+        help=(
+            "salvage a log corrupted before its tail (replays what precedes "
+            "the damage; a torn tail alone never needs this)"
+        ),
+    )
+    add_backend_argument(replay)
+
     cache = subparsers.add_parser(
         "cache",
         help="inspect or maintain a checkpoint store",
@@ -407,6 +486,46 @@ def _command_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import run_serve  # lazy: keeps CLI import light
+
+    try:
+        return run_serve(
+            args.listen,
+            n_nodes=args.nodes,
+            algorithm=args.algorithm,
+            backend=args.backend,
+            base_seed=args.base_seed,
+            log_dir=args.log_dir,
+            queue_limit=args.queue_limit,
+        )
+    except ReproError as error:
+        print(f"repro serve: {error}", file=sys.stderr)
+        return 2
+
+
+def _command_replay(args: argparse.Namespace) -> int:
+    from repro.serve.ingest import read_ingest_log
+    from repro.serve.replay import build_replay_plan
+
+    try:
+        log = read_ingest_log(args.log, allow_mid_loss=args.allow_mid_loss)
+        for anomaly in log.report.anomalies:
+            print(f"repro replay: ingest log anomaly: {anomaly}", file=sys.stderr)
+        plan = plan_with_overrides(
+            build_replay_plan(log),
+            n_jobs=args.jobs,
+            chunk_size=args.chunk_size,
+            backend=args.backend,
+        )
+        result = run_plan(plan)
+    except ReproError as error:
+        print(f"repro replay: {error}", file=sys.stderr)
+        return 2
+    _print_result(result, args.csv_dir)
+    return 0
+
+
 def _command_cache(args: argparse.Namespace) -> int:
     store = ResultStore(args.cache_dir)
     if args.action == "stats":
@@ -490,6 +609,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "worker":
         return _command_worker(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "replay":
+        return _command_replay(args)
     if args.command == "cache":
         return _command_cache(args)
     if args.command == "experiment":

@@ -36,14 +36,17 @@ wins, duplicates are dropped).
 
 from __future__ import annotations
 
-import json
-import socket
-import struct
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.algorithms.registry import AlgorithmSpec
+from repro.dist.framing import (  # noqa: F401 - shared-framing re-exports
+    MAX_FRAME as _MAX_FRAME,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
 from repro.exceptions import ExperimentError
 from repro.network.traffic import TrafficSpec
 from repro.resilience.faults import FaultSpec
@@ -81,48 +84,9 @@ DEFAULT_LEASE_TIMEOUT = 30.0
 #: expires a healthy lease.
 DEFAULT_HEARTBEAT_INTERVAL = 1.0
 
-_LENGTH = struct.Struct(">Q")
-
-#: Upper bound on a single frame (1 GiB) — a corrupted length prefix must
-#: fail loudly instead of attempting a multi-exabyte allocation.
-_MAX_FRAME = 1 << 30
-
-
-class ProtocolError(ExperimentError):
-    """Raised when a peer violates the distributed-executor wire protocol."""
-
-
-# ----------------------------------------------------------------- framing
-
-
-def send_frame(sock: socket.socket, message: Dict[str, object]) -> None:
-    """Send one length-prefixed JSON frame."""
-    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
-    sock.sendall(_LENGTH.pack(len(body)) + body)
-
-
-def _recv_exact(sock: socket.socket, n: int) -> bytes:
-    """Read exactly ``n`` bytes or raise ``ConnectionError`` on EOF."""
-    chunks = []
-    remaining = n
-    while remaining:
-        chunk = sock.recv(min(remaining, 1 << 20))
-        if not chunk:
-            raise ConnectionError("peer closed the connection mid-frame")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
-
-
-def recv_frame(sock: socket.socket) -> Dict[str, object]:
-    """Receive one frame; raises ``ConnectionError``/``socket.timeout``."""
-    length = _LENGTH.unpack(_recv_exact(sock, _LENGTH.size))[0]
-    if length > _MAX_FRAME:
-        raise ProtocolError(f"frame length {length} exceeds the {_MAX_FRAME}-byte cap")
-    message = json.loads(_recv_exact(sock, length).decode("utf-8"))
-    if not isinstance(message, dict) or "type" not in message:
-        raise ProtocolError(f"not a protocol message: {message!r}")
-    return message
+# Framing (length prefix, codec, cap, ProtocolError) lives in
+# repro.dist.framing, shared with the live-serve daemon; the names above are
+# re-exported here so existing imports keep working.
 
 
 # ----------------------------------------------------------- payload codec

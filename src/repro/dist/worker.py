@@ -31,11 +31,13 @@ from __future__ import annotations
 
 import logging
 import os
+import signal
 import socket
 import threading
 import time
-from typing import Optional, Tuple
+from typing import Optional
 
+from repro.dist.framing import parse_listen_address  # noqa: F401 - re-export
 from repro.dist.protocol import (
     PROTOCOL_VERSION,
     DEFAULT_HEARTBEAT_INTERVAL,
@@ -44,7 +46,6 @@ from repro.dist.protocol import (
     recv_frame,
     send_frame,
 )
-from repro.exceptions import ExperimentError
 from repro.resilience.faults import WORKER_FAULT_MODES
 from repro.resilience.store import payload_key, result_to_dict
 from repro.sim.runner import _execute_trial, _shared_chunks_cache
@@ -55,21 +56,6 @@ logger = logging.getLogger("repro.dist")
 
 #: How often the accept loop wakes up to check the stop flag (seconds).
 _ACCEPT_POLL = 0.2
-
-
-def parse_listen_address(address: str) -> Tuple[str, int]:
-    """Parse a ``tcp://host:port`` listen address (single endpoint)."""
-    prefix = "tcp://"
-    if not isinstance(address, str) or not address.startswith(prefix):
-        raise ExperimentError(
-            f"worker listen address must look like tcp://HOST:PORT, got {address!r}"
-        )
-    host, _, port = address[len(prefix) :].rpartition(":")
-    if not host or not port.isdigit():
-        raise ExperimentError(
-            f"worker listen address must look like tcp://HOST:PORT, got {address!r}"
-        )
-    return host, int(port)
 
 
 def _execute_in_thread(payload, box: dict, done: threading.Event) -> None:
@@ -156,13 +142,25 @@ class WorkerServer:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
-        """Stop accepting and close the listener (idempotent)."""
+    def request_stop(self) -> None:
+        """Ask the daemon to drain: finish the in-flight lease, then exit.
+
+        Safe to call from a signal handler: it only flips the stop flag and
+        closes the listener.  The flag is observed between frames (the
+        ``_recv`` poll) and between sessions (the accept loop) — never
+        inside :meth:`_serve_lease` — so a payload that is mid-execution
+        keeps heartbeating to completion and its ``result`` frame still
+        reaches the coordinator before the session ends.
+        """
         self._stop.set()
         try:
             self._listener.close()
         except OSError:
             pass
+
+    def stop(self) -> None:
+        """Stop accepting and close the listener (idempotent)."""
+        self.request_stop()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
@@ -289,14 +287,32 @@ def run_worker(listen: str) -> int:
     Prints the bound endpoint (``worker listening on tcp://host:port``) once
     the listener is up, so launch scripts can wait for readiness and recover
     the port when ``:0`` asked for an ephemeral one.
+
+    SIGTERM and SIGINT both drain rather than kill: the in-flight lease (if
+    any) finishes executing and its result is delivered, then the daemon
+    exits 0 printing ``worker drained``.  Coordinators therefore never see a
+    lease expire just because the fleet was being rotated.
     """
     host, port = parse_listen_address(listen)
     server = WorkerServer(host, port)
+
+    def _drain(signum: int, _frame: object) -> None:
+        print(f"worker draining on {signal.Signals(signum).name}", flush=True)
+        server.request_stop()
+
+    # handlers go in before the readiness banner: a supervisor that signals
+    # the moment it sees the banner must always hit the drain path
+    previous = {
+        sig: signal.signal(sig, _drain) for sig in (signal.SIGTERM, signal.SIGINT)
+    }
     print(f"worker listening on {server.address}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
         server.stop()
+    print(f"worker drained ({server.completed} leases completed)", flush=True)
     return 0

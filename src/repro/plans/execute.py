@@ -44,6 +44,7 @@ from repro.sim.results import ResultTable, summarise_values
 from repro.sim.runner import (
     AggregatedOutcome,
     TrafficSource,
+    TrialOutcome,
     TrialPayload,
     TrialRunner,
     execute_payloads,
@@ -90,6 +91,18 @@ NETWORK_TABLE_COLUMNS = [
     "n_trials",
 ]
 
+#: Columns of the per-source cost table shared by the live serve engine
+#: (:meth:`repro.serve.engine.ServeEngine.cost_table`) and the
+#: ``replay_totals`` assembler below.  Totals are exact integers (never
+#: per-request means), so the live table and its replay compare bit-for-bit.
+REPLAY_TABLE_COLUMNS = [
+    "source",
+    "n_requests",
+    "total_access_cost",
+    "total_adjustment_cost",
+    "total_cost",
+]
+
 
 @dataclass
 class StageResult:
@@ -100,7 +113,10 @@ class StageResult:
     a :class:`~repro.sim.results.ResultTable`; ``aggregated`` carries the
     per-algorithm :class:`~repro.sim.runner.AggregatedOutcome` map for trial
     stages, so assemblers (e.g. the Q1 difference table) work from the exact
-    aggregates instead of re-parsing rendered rows.
+    aggregates instead of re-parsing rendered rows; ``outcomes`` carries the
+    raw per-trial outcome map for trial stages, so assemblers that need
+    exact integer totals (e.g. ``replay_totals``) never reconstruct them
+    from floating-point means.
     """
 
     key: str
@@ -108,6 +124,7 @@ class StageResult:
     result: object
     table: Optional[ResultTable] = None
     aggregated: Optional[Dict[str, AggregatedOutcome]] = None
+    outcomes: Optional[Dict[str, List["TrialOutcome"]]] = None
 
 
 #: Registered experiment assemblers: name -> fn(plan, stages) -> result.
@@ -198,6 +215,57 @@ def _assemble_trace_costs(plan: ExperimentPlan, stages: List[StageResult]) -> ob
     return table
 
 
+@register_assembler("replay_totals")
+def _assemble_replay_totals(plan: ExperimentPlan, stages: List[StageResult]) -> object:
+    """Merge per-source replay stages into one exact-total cost table.
+
+    The assembler of the plans :func:`repro.serve.replay.build_replay_plan`
+    produces: every stage is a single-algorithm, single-trial
+    :class:`~repro.plans.model.TrialPlan` replaying one source's recorded
+    fixed sequence, keyed by the source name.  The output is the live
+    engine's cost table, rebuilt offline: one row per source with *integer*
+    totals straight from the stage's :class:`~repro.algorithms.base.RunResult`
+    (never reconstructed from per-request means, which would not round-trip
+    through IEEE floats), plus a ``"total"`` aggregate row.
+    """
+    table = ResultTable(name=plan.name, columns=list(REPLAY_TABLE_COLUMNS))
+    totals = {"n_requests": 0, "access": 0, "adjustment": 0}
+    for stage in stages:
+        if not isinstance(stage.plan, TrialPlan) or not stage.outcomes:
+            raise PlanError(
+                f"assembler 'replay_totals' expects trial-plan stages with "
+                f"outcomes, stage {stage.key!r} of plan {plan.name!r} is "
+                f"{type(stage.plan).__name__}"
+            )
+        trials = [
+            outcome for outcomes in stage.outcomes.values() for outcome in outcomes
+        ]
+        if len(trials) != 1:
+            raise PlanError(
+                f"assembler 'replay_totals': stage {stage.key!r} of plan "
+                f"{plan.name!r} ran {len(trials)} trials, expected exactly 1"
+            )
+        result = trials[0].result
+        table.add_row(
+            source=stage.key,
+            n_requests=result.n_requests,
+            total_access_cost=result.total_access_cost,
+            total_adjustment_cost=result.total_adjustment_cost,
+            total_cost=result.total_cost,
+        )
+        totals["n_requests"] += result.n_requests
+        totals["access"] += result.total_access_cost
+        totals["adjustment"] += result.total_adjustment_cost
+    table.add_row(
+        source="total",
+        n_requests=totals["n_requests"],
+        total_access_cost=totals["access"],
+        total_adjustment_cost=totals["adjustment"],
+        total_cost=totals["access"] + totals["adjustment"],
+    )
+    return table
+
+
 def _check_runnable(plan: Plan) -> None:
     """Validate environment-dependent plan choices before any payload exists."""
     if isinstance(plan, (TrialPlan, SweepPlan, NetworkPlan, TrafficSweepPlan)):
@@ -233,7 +301,12 @@ def _execute_trial_plan(plan: TrialPlan, key: str = "") -> StageResult:
             n_trials=summary.n_trials,
         )
     return StageResult(
-        key=key, plan=plan, result=table, table=table, aggregated=aggregated
+        key=key,
+        plan=plan,
+        result=table,
+        table=table,
+        aggregated=aggregated,
+        outcomes=outcomes,
     )
 
 

@@ -1,0 +1,38 @@
+"""Live serving: a long-lived traffic endpoint with replayable ingest.
+
+``repro serve --listen tcp://0.0.0.0:PORT`` runs an asyncio daemon that
+accepts request streams from many concurrent clients over the same
+length-prefixed JSON framing as the distributed executor
+(:mod:`repro.dist.framing`).  Each client session binds a named *source* to
+its own per-source tree (rebuilt from an
+:class:`~repro.algorithms.registry.AlgorithmSpec` and served through the
+existing ``serve_batch`` backend dispatch); a deterministic engine loop
+pulls from bounded per-session queues with explicit backpressure and
+accumulates live route costs.
+
+Every accepted request is appended to a crash-safe, segment-rotated
+**ingest log** (:mod:`repro.serve.ingest`).  ``repro replay <log>``
+reconstructs a fixed-sequence plan from the log and reruns it through
+:func:`repro.run` — bit-identically to the live-accumulated per-source cost
+table, because the engine derives its per-source seeds exactly as a replay
+:class:`~repro.plans.model.TrialPlan` stage would (see
+:mod:`repro.serve.engine`).
+"""
+
+from repro.serve.engine import ServeEngine, ServeError
+from repro.serve.ingest import IngestLogReader, IngestWriter, read_ingest_log
+from repro.serve.replay import build_replay_plan
+from repro.serve.server import ServeServer, run_serve
+from repro.serve.client import ServeClient
+
+__all__ = [
+    "IngestLogReader",
+    "IngestWriter",
+    "ServeClient",
+    "ServeEngine",
+    "ServeError",
+    "ServeServer",
+    "build_replay_plan",
+    "read_ingest_log",
+    "run_serve",
+]

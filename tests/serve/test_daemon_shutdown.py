@@ -1,0 +1,144 @@
+"""Graceful shutdown of the real daemons, as real subprocesses.
+
+Both long-lived processes — ``repro serve`` and ``repro worker`` — must
+treat SIGTERM/SIGINT as *drain*, not kill: finish what was accepted, flush
+state, report, exit 0.  These tests spawn the actual CLI entrypoints and
+signal them, because signal handling cannot be faithfully tested in-process.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.plans import RunConfig, TrialPlan
+from repro.serve.client import ServeClient, drive_load
+from repro.serve.ingest import read_ingest_log
+from repro.serve.replay import build_replay_plan
+from repro.workloads.spec import WorkloadSpec
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def spawn(arguments):
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *arguments],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+
+def wait_for_line(process, needle, limit=50):
+    for _ in range(limit):
+        line = process.stdout.readline()
+        if needle in line:
+            return line.strip()
+    raise AssertionError(f"daemon never printed {needle!r}")
+
+
+class TestServeDaemon:
+    @pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+    def test_signal_drains_flushes_and_replays(self, tmp_path, signum):
+        log_dir = tmp_path / "ingest"
+        process = spawn(
+            [
+                "serve",
+                "--listen",
+                "tcp://127.0.0.1:0",
+                "--nodes",
+                "63",
+                "--algorithm",
+                "rotor-push",
+                "--log-dir",
+                str(log_dir),
+            ]
+        )
+        try:
+            banner = wait_for_line(process, "serve listening on")
+            address = banner.split()[-1]
+            drive_load(address, ["alpha", "beta"], n_requests=40, batch_size=5)
+            with ServeClient(address) as client:
+                live_table = client.cost_table()
+            process.send_signal(signum)
+            out, err = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, err
+        assert "serve drained (80 requests, 2 sources" in out
+        # the final report is the same cost table the client saw live
+        assert live_table.format_text() in out
+        # the flushed log replays to the live totals, byte for byte
+        log = read_ingest_log(log_dir)
+        assert not log.report.truncated
+        replayed = repro.run(build_replay_plan(log))
+        assert replayed.rows == live_table.rows
+        assert replayed.format_text() == live_table.format_text()
+
+    def test_sigterm_with_no_traffic_still_exits_cleanly(self, tmp_path):
+        process = spawn(["serve", "--listen", "tcp://127.0.0.1:0"])
+        try:
+            wait_for_line(process, "serve listening on")
+            process.send_signal(signal.SIGTERM)
+            out, err = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, err
+        assert "serve drained (0 requests, 0 sources, 0 batches)" in out
+
+
+class TestWorkerDaemon:
+    @pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+    def test_idle_worker_drains_on_signal(self, signum):
+        process = spawn(["worker", "--listen", "tcp://127.0.0.1:0"])
+        try:
+            wait_for_line(process, "worker listening on")
+            process.send_signal(signum)
+            out, err = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, err
+        assert "worker draining on" in out
+        assert "worker drained (0 leases completed)" in out
+
+    def test_worker_finishes_served_leases_before_draining(self):
+        """A worker that has executed plan payloads drains with a non-zero
+        completed count — the signal never abandons accepted work."""
+        process = spawn(["worker", "--listen", "tcp://127.0.0.1:0"])
+        try:
+            banner = wait_for_line(process, "worker listening on")
+            address = banner.split()[-1]
+            plan = TrialPlan(
+                name="drain-check",
+                n_nodes=15,
+                workload=WorkloadSpec.create("uniform", n_elements=15),
+                algorithms=("rotor-push",),
+                config=RunConfig(n_requests=30, n_trials=2, base_seed=1),
+            )
+            serial = repro.run(plan)
+            remote = repro.run(plan, executor=address)
+            assert remote.rows == serial.rows
+            process.send_signal(signal.SIGTERM)
+            out, err = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, err
+        assert "worker drained (" in out
+        completed = int(out.split("worker drained (")[1].split()[0])
+        assert completed >= 1

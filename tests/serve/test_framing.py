@@ -1,0 +1,152 @@
+"""The shared wire framing: one codec for both daemons, sync and async.
+
+Pins the satellite contract of the framing extraction: ``repro.dist.framing``
+is the single home of the length-prefixed JSON envelope, ``repro.dist.protocol``
+re-exports it unchanged (so existing dist code and tests keep working), and
+the asyncio codec used by ``repro.serve`` is byte-compatible with the
+blocking-socket codec used by ``repro.dist``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.dist import framing
+from repro.dist import protocol
+from repro.dist.framing import (
+    MAX_FRAME,
+    ProtocolError,
+    decode_frame_body,
+    encode_frame,
+    parse_listen_address,
+    read_frame,
+    recv_frame,
+    send_frame,
+    write_frame,
+)
+from repro.exceptions import ExperimentError
+
+
+class TestEnvelope:
+    def test_encode_decode_roundtrip(self):
+        message = {"type": "reply", "id": 7, "destinations": [1, 2, 3]}
+        frame = encode_frame(message)
+        length = struct.unpack(">Q", frame[:8])[0]
+        assert length == len(frame) - 8
+        assert decode_frame_body(frame[8:]) == message
+
+    def test_decode_rejects_non_dict(self):
+        with pytest.raises(ProtocolError):
+            decode_frame_body(b"[1, 2, 3]")
+
+    def test_decode_rejects_missing_type(self):
+        with pytest.raises(ProtocolError):
+            decode_frame_body(b'{"id": 1}')
+
+    def test_unicode_survives(self):
+        message = {"type": "bind", "source": "café-π"}
+        assert decode_frame_body(encode_frame(message)[8:]) == message
+
+
+class TestBlockingCodec:
+    def test_socketpair_roundtrip(self):
+        left, right = socket.socketpair()
+        try:
+            messages = [
+                {"type": "hello", "protocol": 1},
+                {"type": "request_batch", "id": 2, "destinations": list(range(50))},
+            ]
+            for message in messages:
+                send_frame(left, message)
+            for message in messages:
+                assert recv_frame(right) == message
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_mid_frame_raises_connection_error(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack(">Q", 100) + b'{"type"')
+            left.close()
+            with pytest.raises(ConnectionError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_oversized_length_prefix_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack(">Q", MAX_FRAME + 1))
+            with pytest.raises(ProtocolError, match="exceeds"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestAsyncCodec:
+    def test_async_roundtrip_and_cross_codec_compat(self):
+        """Frames written by the sync codec are read by the async one and
+        vice versa — the two daemons genuinely share one wire format."""
+
+        async def scenario():
+            server_side, client_side = socket.socketpair()
+            server_side.setblocking(False)
+            reader, writer = await asyncio.open_connection(sock=server_side)
+            try:
+                # sync -> async
+                send_frame(client_side, {"type": "hello", "protocol": 1})
+                assert await read_frame(reader) == {"type": "hello", "protocol": 1}
+                # async -> sync
+                await write_frame(writer, {"type": "welcome", "n_nodes": 63})
+                assert recv_frame(client_side) == {"type": "welcome", "n_nodes": 63}
+            finally:
+                writer.close()
+                client_side.close()
+
+        asyncio.run(scenario())
+
+    def test_async_eof_raises_incomplete_read(self):
+        async def scenario():
+            server_side, client_side = socket.socketpair()
+            server_side.setblocking(False)
+            reader, writer = await asyncio.open_connection(sock=server_side)
+            try:
+                client_side.close()
+                with pytest.raises(asyncio.IncompleteReadError):
+                    await read_frame(reader)
+            finally:
+                writer.close()
+
+        asyncio.run(scenario())
+
+
+class TestDistReExports:
+    """The dist protocol module must keep exposing the framing names it
+    always had — as the *same* objects, so isinstance checks and
+    monkeypatching keep working across the package boundary."""
+
+    def test_same_objects(self):
+        assert protocol.send_frame is framing.send_frame
+        assert protocol.recv_frame is framing.recv_frame
+        assert protocol.ProtocolError is framing.ProtocolError
+
+    def test_protocol_error_is_experiment_error(self):
+        assert issubclass(ProtocolError, ExperimentError)
+
+
+class TestParseListenAddress:
+    def test_parses_host_and_port(self):
+        assert parse_listen_address("tcp://127.0.0.1:7077") == ("127.0.0.1", 7077)
+
+    @pytest.mark.parametrize(
+        "bad", ["127.0.0.1:7077", "tcp://:7077", "tcp://host:", "tcp://host:x", 7]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ExperimentError, match="tcp://HOST:PORT"):
+            parse_listen_address(bad)
