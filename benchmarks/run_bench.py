@@ -29,7 +29,13 @@ against its predecessors on the same hardware.  The measured layers:
 * **live serving** — sustained requests/second and p50/p99 enqueue-to-reply
   latency of a real ``repro serve`` daemon (asyncio TCP endpoint, ingest
   log attached) under concurrent client threads, gated on the recorded log
-  replaying to the bit-identical live cost table.
+  replaying to the bit-identical live cost table; and
+* **telemetry overhead** — the same trial fan-out timed with the real
+  :class:`repro.telemetry.MetricsRegistry` versus a
+  :class:`~repro.telemetry.NullRegistry` floor, gated on the always-on
+  instrumentation costing under :data:`TELEMETRY_BUDGET_PCT` percent (with
+  an absolute noise floor so micro-runs don't flap) and on both arms
+  producing bit-identical results.
 
 Usage::
 
@@ -498,6 +504,68 @@ def bench_live(
     }
 
 
+#: Telemetry overhead budget: full instrumentation may cost at most this
+#: fraction of the NullRegistry floor on the trial fan-out.
+TELEMETRY_BUDGET_PCT = 2.0
+
+#: Absolute wall-clock slack under which an overhead measurement is treated
+#: as CI noise rather than a regression (quick runs finish in well under a
+#: second, where scheduler jitter alone exceeds 2%).
+TELEMETRY_NOISE_FLOOR_SECONDS = 0.05
+
+
+def bench_telemetry(n_nodes: int, n_requests: int, n_trials: int, repeats: int) -> dict:
+    """Instrumentation overhead: default registry vs the NullRegistry floor.
+
+    Runs the identical serial trial fan-out ``repeats`` times per arm
+    (alternating arms so clock drift hits both equally), keeps the best
+    wall-clock of each, and reports the relative overhead.  The arms must
+    also produce bit-identical result documents — telemetry that moves
+    results is a bug regardless of its cost.
+    """
+    from repro.telemetry.registry import MetricsRegistry, NullRegistry, use_registry
+
+    algorithms = ["rotor-push", "static-oblivious"]
+
+    def factory(seed: int) -> CombinedLocalityWorkload:
+        return CombinedLocalityWorkload(n_nodes, 1.4, 0.5, seed=seed)
+
+    runner = TrialRunner(
+        n_nodes=n_nodes, n_requests=n_requests, n_trials=n_trials, base_seed=1
+    )
+    payloads = runner.build_payloads(algorithms, runner.trial_sources(factory))
+
+    best = {"instrumented": float("inf"), "floor": float("inf")}
+    documents: dict = {}
+    for _ in range(repeats):
+        for arm, registry_factory in (
+            ("floor", NullRegistry),
+            ("instrumented", MetricsRegistry),
+        ):
+            with use_registry(registry_factory()):
+                start = time.perf_counter()
+                results = execute_payloads(payloads, 1)
+                elapsed = time.perf_counter() - start
+            best[arm] = min(best[arm], elapsed)
+            documents[arm] = [result.to_dict() for result in results]
+
+    delta = best["instrumented"] - best["floor"]
+    overhead_pct = delta / best["floor"] * 100
+    return {
+        "n_payloads": len(payloads),
+        "repeats": repeats,
+        "floor_seconds": round(best["floor"], 4),
+        "instrumented_seconds": round(best["instrumented"], 4),
+        "overhead_pct": round(overhead_pct, 3),
+        "budget_pct": TELEMETRY_BUDGET_PCT,
+        "within_budget": (
+            overhead_pct <= TELEMETRY_BUDGET_PCT
+            or delta <= TELEMETRY_NOISE_FLOOR_SECONDS
+        ),
+        "deterministic": documents["floor"] == documents["instrumented"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke configuration")
@@ -567,6 +635,9 @@ def main(argv=None) -> int:
             corpus_requests,
             max(2, os.cpu_count() or 1),
         ),
+        "telemetry": bench_telemetry(
+            par_nodes, par_requests, max(2, par_trials // 2), repeats
+        ),
     }
 
     payload = json.dumps(report, indent=2)
@@ -598,6 +669,16 @@ def main(argv=None) -> int:
         return 1
     if not report["live_serve"]["deterministic"]:
         print("ERROR: ingest-log replay diverged from the live session", file=sys.stderr)
+        return 1
+    if not report["telemetry"]["deterministic"]:
+        print("ERROR: instrumented run diverged from the NullRegistry run", file=sys.stderr)
+        return 1
+    if not report["telemetry"]["within_budget"]:
+        print(
+            f"ERROR: telemetry overhead {report['telemetry']['overhead_pct']}% "
+            f"exceeds the {TELEMETRY_BUDGET_PCT}% budget",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

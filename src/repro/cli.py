@@ -44,6 +44,8 @@ Installed as the ``repro`` console script (also runnable via
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -230,6 +232,42 @@ def build_parser() -> argparse.ArgumentParser:
             "whole fleet is lost — results are byte-identical either way"
         ),
     )
+
+    def seconds_type(field: str):
+        def parse(value: str) -> float:
+            try:
+                seconds = float(value)
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"{field} must be a number of seconds, got {value!r}"
+                ) from None
+            if not seconds > 0:
+                raise argparse.ArgumentTypeError(
+                    f"{field} must be a positive number of seconds, got {value!r}"
+                )
+            return seconds
+
+        return parse
+
+    run.add_argument(
+        "--lease",
+        type=seconds_type("--lease"),
+        default=None,
+        help=(
+            "seconds a distributed lease survives without a heartbeat before "
+            "the payload is requeued (needs --executor; overrides any "
+            "?lease= in the address)"
+        ),
+    )
+    run.add_argument(
+        "--heartbeat",
+        type=seconds_type("--heartbeat"),
+        default=None,
+        help=(
+            "heartbeat cadence workers are asked to keep while computing "
+            "(needs --executor; overrides any ?heartbeat= in the address)"
+        ),
+    )
     add_backend_argument(run)
 
     worker = subparsers.add_parser(
@@ -243,6 +281,39 @@ def build_parser() -> argparse.ArgumentParser:
             "address to listen on, tcp://HOST:PORT (default "
             "tcp://127.0.0.1:0 — port 0 picks a free port, printed on "
             "startup); point coordinators at it via 'repro run --executor'"
+        ),
+    )
+    worker.add_argument(
+        "--metrics",
+        default=None,
+        metavar="tcp://HOST:PORT",
+        help=(
+            "mount the Prometheus/JSON metrics endpoint on this address "
+            "(GET /metrics, /metrics.json, /trace.json; scrape with "
+            "'repro metrics')"
+        ),
+    )
+
+    def worker_heartbeat_type(value: str) -> float:
+        try:
+            seconds = float(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"--heartbeat must be a number of seconds, got {value!r}"
+            ) from None
+        if not seconds > 0:
+            raise argparse.ArgumentTypeError(
+                f"--heartbeat must be a positive number of seconds, got {value!r}"
+            )
+        return seconds
+
+    worker.add_argument(
+        "--heartbeat",
+        type=worker_heartbeat_type,
+        default=None,
+        help=(
+            "default heartbeat cadence (seconds) for leases that don't "
+            "carry one; a coordinator-specified cadence always wins"
         ),
     )
 
@@ -293,6 +364,42 @@ def build_parser() -> argparse.ArgumentParser:
             "with 'busy' backpressure instead of being buffered"
         ),
     )
+    serve.add_argument(
+        "--metrics",
+        default=None,
+        metavar="tcp://HOST:PORT",
+        help=(
+            "mount the Prometheus/JSON metrics endpoint on this address "
+            "(GET /metrics, /metrics.json, /trace.json; scrape with "
+            "'repro metrics')"
+        ),
+    )
+
+    def snapshot_interval_type(value: str) -> float:
+        try:
+            seconds = float(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"--metrics-snapshot-interval must be a number of seconds, "
+                f"got {value!r}"
+            ) from None
+        if not seconds > 0:
+            raise argparse.ArgumentTypeError(
+                "--metrics-snapshot-interval must be a positive number of "
+                f"seconds, got {value!r}"
+            )
+        return seconds
+
+    serve.add_argument(
+        "--metrics-snapshot-interval",
+        type=snapshot_interval_type,
+        default=10.0,
+        help=(
+            "seconds between JSONL metrics snapshots appended to "
+            "<log-dir>/metrics.jsonl (only with --log-dir; the replay "
+            "reader ignores the file)"
+        ),
+    )
     add_backend_argument(serve)
 
     replay = subparsers.add_parser(
@@ -332,6 +439,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=DEFAULT_CACHE_DIR,
         help=f"checkpoint store directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    cache.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "machine-readable JSON output (stats action: entry/byte/orphan/"
+            "corrupt counts) for CI and scrapers"
+        ),
+    )
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="scrape and render metrics from a running daemon",
+    )
+    metrics.add_argument(
+        "address",
+        help=(
+            "what to scrape: http://HOST:PORT for a daemon's --metrics "
+            "endpoint, or tcp://HOST:PORT for a daemon's main protocol port "
+            "(worker or serve — both answer a 'metrics' frame)"
+        ),
+    )
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw registry snapshot as JSON instead of Prometheus text",
+    )
+    metrics.add_argument(
+        "--trace",
+        action="store_true",
+        help="also fetch and print the span ring buffer (JSON)",
     )
 
     experiment = subparsers.add_parser("experiment", help="run one paper experiment")
@@ -444,11 +582,18 @@ def resolve_run_plan(args: argparse.Namespace):
     plan document's run shape, recursively over nested stages — the override
     precedence is "CLI wins", pinned by the CLI tests.
     """
+    from repro.dist.protocol import compose_executor_address
+
     path = Path(args.plan)
     if path.is_file():
         plan = load(path)
     else:
         plan = load_golden_plan(args.plan)
+    executor = compose_executor_address(
+        getattr(args, "executor", None),
+        lease=getattr(args, "lease", None),
+        heartbeat=getattr(args, "heartbeat", None),
+    )
     return plan_with_overrides(
         plan,
         n_jobs=args.jobs,
@@ -458,7 +603,7 @@ def resolve_run_plan(args: argparse.Namespace):
         n_requests=getattr(args, "requests", None),
         max_retries=getattr(args, "max_retries", None),
         cache_dir=getattr(args, "cache_dir", None),
-        executor=getattr(args, "executor", None),
+        executor=executor,
     )
 
 
@@ -476,10 +621,14 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_worker(args: argparse.Namespace) -> int:
+    from repro.dist.protocol import DEFAULT_HEARTBEAT_INTERVAL
     from repro.dist.worker import run_worker  # lazy: keeps CLI import light
 
+    heartbeat = args.heartbeat
+    if heartbeat is None:
+        heartbeat = DEFAULT_HEARTBEAT_INTERVAL
     try:
-        run_worker(args.listen)
+        run_worker(args.listen, metrics=args.metrics, heartbeat=heartbeat)
     except ReproError as error:
         print(f"repro worker: {error}", file=sys.stderr)
         return 2
@@ -498,10 +647,48 @@ def _command_serve(args: argparse.Namespace) -> int:
             base_seed=args.base_seed,
             log_dir=args.log_dir,
             queue_limit=args.queue_limit,
+            metrics=args.metrics,
+            metrics_snapshot_interval=args.metrics_snapshot_interval,
         )
     except ReproError as error:
         print(f"repro serve: {error}", file=sys.stderr)
         return 2
+
+
+def _command_metrics(args: argparse.Namespace) -> int:
+    from repro.telemetry.export import scrape  # lazy: keeps CLI import light
+    from repro.telemetry.registry import render_prometheus
+
+    try:
+        result = scrape(args.address, include_trace=args.trace)
+    except ReproError as error:
+        print(f"repro metrics: {error}", file=sys.stderr)
+        return 2
+    try:
+        if args.json:
+            print(json.dumps(result, indent=2, sort_keys=True))
+            return 0
+        sys.stdout.write(render_prometheus(result["metrics"]))
+        if args.trace and result.get("trace") is not None:
+            trace = result["trace"]
+            print(
+                f"# trace: {len(trace['spans'])} spans "
+                f"(capacity {trace['capacity']}, dropped {trace['dropped']})"
+            )
+            for span in trace["spans"]:
+                duration = span.get("duration")
+                timing = "" if duration is None else f" {duration:.6f}s"
+                attrs = "".join(
+                    f" {key}={value!r}"
+                    for key, value in sorted(span["attrs"].items())
+                )
+                print(f"# span {span['id']} {span['name']}{timing}{attrs}")
+    except BrokenPipeError:
+        # a downstream consumer (e.g. `| grep -q`) closed the pipe early;
+        # swap stdout for devnull so the interpreter's exit flush stays quiet
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+    return 0
 
 
 def _command_replay(args: argparse.Namespace) -> int:
@@ -530,6 +717,22 @@ def _command_cache(args: argparse.Namespace) -> int:
     store = ResultStore(args.cache_dir)
     if args.action == "stats":
         stats = store.stats()
+        if getattr(args, "json", False):
+            report = store.verify()
+            print(
+                json.dumps(
+                    {
+                        "cache_dir": str(store.root),
+                        "entries": stats["entries"],
+                        "bytes": stats["bytes"],
+                        "orphans": stats["orphans"],
+                        "corrupt": len(report["corrupt"]),
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
         print(f"cache directory: {store.root}")
         print(f"entries:         {stats['entries']}")
         print(f"bytes:           {stats['bytes']}")
@@ -615,6 +818,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_replay(args)
     if args.command == "cache":
         return _command_cache(args)
+    if args.command == "metrics":
+        return _command_metrics(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "report":

@@ -50,6 +50,8 @@ from repro.resilience.retry import RetryPolicy
 from repro.resilience.store import payload_key, result_from_dict
 from repro.sim.parallel import map_ordered
 from repro.sim.runner import TrialPayload, _execute_trial
+from repro.telemetry.registry import MetricsRegistry, default_registry
+from repro.telemetry.trace import Tracer, default_tracer, span_id
 
 __all__ = ["DistributedExecutor", "run_distributed"]
 
@@ -85,6 +87,8 @@ class DistributedExecutor:
         *,
         retry: Optional[RetryPolicy] = None,
         stats: Optional[object] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.spec = spec
         self.policy = RetryPolicy() if retry is None else retry
@@ -100,6 +104,42 @@ class DistributedExecutor:
         self._failure: Optional[BaseException] = None
         self._abort = threading.Event()
         self._lease_counter = 0
+        self._enqueued: Dict[int, float] = {}
+        self.metrics_registry = registry if registry is not None else default_registry()
+        self.tracer = tracer if tracer is not None else default_tracer()
+        reg = self.metrics_registry
+        self._m_leases = reg.counter(
+            "repro_dist_leases_total", "Leases granted to workers."
+        )
+        self._m_renewals = reg.counter(
+            "repro_dist_lease_renewals_total",
+            "Lease deadline renewals (any frame received on an active lease).",
+        )
+        self._m_expiries = reg.counter(
+            "repro_dist_lease_expiries_total",
+            "Leases that expired without a frame before the deadline.",
+        )
+        self._m_requeues = reg.counter(
+            "repro_dist_requeues_total",
+            "Payloads requeued after an expiry, error retry, or lost worker.",
+        )
+        self._m_duplicates = reg.counter(
+            "repro_dist_duplicate_drops_total",
+            "Duplicate remote completions dropped idempotently.",
+        )
+        self._m_in_flight = reg.gauge(
+            "repro_dist_in_flight",
+            "Leases currently held, per worker.",
+            labels=("worker",),
+        )
+        self._m_heartbeat_rtt = reg.histogram(
+            "repro_dist_heartbeat_rtt_seconds",
+            "Gap between frames on an active lease, as seen by the coordinator.",
+        )
+        self._m_queue_wait = reg.histogram(
+            "repro_dist_queue_wait_seconds",
+            "Time a payload waits in the dispatch queue before a lease grant.",
+        )
 
     # ------------------------------------------------------------ dispatch
 
@@ -114,6 +154,8 @@ class DistributedExecutor:
         self._finished = [False] * len(payloads)
         self._keys = [payload_key(payload) for payload in payloads]
         self._queue = deque(range(len(payloads)))
+        now = time.perf_counter()
+        self._enqueued = {index: now for index in range(len(payloads))}
         self._attempts = {}
         self._on_result = on_result
         if not payloads:
@@ -156,6 +198,8 @@ class DistributedExecutor:
     def _requeue(self, index: int) -> None:
         with self._lock:
             self._queue.append(index)
+            self._enqueued[index] = time.perf_counter()
+        self._m_requeues.inc()
 
     def _record(self, index: int, lease_id: int, message: dict) -> bool:
         """Verify and record one ``result`` frame; False if dropped.
@@ -174,6 +218,7 @@ class DistributedExecutor:
         with self._lock:
             if self._finished[index]:
                 _count(self.stats, "duplicate_results")
+                self._m_duplicates.inc()
                 logger.info(
                     "dist: duplicate completion for payload %d (lease %d) "
                     "dropped idempotently",
@@ -248,44 +293,72 @@ class DistributedExecutor:
         with self._lock:
             self._lease_counter += 1
             lease_id = self._lease_counter
-        send_frame(
-            connection,
-            {
-                "type": "lease",
-                "lease_id": lease_id,
-                "heartbeat": self.spec.heartbeat_interval,
-                "payload": payload_to_dict(self._payloads[index]),
-            },
-        )
-        deadline = time.monotonic() + self.spec.lease_timeout
-        while not self._abort.is_set():
-            try:
-                message = recv_frame(connection)
-            except socket.timeout:
-                if time.monotonic() > deadline:
-                    logger.warning(
-                        "dist: lease %d on worker %s expired (payload %d); "
-                        "requeueing and dropping the worker",
-                        lease_id,
-                        label,
-                        index,
-                    )
-                    _count(self.stats, "lease_expiries")
-                    _count(self.stats, "workers_lost")
-                    self._requeue(index)
-                    return False
-                continue
+            enqueued_at = self._enqueued.pop(index, None)
+        granted = time.perf_counter()
+        granted_wall = time.time()
+        if enqueued_at is not None:
+            self._m_queue_wait.observe(granted - enqueued_at)
+        self._m_leases.inc()
+        self._m_in_flight.set(1, worker=label)
+        try:
+            send_frame(
+                connection,
+                {
+                    "type": "lease",
+                    "lease_id": lease_id,
+                    "heartbeat": self.spec.heartbeat_interval,
+                    "payload": payload_to_dict(self._payloads[index]),
+                },
+            )
             deadline = time.monotonic() + self.spec.lease_timeout
-            kind = message.get("type")
-            if kind == "heartbeat":
-                continue
-            if kind == "result":
-                self._record(index, lease_id, message)
-                return True
-            if kind == "error":
-                return self._handle_error(label, index, message)
-            raise ProtocolError(f"unexpected message {kind!r} from worker {label}")
-        return False
+            last_frame = time.perf_counter()
+            while not self._abort.is_set():
+                try:
+                    message = recv_frame(connection)
+                except socket.timeout:
+                    if time.monotonic() > deadline:
+                        logger.warning(
+                            "dist: lease %d on worker %s expired (payload %d); "
+                            "requeueing and dropping the worker",
+                            lease_id,
+                            label,
+                            index,
+                        )
+                        _count(self.stats, "lease_expiries")
+                        _count(self.stats, "workers_lost")
+                        self._m_expiries.inc()
+                        self._requeue(index)
+                        return False
+                    continue
+                deadline = time.monotonic() + self.spec.lease_timeout
+                now = time.perf_counter()
+                self._m_heartbeat_rtt.observe(now - last_frame)
+                last_frame = now
+                self._m_renewals.inc()
+                kind = message.get("type")
+                if kind == "heartbeat":
+                    continue
+                if kind == "result":
+                    if self._record(index, lease_id, message):
+                        duration = time.perf_counter() - granted
+                        self.tracer.record(
+                            "dist.lease",
+                            span_id("payload", self._keys[index]),
+                            start=granted_wall,
+                            duration=duration,
+                            lease_id=lease_id,
+                            worker=label,
+                            payload=index,
+                        )
+                    return True
+                if kind == "error":
+                    return self._handle_error(label, index, message)
+                raise ProtocolError(
+                    f"unexpected message {kind!r} from worker {label}"
+                )
+            return False
+        finally:
+            self._m_in_flight.set(0, worker=label)
 
     def _handle_error(self, label: str, index: int, message: dict) -> bool:
         """A worker reported an execution error: retry or fail the run."""

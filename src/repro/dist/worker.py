@@ -49,6 +49,9 @@ from repro.dist.protocol import (
 from repro.resilience.faults import WORKER_FAULT_MODES
 from repro.resilience.store import payload_key, result_to_dict
 from repro.sim.runner import _execute_trial, _shared_chunks_cache
+from repro.telemetry.export import metrics_frame, start_metrics_server
+from repro.telemetry.registry import MetricsRegistry, default_registry
+from repro.telemetry.trace import Tracer, default_tracer, span_id
 
 __all__ = ["WorkerServer", "parse_listen_address", "run_worker"]
 
@@ -81,18 +84,54 @@ class WorkerServer:
     ephemeral port; :attr:`address` reports the bound endpoint either way.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if heartbeat_interval <= 0:
+            raise ProtocolError(
+                f"heartbeat interval must be positive, got {heartbeat_interval}"
+            )
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
         self._listener.listen(8)
         self._listener.settimeout(_ACCEPT_POLL)
         self.host, self.port = self._listener.getsockname()[:2]
+        #: Heartbeat cadence used when a lease frame doesn't carry its own
+        #: (``repro worker --heartbeat``); coordinator-specified cadence wins.
+        self.heartbeat_interval = float(heartbeat_interval)
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         #: Sessions served and payloads completed (introspected by tests).
         self.sessions = 0
         self.completed = 0
+        self.metrics_registry = registry if registry is not None else default_registry()
+        self.tracer = tracer if tracer is not None else default_tracer()
+        reg = self.metrics_registry
+        self._m_sessions = reg.counter(
+            "repro_worker_sessions_total", "Coordinator sessions accepted."
+        )
+        self._m_leases = reg.counter(
+            "repro_worker_leases_total", "Leases received for execution."
+        )
+        self._m_results = reg.counter(
+            "repro_worker_results_total", "Lease results delivered."
+        )
+        self._m_errors = reg.counter(
+            "repro_worker_errors_total", "Leases that raised during execution."
+        )
+        self._m_heartbeats = reg.counter(
+            "repro_worker_heartbeats_total", "Heartbeat frames sent mid-lease."
+        )
+        self._m_lease_seconds = reg.histogram(
+            "repro_worker_lease_seconds",
+            "Wall time from lease receipt to result (or error) sent.",
+        )
 
     @property
     def address(self) -> str:
@@ -112,6 +151,7 @@ class WorkerServer:
                 except OSError:
                     break  # listener closed under us (stop())
                 self.sessions += 1
+                self._m_sessions.inc()
                 try:
                     self._serve_session(connection, peer)
                 except _SessionClosed:
@@ -187,6 +227,16 @@ class WorkerServer:
             kind = message.get("type")
             if kind == "shutdown":
                 raise _SessionClosed
+            if kind == "metrics":
+                send_frame(
+                    connection,
+                    metrics_frame(
+                        self.metrics_registry,
+                        self.tracer,
+                        include_trace=bool(message.get("trace")),
+                    ),
+                )
+                continue
             if kind != "lease":
                 raise ProtocolError(f"unexpected message {kind!r} from {peer}")
             self._serve_lease(connection, message)
@@ -205,8 +255,12 @@ class WorkerServer:
         """Execute one leased payload, heartbeating until the result is out."""
         lease_id = message.get("lease_id")
         payload = payload_from_dict(message.get("payload"))
-        heartbeat = float(message.get("heartbeat") or DEFAULT_HEARTBEAT_INTERVAL)
+        heartbeat = float(message.get("heartbeat") or self.heartbeat_interval)
         self._maybe_inject_worker_fault(connection, payload)
+        self._m_leases.inc()
+        started = time.perf_counter()
+        started_wall = time.time()
+        key = payload_key(payload)
         box: dict = {}
         done = threading.Event()
         executor = threading.Thread(
@@ -218,7 +272,10 @@ class WorkerServer:
         executor.start()
         while not done.wait(timeout=heartbeat):
             send_frame(connection, {"type": "heartbeat", "lease_id": lease_id})
+            self._m_heartbeats.inc()
         if "error" in box:
+            self._m_errors.inc()
+            self._m_lease_seconds.observe(time.perf_counter() - started)
             send_frame(
                 connection,
                 {
@@ -234,11 +291,23 @@ class WorkerServer:
             {
                 "type": "result",
                 "lease_id": lease_id,
-                "key": payload_key(payload),
+                "key": key,
                 "result": result_to_dict(result),
             },
         )
         self.completed += 1
+        self._m_results.inc()
+        duration = time.perf_counter() - started
+        self._m_lease_seconds.observe(duration)
+        self.tracer.record(
+            "worker.lease",
+            span_id("payload", key),
+            start=started_wall,
+            duration=duration,
+            lease_id=lease_id,
+            trial=payload.trial,
+            algorithm=payload.algorithm_name,
+        )
 
     def _maybe_inject_worker_fault(
         self, connection: socket.socket, payload
@@ -281,12 +350,18 @@ class WorkerServer:
         raise _SessionClosed
 
 
-def run_worker(listen: str) -> int:
+def run_worker(
+    listen: str,
+    metrics: Optional[str] = None,
+    heartbeat: float = DEFAULT_HEARTBEAT_INTERVAL,
+) -> int:
     """Run one worker daemon until interrupted (the ``repro worker`` body).
 
     Prints the bound endpoint (``worker listening on tcp://host:port``) once
     the listener is up, so launch scripts can wait for readiness and recover
-    the port when ``:0`` asked for an ephemeral one.
+    the port when ``:0`` asked for an ephemeral one.  ``metrics``
+    (``tcp://HOST:PORT``) mounts the Prometheus/JSON metrics endpoint;
+    ``heartbeat`` sets the default cadence for leases that don't carry one.
 
     SIGTERM and SIGINT both drain rather than kill: the in-flight lease (if
     any) finishes executing and its result is delivered, then the daemon
@@ -294,7 +369,12 @@ def run_worker(listen: str) -> int:
     lease expire just because the fleet was being rotated.
     """
     host, port = parse_listen_address(listen)
-    server = WorkerServer(host, port)
+    server = WorkerServer(host, port, heartbeat_interval=heartbeat)
+    endpoint = start_metrics_server(
+        metrics, server.metrics_registry, server.tracer
+    )
+    if endpoint is not None:
+        print(f"metrics listening on {endpoint.url}", flush=True)
 
     def _drain(signum: int, _frame: object) -> None:
         print(f"worker draining on {signal.Signals(signum).name}", flush=True)
@@ -314,5 +394,7 @@ def run_worker(listen: str) -> int:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
         server.stop()
+        if endpoint is not None:
+            endpoint.stop()
     print(f"worker drained ({server.completed} leases completed)", flush=True)
     return 0

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.resilience.store import ResultStore
+from repro.telemetry.registry import MetricsRegistry, default_registry
 
 __all__ = [
     "ExecutionContext",
@@ -31,12 +32,78 @@ __all__ = [
 ]
 
 
-@dataclass
+#: field name → (help text, is_flag).  Flags export as counters too: the
+#: counter records how many runs degraded; the per-run view is "did this
+#: run's slice of the counter move".
+_STATS_FIELDS: Dict[str, tuple] = {
+    "executed": (
+        "Payloads actually run to completion (a retried payload counts once).",
+        False,
+    ),
+    "cache_hits": (
+        "Payloads skipped because a verified checkpoint entry existed.",
+        False,
+    ),
+    "stored": ("Results persisted to the checkpoint store.", False),
+    "retries": (
+        "Per-payload resubmissions after an ordinary worker exception.",
+        False,
+    ),
+    "pool_rebuilds": (
+        "Pool teardown/rebuild rounds (worker death or stall past timeout).",
+        False,
+    ),
+    "degraded": (
+        "Runs that fell back to in-process serial execution.",
+        True,
+    ),
+    "corrupt_entries": (
+        "Checkpoint entries that failed verification and were re-run.",
+        False,
+    ),
+    "remote_executed": (
+        "Payloads completed by remote worker daemons.",
+        False,
+    ),
+    "lease_expiries": (
+        "Distributed leases that expired without a heartbeat and were requeued.",
+        False,
+    ),
+    "workers_lost": (
+        "Remote workers dropped from the fleet.",
+        False,
+    ),
+    "duplicate_results": (
+        "Remote completions dropped idempotently (already delivered).",
+        False,
+    ),
+    "degraded_remote": (
+        "Runs where the distributed executor lost its fleet and ran locally.",
+        True,
+    ),
+}
+
+
 class ResilienceStats:
     """Execution counters of one plan run (or one raw fan-out pass).
 
-    Attributes
-    ----------
+    Since the telemetry layer landed, this is a **thin per-run view over the
+    metrics registry**: every field is backed by a process-wide counter
+    (``repro_run_<field>_total``), and an instance captures each counter's
+    value at construction as its baseline — reading ``stats.executed``
+    returns the counter's movement since this instance was created, so the
+    long-standing per-run semantics (and every existing test) are unchanged
+    while the same increments feed the scrapeable registry.
+
+    Attribute assignment keeps working (the executor layers bump fields via
+    ``setattr``): a raise becomes a counter increment; a lower assignment
+    (e.g. resetting to zero) only moves this instance's baseline, because
+    registry counters are monotonic.  Boolean fields (``degraded``,
+    ``degraded_remote``) read as "has this run's slice of the counter
+    moved".
+
+    Field meanings:
+
     executed:
         Payloads actually run to completion (a retried payload counts once,
         on success).
@@ -71,35 +138,51 @@ class ResilienceStats:
         to local execution for the unfinished payloads.
     """
 
-    executed: int = 0
-    cache_hits: int = 0
-    stored: int = 0
-    retries: int = 0
-    pool_rebuilds: int = 0
-    degraded: bool = False
-    corrupt_entries: int = 0
-    remote_executed: int = 0
-    lease_expiries: int = 0
-    workers_lost: int = 0
-    duplicate_results: int = 0
-    degraded_remote: bool = False
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        registry = registry if registry is not None else default_registry()
+        counters = {}
+        baselines = {}
+        for name, (help_text, _flag) in _STATS_FIELDS.items():
+            counter = registry.counter(f"repro_run_{name}_total", help_text)
+            counters[name] = counter
+            baselines[name] = counter.total()
+        object.__setattr__(self, "_counters", counters)
+        object.__setattr__(self, "_baselines", baselines)
+
+    def _view(self, name: str) -> int:
+        raw = self._counters[name].total() - self._baselines[name]
+        return int(raw) if raw > 0 else 0
+
+    def __getattr__(self, name: str):
+        try:
+            _help, is_flag = _STATS_FIELDS[name]
+        except KeyError:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}"
+            ) from None
+        view = self._view(name)
+        return view > 0 if is_flag else view
+
+    def __setattr__(self, name: str, value) -> None:
+        if name not in _STATS_FIELDS:
+            object.__setattr__(self, name, value)
+            return
+        target = int(value)
+        delta = target - self._view(name)
+        if delta > 0:
+            self._counters[name].inc(delta)
+        elif delta < 0:
+            # counters are monotonic: absorb the decrease into the baseline
+            self._baselines[name] = self._counters[name].total() - target
+        # delta == 0 (e.g. re-setting a flag already True) is a no-op
 
     def as_dict(self) -> Dict[str, object]:
         """Return the counters as a plain dictionary (logging/bench output)."""
-        return {
-            "executed": self.executed,
-            "cache_hits": self.cache_hits,
-            "stored": self.stored,
-            "retries": self.retries,
-            "pool_rebuilds": self.pool_rebuilds,
-            "degraded": self.degraded,
-            "corrupt_entries": self.corrupt_entries,
-            "remote_executed": self.remote_executed,
-            "lease_expiries": self.lease_expiries,
-            "workers_lost": self.workers_lost,
-            "duplicate_results": self.duplicate_results,
-            "degraded_remote": self.degraded_remote,
-        }
+        return {name: getattr(self, name) for name in _STATS_FIELDS}
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{name}={getattr(self, name)!r}" for name in _STATS_FIELDS)
+        return f"ResilienceStats({body})"
 
 
 @dataclass

@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.exceptions import ExperimentError
+from repro.telemetry.registry import MetricsRegistry, default_registry
 
 __all__ = [
     "INGEST_FORMAT_VERSION",
@@ -115,6 +116,7 @@ class IngestWriter:
         path: Union[str, Path],
         header: Dict[str, object],
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        registry: Optional["MetricsRegistry"] = None,
     ) -> None:
         if segment_bytes <= 0:
             raise IngestError(f"segment_bytes must be positive, got {segment_bytes}")
@@ -129,6 +131,17 @@ class IngestWriter:
         self._segment_size = 0
         self._handle = open(self.path / _segment_name(0), "ab")
         self.records_written = 0
+        if registry is None:
+            registry = default_registry()
+        self._m_bytes = registry.counter(
+            "repro_ingest_bytes_total", "Bytes appended to the ingest log."
+        )
+        self._m_records = registry.counter(
+            "repro_ingest_records_total", "Records appended to the ingest log."
+        )
+        self._m_rotations = registry.counter(
+            "repro_ingest_rotations_total", "Ingest log segment rotations."
+        )
 
     def append(self, record: Dict[str, object]) -> None:
         """Append one record (rotating to a fresh segment when full)."""
@@ -141,6 +154,8 @@ class IngestWriter:
         self._handle.write(line)
         self._segment_size += len(line)
         self.records_written += 1
+        self._m_bytes.inc(len(line))
+        self._m_records.inc()
 
     def _rotate(self) -> None:
         self.flush(sync=True)
@@ -148,6 +163,7 @@ class IngestWriter:
         self._segment_index += 1
         self._segment_size = 0
         self._handle = open(self.path / _segment_name(self._segment_index), "ab")
+        self._m_rotations.inc()
 
     def flush(self, sync: bool = False) -> None:
         """Flush buffered lines; ``sync=True`` additionally fsyncs."""

@@ -59,6 +59,10 @@ from repro.dist.framing import (
 from repro.dist.protocol import PROTOCOL_VERSION
 from repro.serve.engine import ServeEngine, ServeError
 from repro.serve.ingest import DEFAULT_SEGMENT_BYTES, IngestWriter
+from repro.telemetry.export import metrics_frame, start_metrics_server
+from repro.telemetry.registry import MetricsRegistry, default_registry
+from repro.telemetry.snapshots import MetricsSnapshotWriter
+from repro.telemetry.trace import Tracer, default_tracer, span_id
 
 __all__ = ["DEFAULT_QUEUE_LIMIT", "ServeServer", "run_serve"]
 
@@ -69,16 +73,20 @@ DEFAULT_QUEUE_LIMIT = 64
 class _Session:
     """One bound source's connection-side state."""
 
-    __slots__ = ("name", "source_id", "queue", "writer", "in_flight")
+    __slots__ = ("name", "source_id", "queue", "writer", "in_flight", "seq")
 
     def __init__(self, name: str, source_id: int) -> None:
         self.name = name
         self.source_id = source_id
-        #: Pending (reply id, destinations) batches, engine-consumed FIFO.
-        self.queue: Deque[Tuple[object, List[int]]] = deque()
+        #: Pending (reply id, destinations, enqueued-at, sequence) batches,
+        #: engine-consumed FIFO.  The enqueue timestamp feeds the
+        #: enqueue-to-reply latency histogram; the per-session sequence
+        #: index derives the deterministic span ID.
+        self.queue: Deque[Tuple[object, List[int], float, int]] = deque()
         #: The active connection's stream writer (None when disconnected).
         self.writer: Optional[asyncio.StreamWriter] = None
         self.in_flight = False
+        self.seq = 0
 
     @property
     def pending(self) -> int:
@@ -111,6 +119,8 @@ class ServeServer:
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
         announce: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if queue_limit <= 0:
             raise ServeError(f"queue_limit must be positive, got {queue_limit}")
@@ -118,6 +128,8 @@ class ServeServer:
         self.port = port
         self.queue_limit = int(queue_limit)
         self.announce = announce
+        self.metrics_registry = registry if registry is not None else default_registry()
+        self.tracer = tracer if tracer is not None else default_tracer()
         # engine first (its probe build validates algorithm/n_nodes/backend),
         # so a bad configuration never leaves a header-only log directory
         self.engine = ServeEngine(
@@ -136,7 +148,35 @@ class ServeServer:
                     "base_seed": self.engine.base_seed,
                 },
                 segment_bytes=segment_bytes,
+                registry=self.metrics_registry,
             )
+        reg = self.metrics_registry
+        self._m_latency = reg.histogram(
+            "repro_serve_latency_seconds",
+            "Enqueue-to-reply latency of served batches.",
+        )
+        self._m_queue_wait = reg.histogram(
+            "repro_serve_queue_wait_seconds",
+            "Time a batch waits in its session queue before the engine pops it.",
+        )
+        self._m_queue_depth = reg.gauge(
+            "repro_serve_queue_depth",
+            "Pending batches per bound session.",
+            labels=("source",),
+        )
+        self._m_sessions = reg.gauge(
+            "repro_serve_sessions", "Sessions bound to a source."
+        )
+        self._m_busy = reg.counter(
+            "repro_serve_busy_total",
+            "Requests rejected with busy backpressure (queue full).",
+        )
+        self._m_batches = reg.counter(
+            "repro_serve_batches_total", "Batches served to completion."
+        )
+        self._m_requests = reg.counter(
+            "repro_serve_requests_total", "Destinations served."
+        )
         self._sessions: Dict[int, _Session] = {}
         self._by_name: Dict[str, _Session] = {}
         self._connections: set = set()
@@ -257,13 +297,27 @@ class ServeServer:
                     break
                 if not session.queue:
                     continue
-                reply_id, destinations = session.queue.popleft()
+                reply_id, destinations, enqueued_at, seq = session.queue.popleft()
                 session.in_flight = True
+                self._m_queue_wait.observe(time.perf_counter() - enqueued_at)
                 try:
                     outcome = self.engine.submit(session.name, destinations)
                 finally:
                     session.in_flight = False
                 self.served_batches += 1
+                latency = time.perf_counter() - enqueued_at
+                self._m_latency.observe(latency)
+                self._m_batches.inc()
+                self._m_requests.inc(len(destinations))
+                self._m_queue_depth.set(len(session.queue), source=session.name)
+                self.tracer.record(
+                    "serve.batch",
+                    span_id("serve", session.name, seq),
+                    start=time.time() - latency,
+                    duration=latency,
+                    source=session.name,
+                    n=len(destinations),
+                )
                 progressed = True
                 writer = session.writer
                 if writer is not None and not writer.is_closing():
@@ -361,6 +415,16 @@ class ServeServer:
         if kind == "stats":
             await write_frame(writer, self._stats_frame())
             return session
+        if kind == "metrics":
+            await write_frame(
+                writer,
+                metrics_frame(
+                    self.metrics_registry,
+                    self.tracer,
+                    include_trace=bool(message.get("trace")),
+                ),
+            )
+            return session
         if kind == "drain":
             await self._drain(writer, session)
             return session
@@ -413,6 +477,7 @@ class ServeServer:
             existing = _Session(state.name, state.source_id)
             self._sessions[state.source_id] = existing
             self._by_name[state.name] = existing
+            self._m_sessions.set(len(self._sessions))
         existing.writer = writer
         await write_frame(
             writer,
@@ -481,6 +546,7 @@ class ServeServer:
                 return
             destinations.append(value)
         if len(session.queue) >= self.queue_limit:
+            self._m_busy.inc()
             await write_frame(
                 writer,
                 {
@@ -491,7 +557,10 @@ class ServeServer:
                 },
             )
             return
-        session.queue.append((reply_id, destinations))
+        seq = session.seq
+        session.seq = seq + 1
+        session.queue.append((reply_id, destinations, time.perf_counter(), seq))
+        self._m_queue_depth.set(len(session.queue), source=session.name)
         self._work.set()
 
     async def _drain(
@@ -544,6 +613,8 @@ def run_serve(
     base_seed: int = 0,
     log_dir: Optional[str] = None,
     queue_limit: int = DEFAULT_QUEUE_LIMIT,
+    metrics: Optional[str] = None,
+    metrics_snapshot_interval: float = 10.0,
 ) -> int:
     """Run the live serve daemon until signalled (the ``repro serve`` body).
 
@@ -552,6 +623,11 @@ def run_serve(
     and SIGINT drain: queued batches finish serving, the ingest log is
     flushed and closed, the final cost table and a ``serve drained`` line
     are printed, and the process exits 0.
+
+    ``metrics`` (``tcp://HOST:PORT``) mounts the Prometheus/JSON metrics
+    endpoint; with a ``log_dir``, a ``metrics.jsonl`` snapshot stream is
+    appended next to the ingest segments every ``metrics_snapshot_interval``
+    seconds (the replay reader ignores it — it only globs segments).
     """
     host, port = parse_listen_address(listen)
     server = ServeServer(
@@ -565,10 +641,27 @@ def run_serve(
         queue_limit=queue_limit,
         announce=True,
     )
+    endpoint = start_metrics_server(
+        metrics, server.metrics_registry, server.tracer
+    )
+    if endpoint is not None:
+        print(f"metrics listening on {endpoint.url}", flush=True)
+    snapshots = None
+    if log_dir is not None and metrics_snapshot_interval:
+        snapshots = MetricsSnapshotWriter(
+            os.path.join(log_dir, "metrics.jsonl"),
+            interval=metrics_snapshot_interval,
+            registry=server.metrics_registry,
+        ).start()
     try:
         asyncio.run(server._main(install_signal_handlers=True))
     except KeyboardInterrupt:
         pass
+    finally:
+        if snapshots is not None:
+            snapshots.stop()
+        if endpoint is not None:
+            endpoint.stop()
     print(server.engine.cost_table().format_text(), flush=True)
     print(
         f"serve drained ({server.engine.n_requests} requests, "

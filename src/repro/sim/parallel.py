@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 from repro.exceptions import ExperimentError
 from repro.resilience.retry import RetryPolicy
+from repro.telemetry.registry import default_registry
 from repro.workloads.spec import registry_version
 
 __all__ = [
@@ -432,27 +433,38 @@ def map_ordered(
     """
     policy = RetryPolicy() if retry is None else retry
     jobs = resolve_n_jobs(n_jobs)
-    if jobs == 1 or len(payloads) <= 1:
-        results: List[Optional[_ResultT]] = [None] * len(payloads)
-        finished = [False] * len(payloads)
-        _map_serial(
-            worker,
-            payloads,
-            range(len(payloads)),
-            results,
-            finished,
-            policy,
-            on_result,
-            stats,
-        )
-        return results  # type: ignore[return-value]
-    with _pool_lock:
-        try:
-            return _map_parallel_locked(
-                worker, payloads, jobs, worker_timeout, policy, on_result, stats
+    started = time.perf_counter()
+    try:
+        if jobs == 1 or len(payloads) <= 1:
+            results: List[Optional[_ResultT]] = [None] * len(payloads)
+            finished = [False] * len(payloads)
+            _map_serial(
+                worker,
+                payloads,
+                range(len(payloads)),
+                results,
+                finished,
+                policy,
+                on_result,
+                stats,
             )
-        except (KeyboardInterrupt, SystemExit):
-            # Leave no orphaned workers behind: cancel queued futures,
-            # terminate the pool and surface the interrupt to the caller.
-            _terminate_pool_locked()
-            raise
+            return results  # type: ignore[return-value]
+        with _pool_lock:
+            try:
+                return _map_parallel_locked(
+                    worker, payloads, jobs, worker_timeout, policy, on_result, stats
+                )
+            except (KeyboardInterrupt, SystemExit):
+                # Leave no orphaned workers behind: cancel queued futures,
+                # terminate the pool and surface the interrupt to the caller.
+                _terminate_pool_locked()
+                raise
+    finally:
+        default_registry().histogram(
+            "repro_fanout_seconds",
+            "Wall time of one map_ordered fan-out (serial or pool).",
+            labels=("mode",),
+        ).observe(
+            time.perf_counter() - started,
+            mode="serial" if jobs == 1 or len(payloads) <= 1 else "pool",
+        )

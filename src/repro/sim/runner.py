@@ -35,6 +35,7 @@ same outcomes as a serial run.
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -52,6 +53,8 @@ from repro.resilience.store import payload_key
 from repro.sim.engine import simulate, simulate_stream
 from repro.sim.parallel import map_ordered
 from repro.sim.results import summarise_values
+from repro.telemetry.registry import default_registry
+from repro.telemetry.trace import default_tracer, span_id
 from repro.types import ElementId
 from repro.workloads.adversarial import AdversarySpec
 from repro.workloads.base import WorkloadGenerator, check_chunk_size
@@ -235,6 +238,12 @@ def execute_payloads(
     context = current_context()
     store = context.store_for(cache_dir) if context is not None else None
     stats = context.stats if context is not None else None
+    registry = default_registry()
+    tracer = default_tracer()
+    m_turnaround = registry.histogram(
+        "repro_payload_turnaround_seconds",
+        "Fan-out start to payload completion, parent-side.",
+    )
     results: List[Optional[RunResult]] = [None] * len(payloads)
     pending: List[int] = []
     keys: Dict[int, str] = {}
@@ -254,10 +263,34 @@ def execute_payloads(
                 pending.append(index)
     else:
         pending = list(range(len(payloads)))
+    if store is not None:
+        registry.counter(
+            "repro_run_cache_misses_total",
+            "Payloads not servable from the checkpoint store.",
+        ).inc(len(pending))
+    fanout_started = time.perf_counter()
+    fanout_wall = time.time()
 
-    def persist(position: int, result: RunResult) -> None:
+    def observe(position: int, result: RunResult) -> None:
+        turnaround = time.perf_counter() - fanout_started
+        m_turnaround.observe(turnaround)
+        index = pending[position]
+        payload = payloads[index]
+        sid = (
+            span_id("payload", keys[index])
+            if keys
+            else span_id("run", payload.trial, payload.algorithm_name, index)
+        )
+        tracer.record(
+            "run.payload",
+            sid,
+            start=fanout_wall,
+            duration=turnaround,
+            trial=payload.trial,
+            algorithm=payload.algorithm_name,
+        )
         if store is not None:
-            store.put(keys[pending[position]], result)
+            store.put(keys[index], result)
             _count_stat(stats, "stored")
 
     try:
@@ -272,7 +305,7 @@ def execute_payloads(
                 n_jobs=n_jobs,
                 worker_timeout=worker_timeout,
                 retry=retry,
-                on_result=persist if store is not None else None,
+                on_result=observe,
                 stats=stats,
             )
         else:
@@ -282,7 +315,7 @@ def execute_payloads(
                 n_jobs,
                 worker_timeout=worker_timeout,
                 retry=retry,
-                on_result=persist if store is not None else None,
+                on_result=observe,
                 stats=stats,
             )
     finally:
@@ -327,7 +360,28 @@ def _chunks_of(source: SpecSource, as_array: bool):
 def _execute_trial(payload: TrialPayload) -> RunResult:
     """Process-pool worker: run one algorithm on one trial workload.
 
-    Module-level so it is picklable.  Spec sources are rebuilt and streamed
+    Module-level so it is picklable.  Observes the trial's wall time into
+    the *executing* process's registry — the pool worker's own, or the dist
+    worker daemon's (where it is scrapeable via its metrics endpoint) —
+    then delegates to :func:`_execute_trial_body`.
+    """
+    started = time.perf_counter()
+    try:
+        return _execute_trial_body(payload)
+    finally:
+        default_registry().histogram(
+            "repro_trial_seconds",
+            "Wall time of one trial execution, in the executing process.",
+            labels=("algorithm",),
+        ).observe(
+            time.perf_counter() - started, algorithm=payload.algorithm_name
+        )
+
+
+def _execute_trial_body(payload: TrialPayload) -> RunResult:
+    """The actual trial body behind :func:`_execute_trial`.
+
+    Spec sources are rebuilt and streamed
     chunk by chunk into the serve fast path; sequence sources are served as
     is.  Both produce identical results for the same underlying requests.
     The payload's backend choice is passed through verbatim: ``None`` must

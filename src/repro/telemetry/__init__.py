@@ -1,0 +1,79 @@
+"""Unified observability for every repro runtime (batch, dist, serve).
+
+The package has four small parts:
+
+* :mod:`repro.telemetry.registry` — counters, gauges, fixed-bucket
+  histograms in a :class:`MetricsRegistry`; a process-wide default registry
+  plus :func:`use_registry` injection for tests and a :class:`NullRegistry`
+  benchmark floor.
+* :mod:`repro.telemetry.trace` — deterministic span IDs and a ring-buffered
+  :class:`Tracer`.
+* :mod:`repro.telemetry.export` — the Prometheus/JSON HTTP endpoint, the
+  ``metrics`` protocol frame, and the ``repro metrics`` scraper.
+* :mod:`repro.telemetry.snapshots` — the periodic JSONL snapshot writer.
+
+Instrumentation is always-on and observational only: it never touches
+seeds, ordering, payloads, or any pinned byte-identity.
+"""
+
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NullRegistry,
+    default_registry,
+    render_prometheus,
+    set_default_registry,
+    use_registry,
+)
+from repro.telemetry.snapshots import MetricsSnapshotWriter
+from repro.telemetry.trace import (
+    Span,
+    Tracer,
+    default_tracer,
+    set_default_tracer,
+    span_id,
+    use_tracer,
+)
+
+# The export surface pulls in repro.dist.framing, whose package init reaches
+# back through the runner into this package — so its names load lazily
+# (PEP 562) to keep `import repro.telemetry` cycle-free.
+_EXPORT_NAMES = ("MetricsHTTPServer", "metrics_frame", "scrape", "start_metrics_server")
+
+
+def __getattr__(name: str):
+    if name in _EXPORT_NAMES:
+        from repro.telemetry import export
+
+        return getattr(export, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsHTTPServer",
+    "MetricsRegistry",
+    "MetricsSnapshotWriter",
+    "NullRegistry",
+    "Span",
+    "Tracer",
+    "default_registry",
+    "default_tracer",
+    "metrics_frame",
+    "render_prometheus",
+    "scrape",
+    "set_default_registry",
+    "set_default_tracer",
+    "span_id",
+    "start_metrics_server",
+    "use_registry",
+    "use_tracer",
+]

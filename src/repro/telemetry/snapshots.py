@@ -1,0 +1,75 @@
+"""Periodic JSONL metrics snapshots, written alongside the serve ingest log.
+
+A :class:`MetricsSnapshotWriter` wakes on a fixed interval and appends one
+JSON object per line — ``{"ts": <unix-seconds>, "metrics": <snapshot>}`` —
+giving a time-resolved metrics history with zero external infrastructure.
+The file lives in the serve daemon's ``--log-dir`` as ``metrics.jsonl``;
+the replay reader only globs ``segment-*.jsonl``, so the snapshot stream
+can never leak into replay identity.
+
+Writes are line-buffered appends from a single daemon thread; a final
+snapshot is flushed on :meth:`stop` so short-lived runs still record their
+end state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Optional
+
+from repro.telemetry.registry import MetricsRegistry, default_registry
+
+__all__ = ["MetricsSnapshotWriter"]
+
+
+class MetricsSnapshotWriter:
+    """Appends registry snapshots to a JSONL file on a fixed interval."""
+
+    def __init__(
+        self,
+        path: str,
+        interval: float = 10.0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"snapshot interval must be > 0, got {interval}")
+        self.path = os.fspath(path)
+        self.interval = float(interval)
+        self.registry = registry if registry is not None else default_registry()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self.snapshots_written = 0
+
+    def write_snapshot(self) -> None:
+        """Append one snapshot line now (also called on every tick)."""
+        record = {"ts": time.time(), "metrics": self.registry.snapshot()}
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+            self.snapshots_written += 1
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.write_snapshot()
+
+    def start(self) -> "MetricsSnapshotWriter":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-metrics-snapshots", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the ticker and flush one final snapshot."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.write_snapshot()

@@ -1,0 +1,179 @@
+"""Lightweight tracing: deterministic span IDs, ring-buffered span records.
+
+Spans let a single unit of work be followed across process boundaries
+without clock coordination: the serve daemon names a request span from
+``(source, sequence-index)`` and the dist coordinator/worker name a payload
+span from its content key, so the *same* span ID appears on both sides of
+the wire and a trace dump from either end can be joined offline.
+
+Determinism is the point — span IDs are ``sha256`` prefixes of a stable
+key, never random, so tracing can stay always-on without perturbing any
+pinned byte-identity (span records live only in this in-memory ring buffer
+and the ``/trace.json`` dump; they never enter result payloads, cache
+bytes, or protocol result frames).
+
+The ring buffer (:class:`Tracer`) is a bounded ``deque`` guarded by a lock:
+constant memory, drop-oldest, safe to write from pool threads and read from
+the metrics HTTP server.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+__all__ = [
+    "DEFAULT_TRACE_CAPACITY",
+    "Span",
+    "Tracer",
+    "default_tracer",
+    "set_default_tracer",
+    "span_id",
+    "use_tracer",
+]
+
+#: How many finished spans the default ring buffer retains.
+DEFAULT_TRACE_CAPACITY = 2048
+
+
+def span_id(*parts: object) -> str:
+    """A deterministic 16-hex-digit span ID from any stable key parts.
+
+    The same parts always hash to the same ID, across processes and runs —
+    ``span_id("serve", source, index)`` on the daemon equals the client's,
+    and ``span_id("payload", payload_key)`` matches between coordinator and
+    worker.
+    """
+    key = "|".join(str(part) for part in parts)
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+
+class Span:
+    """One finished (or in-flight) span record."""
+
+    __slots__ = ("name", "id", "parent", "start", "duration", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        id: str,
+        parent: Optional[str] = None,
+        start: float = 0.0,
+        duration: Optional[float] = None,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.name = name
+        self.id = id
+        self.parent = parent
+        self.start = start
+        self.duration = duration
+        self.attrs = attrs or {}
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "id": self.id,
+            "parent": self.parent,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """A bounded ring buffer of finished spans (drop-oldest)."""
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"tracer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._spans: deque = deque(maxlen=capacity)
+        self._dropped = 0
+
+    def record(
+        self,
+        name: str,
+        id: str,
+        parent: Optional[str] = None,
+        start: float = 0.0,
+        duration: Optional[float] = None,
+        **attrs: object,
+    ) -> Span:
+        """Record an already-measured span (the common daemon-side form)."""
+        span = Span(name, id, parent, start, duration, attrs)
+        with self._lock:
+            if len(self._spans) == self.capacity:
+                self._dropped += 1
+            self._spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, id: str, parent: Optional[str] = None, **attrs: object):
+        """Measure a code block and record it on exit (even on error)."""
+        start = time.time()
+        tick = time.perf_counter()
+        span = Span(name, id, parent, start, None, attrs)
+        try:
+            yield span
+        finally:
+            span.duration = time.perf_counter() - tick
+            with self._lock:
+                if len(self._spans) == self.capacity:
+                    self._dropped += 1
+                self._spans.append(span)
+
+    def spans(self) -> List[Span]:
+        """Oldest-first copy of the retained spans."""
+        with self._lock:
+            return list(self._spans)
+
+    def dump(self) -> Dict[str, object]:
+        """JSON-friendly dump (the ``/trace.json`` body)."""
+        with self._lock:
+            spans = [span.as_dict() for span in self._spans]
+            dropped = self._dropped
+        return {"capacity": self.capacity, "dropped": dropped, "spans": spans}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+_default_tracer = Tracer()
+_default_lock = threading.Lock()
+
+
+def default_tracer() -> Tracer:
+    """The process-wide tracer instrumentation writes to by default."""
+    return _default_tracer
+
+
+def set_default_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process default; returns the previous one."""
+    global _default_tracer
+    if not isinstance(tracer, Tracer):
+        raise TypeError(f"not a Tracer: {tracer!r}")
+    with _default_lock:
+        previous = _default_tracer
+        _default_tracer = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer):
+    """Temporarily install ``tracer`` as the process default (tests)."""
+    previous = set_default_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_default_tracer(previous)

@@ -1,0 +1,144 @@
+"""CLI observability surface: ``repro metrics``, cache JSON, lease flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.dist.protocol import ExecutorSpec, compose_executor_address
+from repro.dist.worker import WorkerServer
+from repro.exceptions import ExperimentError
+from repro.telemetry.export import MetricsHTTPServer
+from repro.telemetry.registry import MetricsRegistry
+
+
+class TestComposeExecutorAddress:
+    def test_passthrough_without_flags(self):
+        assert compose_executor_address(None) is None
+        assert compose_executor_address("tcp://h:1") == "tcp://h:1"
+
+    def test_flags_fold_into_the_query_string(self):
+        composed = compose_executor_address("tcp://h:1", lease=45.0, heartbeat=2.0)
+        spec = ExecutorSpec.parse(composed)
+        assert spec.lease_timeout == 45.0
+        assert spec.heartbeat_interval == 2.0
+
+    def test_flags_override_query_values(self):
+        composed = compose_executor_address("tcp://h:1?lease=9", lease=45.0)
+        assert ExecutorSpec.parse(composed).lease_timeout == 45.0
+
+    def test_untouched_query_values_survive(self):
+        composed = compose_executor_address("tcp://h:1?heartbeat=3", lease=45.0)
+        spec = ExecutorSpec.parse(composed)
+        assert spec.heartbeat_interval == 3.0
+        assert spec.lease_timeout == 45.0
+
+    def test_flags_without_executor_name_themselves(self):
+        with pytest.raises(ExperimentError, match="--lease"):
+            compose_executor_address(None, lease=5.0)
+        with pytest.raises(ExperimentError, match="--heartbeat"):
+            compose_executor_address(None, heartbeat=5.0)
+
+    def test_nonpositive_values_name_the_field(self):
+        with pytest.raises(ExperimentError, match="lease"):
+            compose_executor_address("tcp://h:1", lease=0)
+        with pytest.raises(ExperimentError, match="heartbeat"):
+            compose_executor_address("tcp://h:1", heartbeat=-1)
+
+
+class TestRunFlags:
+    def test_parser_accepts_lease_and_heartbeat(self):
+        args = build_parser().parse_args(
+            ["run", "smoke", "--executor", "tcp://h:1", "--lease", "45",
+             "--heartbeat", "2"]
+        )
+        assert args.lease == 45.0
+        assert args.heartbeat == 2.0
+
+    @pytest.mark.parametrize("flag", ["--lease", "--heartbeat"])
+    @pytest.mark.parametrize("value", ["0", "-2", "nope"])
+    def test_bad_values_rejected_at_parse(self, flag, value, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "smoke", flag, value])
+        assert flag in capsys.readouterr().err
+
+    def test_flags_without_executor_fail_cleanly(self, capsys):
+        assert main(["run", "smoke", "--lease", "5"]) == 2
+        err = capsys.readouterr().err
+        assert "--lease" in err and "--executor" in err
+
+
+class TestWorkerFlags:
+    def test_parser_accepts_metrics_and_heartbeat(self):
+        args = build_parser().parse_args(
+            ["worker", "--metrics", "tcp://127.0.0.1:0", "--heartbeat", "0.5"]
+        )
+        assert args.metrics == "tcp://127.0.0.1:0"
+        assert args.heartbeat == 0.5
+
+    def test_bad_heartbeat_rejected_at_parse(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker", "--heartbeat", "0"])
+        assert "--heartbeat" in capsys.readouterr().err
+
+
+class TestServeFlags:
+    def test_parser_accepts_metrics_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--metrics", "tcp://127.0.0.1:0",
+             "--metrics-snapshot-interval", "2.5"]
+        )
+        assert args.metrics == "tcp://127.0.0.1:0"
+        assert args.metrics_snapshot_interval == 2.5
+
+    def test_bad_interval_rejected_at_parse(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--metrics-snapshot-interval", "0"])
+        assert "--metrics-snapshot-interval" in capsys.readouterr().err
+
+
+class TestCacheStatsJson:
+    def test_json_document_shape(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--json", "--cache-dir", str(tmp_path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"cache_dir", "entries", "bytes", "orphans", "corrupt"}
+        assert doc["entries"] == 0
+        assert doc["corrupt"] == 0
+
+    def test_human_output_unchanged_without_flag(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries:" in capsys.readouterr().out
+
+
+class TestMetricsCommand:
+    def test_scrapes_http_endpoint(self, capsys):
+        registry = MetricsRegistry()
+        registry.counter("demo_total", "Demo.").inc(7)
+        endpoint = MetricsHTTPServer("tcp://127.0.0.1:0", registry=registry).start()
+        try:
+            assert main(["metrics", endpoint.url]) == 0
+        finally:
+            endpoint.stop()
+        out = capsys.readouterr().out
+        assert "demo_total 7" in out
+
+    def test_scrapes_worker_frame_and_json(self, capsys):
+        worker = WorkerServer(registry=MetricsRegistry()).start()
+        try:
+            address = f"tcp://{worker.host}:{worker.port}"
+            assert main(["metrics", address]) == 0
+            text = capsys.readouterr().out
+            assert "repro_worker_sessions_total" in text
+            assert main(["metrics", address, "--json"]) == 0
+            doc = json.loads(capsys.readouterr().out)
+            assert "counters" in doc["metrics"]
+            assert main(["metrics", address, "--trace"]) == 0
+            assert "# trace:" in capsys.readouterr().out
+        finally:
+            worker.stop()
+
+    def test_unreachable_target_fails_cleanly(self, capsys):
+        assert main(["metrics", "tcp://127.0.0.1:1"]) == 2
+        assert "repro metrics:" in capsys.readouterr().err

@@ -1,0 +1,90 @@
+"""ResilienceStats as registry views: per-run deltas over global counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import ResilienceStats
+from repro.telemetry.registry import MetricsRegistry, use_registry
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestPerRunViews:
+    def test_fields_start_at_zero(self, registry):
+        stats = ResilienceStats(registry=registry)
+        assert stats.executed == 0
+        assert stats.cache_hits == 0
+        assert stats.degraded is False
+        assert stats.degraded_remote is False
+
+    def test_increment_style_assignment(self, registry):
+        stats = ResilienceStats(registry=registry)
+        stats.executed = stats.executed + 1
+        stats.executed += 2
+        assert stats.executed == 3
+        assert registry.counter("repro_run_executed_total").total() == 3
+
+    def test_two_instances_have_independent_views(self, registry):
+        first = ResilienceStats(registry=registry)
+        first.retries = 5
+        second = ResilienceStats(registry=registry)
+        assert second.retries == 0
+        second.retries = 2
+        assert first.retries == 7  # first sees the shared counter move
+        assert registry.counter("repro_run_retries_total").total() == 7
+
+    def test_flags_view_as_bools(self, registry):
+        stats = ResilienceStats(registry=registry)
+        stats.degraded = True
+        assert stats.degraded is True
+        stats.degraded_remote = True
+        assert stats.degraded_remote is True
+        # re-setting True is idempotent on the counter
+        before = registry.counter("repro_run_degraded_total").total()
+        stats.degraded = True
+        assert registry.counter("repro_run_degraded_total").total() == before
+
+    def test_lowering_assignment_shifts_the_baseline(self, registry):
+        stats = ResilienceStats(registry=registry)
+        stats.stored = 4
+        stats.stored = 1  # counters are monotonic; the view absorbs the drop
+        assert stats.stored == 1
+        assert registry.counter("repro_run_stored_total").total() == 4
+
+    def test_as_dict_lists_every_field(self, registry):
+        stats = ResilienceStats(registry=registry)
+        stats.executed = 2
+        stats.degraded = True
+        doc = stats.as_dict()
+        assert doc["executed"] == 2
+        assert doc["degraded"] is True
+        assert set(doc) == {
+            "executed",
+            "cache_hits",
+            "stored",
+            "retries",
+            "pool_rebuilds",
+            "degraded",
+            "corrupt_entries",
+            "remote_executed",
+            "lease_expiries",
+            "workers_lost",
+            "duplicate_results",
+            "degraded_remote",
+        }
+
+    def test_unknown_attribute_is_loud(self, registry):
+        stats = ResilienceStats(registry=registry)
+        with pytest.raises(AttributeError):
+            stats.no_such_field
+
+    def test_default_registry_is_used_when_not_injected(self):
+        scratch = MetricsRegistry()
+        with use_registry(scratch):
+            stats = ResilienceStats()
+            stats.executed = 3
+        assert scratch.counter("repro_run_executed_total").total() == 3

@@ -1,0 +1,85 @@
+"""Tracing: deterministic span IDs and the bounded ring buffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.trace import (
+    Tracer,
+    default_tracer,
+    span_id,
+    use_tracer,
+)
+
+
+class TestSpanId:
+    def test_same_parts_same_id(self):
+        assert span_id("payload", "abc123") == span_id("payload", "abc123")
+
+    def test_different_parts_differ(self):
+        assert span_id("payload", "abc") != span_id("payload", "abd")
+        assert span_id("serve", "alpha", 0) != span_id("serve", "alpha", 1)
+
+    def test_id_shape(self):
+        identifier = span_id("serve", "alpha", 3)
+        assert len(identifier) == 16
+        assert int(identifier, 16) >= 0
+
+    def test_mixed_types_stringify_stably(self):
+        assert span_id("run", 1, None) == span_id("run", "1", "None")
+
+
+class TestTracer:
+    def test_record_and_dump(self):
+        tracer = Tracer(capacity=8)
+        tracer.record("work", span_id("w", 1), start=10.0, duration=0.5, trial=1)
+        dump = tracer.dump()
+        assert dump["capacity"] == 8
+        assert dump["dropped"] == 0
+        (span,) = dump["spans"]
+        assert span["name"] == "work"
+        assert span["duration"] == 0.5
+        assert span["attrs"] == {"trial": 1}
+
+    def test_ring_drops_oldest_and_counts(self):
+        tracer = Tracer(capacity=3)
+        for index in range(5):
+            tracer.record("s", span_id("s", index), seq=index)
+        dump = tracer.dump()
+        assert dump["dropped"] == 2
+        assert [span["attrs"]["seq"] for span in dump["spans"]] == [2, 3, 4]
+        assert len(tracer) == 3
+
+    def test_span_contextmanager_measures_duration(self):
+        tracer = Tracer(capacity=4)
+        with tracer.span("block", span_id("b", 1), kind="test"):
+            pass
+        (span,) = tracer.spans()
+        assert span.duration is not None and span.duration >= 0
+        assert span.attrs == {"kind": "test"}
+
+    def test_span_records_even_on_error(self):
+        tracer = Tracer(capacity=4)
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom", span_id("b", 2)):
+                raise RuntimeError("boom")
+        assert len(tracer) == 1
+
+    def test_clear_resets_everything(self):
+        tracer = Tracer(capacity=2)
+        tracer.record("a", span_id("a"))
+        tracer.record("b", span_id("b"))
+        tracer.record("c", span_id("c"))
+        tracer.clear()
+        assert tracer.dump() == {"capacity": 2, "dropped": 0, "spans": []}
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_use_tracer_swaps_and_restores(self):
+        scratch = Tracer(capacity=4)
+        before = default_tracer()
+        with use_tracer(scratch):
+            assert default_tracer() is scratch
+        assert default_tracer() is before
